@@ -1,0 +1,39 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "graph/instance_stats.hpp"
+
+namespace covstream::bench {
+
+void preamble(const std::string& experiment_id, const std::string& title,
+              const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("[%s] %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("paper claim: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+  std::fflush(stdout);
+}
+
+void describe_workload(const std::string& family, const CoverageInstance& graph) {
+  std::printf("workload: %s (%s)\n", family.c_str(),
+              compute_stats(graph).to_string().c_str());
+  std::fflush(stdout);
+}
+
+bool verdict(bool pass, const std::string& message) {
+  std::printf("VERDICT: %s — %s\n\n", pass ? "PASS" : "FAIL", message.c_str());
+  std::fflush(stdout);
+  return pass;
+}
+
+VectorStream make_stream(const CoverageInstance& graph, ArrivalOrder order,
+                         std::uint64_t seed) {
+  return VectorStream(ordered_edges(graph, order, seed));
+}
+
+std::string pm(const RunningStat& stat, int precision) {
+  return stat.summary(precision);
+}
+
+}  // namespace covstream::bench

@@ -1,0 +1,38 @@
+// Shared helpers for the bench harness. Every bench binary regenerates one
+// table/figure/claim of the paper (see DESIGN.md §4) and prints:
+//   * a preamble naming the experiment and the paper's claim,
+//   * the workload description,
+//   * an aligned table of measured rows (mean ± stderr over seeds),
+//   * a one-line VERDICT comparing the measured shape to the claim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/coverage_instance.hpp"
+#include "stream/arrival_order.hpp"
+#include "stream/edge_stream.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace covstream::bench {
+
+/// Prints the experiment banner.
+void preamble(const std::string& experiment_id, const std::string& title,
+              const std::string& paper_claim);
+
+/// Prints the workload line (instance stats + family).
+void describe_workload(const std::string& family, const CoverageInstance& graph);
+
+/// Prints "VERDICT: PASS|FAIL — <message>" and returns pass.
+bool verdict(bool pass, const std::string& message);
+
+/// Convenience: a VectorStream over the instance in the given order.
+VectorStream make_stream(const CoverageInstance& graph, ArrivalOrder order,
+                         std::uint64_t seed);
+
+/// Formats "x.xxx ± y.yyy" from a RunningStat.
+std::string pm(const RunningStat& stat, int precision = 3);
+
+}  // namespace covstream::bench

@@ -1,0 +1,202 @@
+// [T1-kcover] Regenerates the k-cover rows of Table 1.
+//
+//   k-cover [44] (Saha–Getoor)   1 pass   1/4          O~(m)    set arrival
+//   k-cover [9]  (Sieve)         1 pass   1/2          O~(n+m)  set arrival
+//   k-cover here (H<=n sketch)   1 pass   1-1/e-eps    O~(n)    edge arrival
+//
+// Part A measures approximation ratios against known OPT (planted family)
+// and against offline greedy (zipf family). Part B sweeps m at fixed n and
+// reports peak space: ours must stay flat, the baselines must grow with m.
+// Part C feeds a pure edge-arrival (round-robin) stream to everyone: the
+// set-arrival baselines fragment, ours is unaffected.
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/offline_greedy.hpp"
+#include "baselines/random_select.hpp"
+#include "baselines/saha_getoor.hpp"
+#include "baselines/sieve_streaming.hpp"
+#include "bench_common.hpp"
+#include "core/streaming_kcover.hpp"
+#include "util/cli.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+struct Row {
+  RunningStat ratio;
+  RunningStat space;
+  std::size_t passes = 1;
+  std::string arrival;
+};
+
+int run(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const SetId n = static_cast<SetId>(args.get_size("n", 150));
+  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 8));
+  const double eps = args.get_double("eps", 0.15);
+  const std::size_t seeds = args.get_size("seeds", 5);
+  args.finish();
+
+  bench::preamble(
+      "T1-kcover", "Table 1, k-cover rows",
+      "here: 1 pass, 1-1/e-eps, O~(n), edge arrival; beats 1/4 [44] and 1/2 [9]");
+
+  // ---- Part A: approximation ratio on planted instances (known OPT). ----
+  Row ours, ours_rr, swap_row, sieve_row, random_row, greedy_row;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const GeneratedInstance gen =
+        make_planted_kcover(n, k, /*block_size=*/300, /*decoy_fraction=*/0.35, seed);
+    const double opt = static_cast<double>(*gen.opt_kcover);
+    if (seed == 1) bench::describe_workload(gen.family, gen.graph);
+
+    StreamingOptions options;
+    options.eps = eps;
+    options.seed = seed * 31 + 7;
+
+    {  // ours, random edge order
+      VectorStream s = bench::make_stream(gen.graph, ArrivalOrder::kRandom, seed);
+      const KCoverResult r = streaming_kcover(s, n, k, options);
+      ours.ratio.add(gen.graph.coverage(r.solution) / opt);
+      ours.space.add(static_cast<double>(r.space_words));
+      ours.arrival = "edge";
+    }
+    {  // ours, adversarial round-robin edge order
+      VectorStream s = bench::make_stream(gen.graph, ArrivalOrder::kRoundRobin, seed);
+      const KCoverResult r = streaming_kcover(s, n, k, options);
+      ours_rr.ratio.add(gen.graph.coverage(r.solution) / opt);
+      ours_rr.space.add(static_cast<double>(r.space_words));
+      ours_rr.arrival = "edge(rr)";
+    }
+    {  // Saha–Getoor swap (set arrival)
+      VectorStream s =
+          bench::make_stream(gen.graph, ArrivalOrder::kSetMajorShuffled, seed);
+      const SwapKCoverResult r =
+          saha_getoor_kcover(s, n, gen.graph.num_elems(), k);
+      swap_row.ratio.add(static_cast<double>(r.covered) / opt);
+      swap_row.space.add(static_cast<double>(r.space_words));
+      swap_row.arrival = "set";
+    }
+    {  // Sieve-Streaming (set arrival)
+      VectorStream s =
+          bench::make_stream(gen.graph, ArrivalOrder::kSetMajorShuffled, seed);
+      const SieveResult r =
+          sieve_streaming_kcover(s, n, gen.graph.num_elems(), k, 0.1);
+      sieve_row.ratio.add(static_cast<double>(r.covered) / opt);
+      sieve_row.space.add(static_cast<double>(r.space_words));
+      sieve_row.arrival = "set";
+    }
+    {  // random selection floor
+      const auto sol = random_k_sets(n, k, seed * 13);
+      random_row.ratio.add(gen.graph.coverage(sol) / opt);
+      random_row.space.add(0.0);
+      random_row.arrival = "-";
+    }
+    {  // offline greedy reference (full instance in memory)
+      const OfflineGreedyResult r = greedy_kcover(gen.graph, k);
+      greedy_row.ratio.add(static_cast<double>(r.covered) / opt);
+      greedy_row.space.add(static_cast<double>(gen.graph.num_edges() * 2));
+      greedy_row.arrival = "offline";
+    }
+  }
+
+  Table table({"algorithm", "passes", "arrival", "ratio vs OPT", "space [words]",
+               "paper bound"});
+  auto add = [&](const std::string& name, const Row& row, const std::string& bound) {
+    table.row()
+        .cell(name)
+        .cell(std::size_t{1})
+        .cell(row.arrival)
+        .cell(bench::pm(row.ratio))
+        .cell(bench::pm(row.space, 0))
+        .cell(bound);
+  };
+  add("H<=n sketch (here)", ours, ">= 1-1/e-eps = " + std::to_string(1 - 1 / std::exp(1.0) - eps).substr(0, 5));
+  add("H<=n sketch, round-robin", ours_rr, "same (order-oblivious)");
+  add("Saha-Getoor swap [44]", swap_row, ">= 1/4");
+  add("Sieve-Streaming [9]", sieve_row, ">= 1/2 - eps");
+  add("random-k floor", random_row, "-");
+  add("offline lazy greedy", greedy_row, ">= 1-1/e");
+  table.print("Part A: approximation ratio, planted k-cover, k=" +
+              std::to_string(k) + ", seeds=" + std::to_string(seeds));
+
+  const bool a_pass = ours.ratio.mean() >= 1 - 1 / std::exp(1.0) - eps &&
+                      ours.ratio.mean() >= sieve_row.ratio.mean() - 0.05 &&
+                      ours.ratio.mean() >= swap_row.ratio.mean() - 0.05;
+
+  // ---- Part B: space vs m at fixed n (the O~(n) vs O~(m) column). ----
+  // Ours is capped by the edge budget: the steady-state sketch size is flat
+  // in m, and even the warm-up peak never exceeds O(budget) words. The
+  // set-arrival baselines keep Theta(m)-bit state and grow without bound.
+  StreamingOptions sweep_options;
+  sweep_options.eps = eps;
+  sweep_options.seed = 99;
+  const std::size_t budget =
+      sweep_options.sketch_params(n, k, eps / 12.0).edge_budget();
+  Table space_table({"m", "edges", "ours final [words]", "ours peak [words]",
+                     "saha-getoor [words]", "sieve [words]"});
+  std::vector<double> ms, ours_space, swap_space;
+  bool peak_bounded = true;
+  for (const ElemId m : {ElemId{16000}, ElemId{64000}, ElemId{256000}}) {
+    const GeneratedInstance gen =
+        make_uniform(n, m, static_cast<std::size_t>(m / 20), 77);
+    VectorStream s1 = bench::make_stream(gen.graph, ArrivalOrder::kRandom, 1);
+    const KCoverResult r1 = streaming_kcover(s1, n, k, sweep_options);
+    VectorStream s2 =
+        bench::make_stream(gen.graph, ArrivalOrder::kSetMajorShuffled, 1);
+    const SwapKCoverResult r2 = saha_getoor_kcover(s2, n, m, k);
+    VectorStream s3 =
+        bench::make_stream(gen.graph, ArrivalOrder::kSetMajorShuffled, 1);
+    const SieveResult r3 = sieve_streaming_kcover(s3, n, m, k, 0.1);
+    space_table.row()
+        .cell(static_cast<std::size_t>(m))
+        .cell(gen.graph.num_edges())
+        .cell(r1.final_space_words)
+        .cell(r1.space_words)
+        .cell(r2.space_words)
+        .cell(r3.space_words);
+    ms.push_back(static_cast<double>(m));
+    ours_space.push_back(static_cast<double>(r1.final_space_words));
+    swap_space.push_back(static_cast<double>(r2.space_words));
+    if (r1.space_words > 9 * budget) peak_bounded = false;
+  }
+  space_table.print("Part B: space vs m (n fixed at " + std::to_string(n) +
+                    ", edge budget " + std::to_string(budget) + ")");
+  const double ours_slope = loglog_slope(ms, ours_space);
+  const double swap_slope = loglog_slope(ms, swap_space);
+  std::printf("space scaling exponents (d log space / d log m): ours=%.2f, "
+              "saha-getoor=%.2f; ours peak always <= 9x edge budget: %s\n",
+              ours_slope, swap_slope, peak_bounded ? "yes" : "NO");
+  const bool b_pass = ours_slope < 0.25 && swap_slope > 0.7 && peak_bounded;
+
+  // ---- Part C: pure edge arrival breaks set-arrival baselines. ----
+  const GeneratedInstance gen = make_planted_kcover(n, k, 300, 0.35, 1234);
+  VectorStream rr =
+      bench::make_stream(gen.graph, ArrivalOrder::kRoundRobin, 5);
+  const SwapKCoverResult fragmented =
+      saha_getoor_kcover(rr, n, gen.graph.num_elems(), k);
+  std::printf("Part C: on a round-robin edge stream, saha-getoor fragmented=%s "
+              "(ratio %.3f); ours round-robin ratio %.3f\n",
+              fragmented.fragmented ? "yes" : "no",
+              gen.graph.coverage(fragmented.solution) /
+                  static_cast<double>(*gen.opt_kcover),
+              ours_rr.ratio.mean());
+  const bool c_pass = fragmented.fragmented &&
+                      ours_rr.ratio.mean() >= 1 - 1 / std::exp(1.0) - eps;
+
+  return bench::verdict(
+             a_pass && b_pass && c_pass,
+             "ours >= 1-1/e-eps and >= both baselines; ours space flat in m "
+             "(slope " +
+                 std::to_string(ours_slope).substr(0, 5) +
+                 ") while set-arrival baselines grow; edge arrival handled "
+                 "only by ours")
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace covstream
+
+int main(int argc, char** argv) { return covstream::run(argc, argv); }

@@ -1,0 +1,144 @@
+// [U-time] Section 3's "the update times of all our algorithms are O~(1)":
+// google-benchmark microbenchmarks of the per-edge update cost, hashing
+// throughput, and sketch solving, across budgets and stream lengths. The
+// ns/edge figure must stay flat as the stream grows.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/greedy_on_sketch.hpp"
+#include "core/subsample_sketch.hpp"
+#include "hash/hash64.hpp"
+#include "hash/tabulation.hpp"
+#include "sketch/kmv.hpp"
+#include "stream/arrival_order.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+void BM_Mix64Hash(benchmark::State& state) {
+  const Mix64Hash hash(42);
+  ElemId e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash(e++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Mix64Hash);
+
+void BM_TabulationHash(benchmark::State& state) {
+  const TabulationHash hash(42);
+  ElemId e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash(e++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TabulationHash);
+
+// Per-edge sketch update across stream lengths: O~(1) means flat ns/edge.
+void BM_SketchUpdatePerEdge(benchmark::State& state) {
+  const std::size_t edges = static_cast<std::size_t>(state.range(0));
+  const SetId n = 200;
+  const GeneratedInstance gen =
+      make_uniform(n, edges / 2 + 1, 64, 7);
+  std::vector<Edge> stream = ordered_edges(gen.graph, ArrivalOrder::kRandom, 1);
+  stream.resize(std::min(stream.size(), edges));
+
+  SketchParams params;
+  params.num_sets = n;
+  params.k = 8;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 20000;
+  params.hash_seed = 11;
+
+  for (auto _ : state) {
+    SubsampleSketch sketch(params);
+    for (const Edge& edge : stream) sketch.update(edge);
+    benchmark::DoNotOptimize(sketch.stored_edges());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * stream.size()));
+}
+BENCHMARK(BM_SketchUpdatePerEdge)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18);
+
+// Update cost when the sketch is saturated (evictions amortized).
+void BM_SketchUpdateSaturated(benchmark::State& state) {
+  const SetId n = 200;
+  const GeneratedInstance gen = make_uniform(n, 100000, 64, 9);
+  const std::vector<Edge> stream = ordered_edges(gen.graph, ArrivalOrder::kRandom, 2);
+
+  SketchParams params;
+  params.num_sets = n;
+  params.k = 8;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = static_cast<std::size_t>(state.range(0));
+  params.hash_seed = 13;
+
+  for (auto _ : state) {
+    SubsampleSketch sketch(params);
+    for (const Edge& edge : stream) sketch.update(edge);
+    benchmark::DoNotOptimize(sketch.p_star());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * stream.size()));
+}
+BENCHMARK(BM_SketchUpdateSaturated)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GreedyOnSketch(benchmark::State& state) {
+  const SetId n = 500;
+  const GeneratedInstance gen = make_uniform(n, 50000, 200, 17);
+  SketchParams params;
+  params.num_sets = n;
+  params.k = 16;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 30000;
+  params.hash_seed = 19;
+  SubsampleSketch sketch(params);
+  for (const Edge& edge : ordered_edges(gen.graph, ArrivalOrder::kRandom, 3)) {
+    sketch.update(edge);
+  }
+  const SketchView view = sketch.view();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_max_cover(view, 16).covered);
+  }
+}
+BENCHMARK(BM_GreedyOnSketch);
+
+void BM_SketchViewBuild(benchmark::State& state) {
+  const SetId n = 500;
+  const GeneratedInstance gen = make_uniform(n, 50000, 200, 21);
+  SketchParams params;
+  params.num_sets = n;
+  params.k = 16;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 30000;
+  params.hash_seed = 23;
+  SubsampleSketch sketch(params);
+  for (const Edge& edge : ordered_edges(gen.graph, ArrivalOrder::kRandom, 4)) {
+    sketch.update(edge);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.view().num_edges());
+  }
+}
+BENCHMARK(BM_SketchViewBuild);
+
+void BM_KmvAdd(benchmark::State& state) {
+  KmvSketch sketch(1024, 31);
+  ElemId e = 0;
+  for (auto _ : state) {
+    sketch.add(e++);
+    benchmark::DoNotOptimize(sketch.capacity());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KmvAdd);
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,63 @@
+// Data summarization with outliers: cover "almost all" of a skewed corpus
+// with as few sources as possible (Algorithm 5 / set cover with lambda
+// outliers). On heavy-tailed data, insisting on 100% coverage forces picking
+// a long tail of near-useless sets; tolerating a small outlier fraction
+// collapses the solution size — this example sweeps lambda to show the knee.
+//
+//   ./outlier_coverage [--n=250] [--m=40000] [--seed=7]
+#include <cstdio>
+
+#include "baselines/offline_greedy.hpp"
+#include "core/setcover_outliers.hpp"
+#include "stream/arrival_order.hpp"
+#include "stream/edge_stream.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace covstream;
+  CliArgs args(argc, argv);
+  const SetId n = static_cast<SetId>(args.get_size("n", 250));
+  const ElemId m = args.get_size("m", 40000);
+  const std::uint64_t seed = args.get_size("seed", 7);
+  args.finish();
+
+  // Zipf element popularity: most elements are rare (the tail the outlier
+  // budget should sacrifice).
+  const GeneratedInstance gen = make_zipf(n, m, 50, 2500, 0.8, 1.05, seed);
+  const std::size_t coverable = gen.graph.num_covered_by_all();
+  std::printf("corpus: %u sources, %zu distinct items reachable, %zu "
+              "memberships\n",
+              n, coverable, gen.graph.num_edges());
+
+  const OfflineGreedyResult full = greedy_setcover(gen.graph);
+  std::printf("full cover (offline greedy): %zu sources\n\n",
+              full.solution.size());
+
+  Table table({"lambda", "sources picked", "items covered", "fraction",
+               "space [words]", "vs full cover"});
+  for (const double lambda : {0.3, 0.2, 0.1, 0.05}) {
+    OutliersOptions options;
+    options.stream.eps = 0.5;
+    options.stream.seed = seed * 31 + 11;
+    options.lambda = lambda;
+    VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, seed));
+    const OutliersResult result = streaming_setcover_outliers(stream, n, options);
+    const std::size_t covered = gen.graph.coverage(result.solution);
+    table.row()
+        .cell(lambda, 2)
+        .cell(result.solution.size())
+        .cell(covered)
+        .cell(static_cast<double>(covered) / static_cast<double>(coverable), 3)
+        .cell(result.space_words)
+        .cell(static_cast<double>(result.solution.size()) /
+                  static_cast<double>(full.solution.size()),
+              2);
+  }
+  table.print("one-pass set cover with outliers (lambda sweep)");
+
+  std::printf("reading: tolerating a few%% of rare items shrinks the summary "
+              "several-fold — the (1+eps) log(1/lambda) bound in action.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Weighted data summarization: elements carry importance weights (e.g. query
+// frequencies), and we want k sources maximizing the total *weight* covered —
+// the weighted extension of the paper's k-cover (see core/weighted_sketch.hpp).
+//
+// The demo plants one "high-value" region: unweighted streaming k-cover picks
+// the sources covering the most items; the weighted sketch picks the ones
+// covering the most value. Both run in one pass over the same edge feed.
+//
+//   ./weighted_summary [--n=150] [--m=30000] [--k=6] [--seed=11]
+#include <cstdio>
+
+#include "core/streaming_kcover.hpp"
+#include "core/weighted_sketch.hpp"
+#include "stream/arrival_order.hpp"
+#include "stream/edge_stream.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workloads/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace covstream;
+  CliArgs args(argc, argv);
+  const SetId n = static_cast<SetId>(args.get_size("n", 150));
+  const ElemId m = args.get_size("m", 30000);
+  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 6));
+  const std::uint64_t seed = args.get_size("seed", 11);
+  args.finish();
+
+  const GeneratedInstance gen = make_communities(n, m, 10, m / 80, 0.05, seed);
+  // The first community's items are 25x more valuable than the rest.
+  const ElemId hot_region = m / 10;
+  auto weight = [hot_region](ElemId e) { return e < hot_region ? 25.0 : 1.0; };
+
+  const std::vector<Edge> edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, seed);
+  std::printf("corpus: %u sources, %llu items (%llu of them high-value), %zu "
+              "memberships\n",
+              n, static_cast<unsigned long long>(m),
+              static_cast<unsigned long long>(hot_region), edges.size());
+
+  // Unweighted: maximize item count.
+  StreamingOptions options;
+  options.eps = 0.2;
+  options.seed = seed * 3 + 1;
+  VectorStream stream(edges);
+  const KCoverResult plain = streaming_kcover(stream, n, k, options);
+
+  // Weighted: maximize item value.
+  SketchParams params = options.sketch_params(n, k, options.eps / 12.0);
+  std::vector<WeightedEdge> weighted_edges;
+  weighted_edges.reserve(edges.size());
+  for (const Edge& edge : edges) {
+    weighted_edges.push_back({edge.set, edge.elem, weight(edge.elem)});
+  }
+  const WeightedKCoverResult valued =
+      streaming_weighted_kcover(weighted_edges, n, k, params);
+
+  auto total_value = [&](const std::vector<SetId>& family) {
+    const BitVec mask = gen.graph.covered_mask(family);
+    double value = 0.0;
+    for (ElemId e = 0; e < m; ++e) {
+      if (mask.test(e)) value += weight(e);
+    }
+    return value;
+  };
+
+  Table table({"objective", "items covered", "value covered"});
+  table.row()
+      .cell("unweighted k-cover")
+      .cell(gen.graph.coverage(plain.solution))
+      .cell(total_value(plain.solution), 0);
+  table.row()
+      .cell("weighted k-cover")
+      .cell(gen.graph.coverage(valued.solution))
+      .cell(total_value(valued.solution), 0);
+  table.print("pick " + std::to_string(k) + " sources, one pass each");
+
+  std::printf("the weighted sketch trades raw item count for value — its "
+              "exponential-clock sampling keeps high-weight items "
+              "preferentially.\n");
+  return total_value(valued.solution) >= total_value(plain.solution) ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+#include "baselines/offline_greedy.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/bitvec.hpp"
+
+namespace covstream {
+namespace {
+
+OfflineGreedyResult greedy_impl(const CoverageInstance& instance,
+                                std::size_t max_sets, std::size_t target_covered) {
+  OfflineGreedyResult result;
+  BitVec covered(instance.num_elems());
+  std::priority_queue<std::pair<std::size_t, SetId>> heap;
+  for (SetId s = 0; s < instance.num_sets(); ++s) {
+    const std::size_t size = instance.set_size(s);
+    if (size > 0) heap.emplace(size, s);
+  }
+  auto current_gain = [&](SetId s) {
+    std::size_t gain = 0;
+    for (const ElemId e : instance.elements_of(s)) {
+      if (!covered.test(e)) ++gain;
+    }
+    return gain;
+  };
+  while (result.solution.size() < max_sets && result.covered < target_covered &&
+         !heap.empty()) {
+    const auto [cached, set] = heap.top();
+    heap.pop();
+    const std::size_t gain = current_gain(set);
+    if (gain == 0) continue;
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.emplace(gain, set);
+      continue;
+    }
+    for (const ElemId e : instance.elements_of(set)) {
+      if (covered.set_if_clear(e)) ++result.covered;
+    }
+    result.solution.push_back(set);
+    result.marginal_gains.push_back(gain);
+  }
+  return result;
+}
+
+}  // namespace
+
+OfflineGreedyResult greedy_kcover(const CoverageInstance& instance, std::uint32_t k) {
+  return greedy_impl(instance, k, instance.num_elems() + 1);
+}
+
+OfflineGreedyResult greedy_setcover(const CoverageInstance& instance) {
+  const std::size_t coverable = instance.num_covered_by_all();
+  return greedy_impl(instance, instance.num_sets(),
+                     std::max<std::size_t>(1, coverable));
+}
+
+OfflineGreedyResult greedy_partial_cover(const CoverageInstance& instance,
+                                         double fraction) {
+  COVSTREAM_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const double coverable = static_cast<double>(instance.num_covered_by_all());
+  const std::size_t target = static_cast<std::size_t>(fraction * coverable + 0.999999);
+  return greedy_impl(instance, instance.num_sets(), std::max<std::size_t>(1, target));
+}
+
+std::size_t brute_force_kcover(const CoverageInstance& instance, std::uint32_t k) {
+  const SetId n = instance.num_sets();
+  COVSTREAM_CHECK(n <= 24);
+  COVSTREAM_CHECK(k >= 1);
+  if (k >= n) {
+    std::vector<SetId> all(n);
+    for (SetId s = 0; s < n; ++s) all[s] = s;
+    return instance.coverage(all);
+  }
+  std::vector<SetId> indices(k);
+  for (std::uint32_t i = 0; i < k; ++i) indices[i] = i;
+  std::size_t best = 0;
+  while (true) {
+    best = std::max(best, instance.coverage(indices));
+    int pos = static_cast<int>(k) - 1;
+    while (pos >= 0 && indices[pos] == n - k + static_cast<std::uint32_t>(pos)) --pos;
+    if (pos < 0) break;
+    ++indices[pos];
+    for (std::uint32_t j = pos + 1; j < k; ++j) indices[j] = indices[j - 1] + 1;
+  }
+  return best;
+}
+
+std::uint32_t brute_force_setcover_size(const CoverageInstance& instance) {
+  const SetId n = instance.num_sets();
+  COVSTREAM_CHECK(n <= 20);
+  const std::size_t coverable = instance.num_covered_by_all();
+  std::uint32_t best = n + 1;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const std::uint32_t size = static_cast<std::uint32_t>(__builtin_popcount(mask));
+    if (size >= best) continue;
+    std::vector<SetId> family;
+    for (SetId s = 0; s < n; ++s) {
+      if (mask & (1u << s)) family.push_back(s);
+    }
+    if (instance.coverage(family) == coverable) best = size;
+  }
+  return best;
+}
+
+}  // namespace covstream

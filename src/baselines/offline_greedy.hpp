@@ -1,0 +1,40 @@
+// Offline exact algorithms on a full CoverageInstance:
+//  * lazy greedy (Nemhauser–Wolsey–Fisher) for k-cover (1-1/e), set cover
+//    (ln m), and partial cover — the quality reference every streaming
+//    algorithm is compared against;
+//  * brute force for tiny instances — the *optimum* reference used by tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coverage_instance.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+struct OfflineGreedyResult {
+  std::vector<SetId> solution;
+  std::vector<std::size_t> marginal_gains;
+  std::size_t covered = 0;
+};
+
+/// Greedy max-k-cover; stops early if no positive marginal gain remains.
+OfflineGreedyResult greedy_kcover(const CoverageInstance& instance, std::uint32_t k);
+
+/// Greedy set cover over all coverable elements (elements with degree >= 1).
+OfflineGreedyResult greedy_setcover(const CoverageInstance& instance);
+
+/// Greedy until at least `fraction` of coverable elements are covered.
+OfflineGreedyResult greedy_partial_cover(const CoverageInstance& instance,
+                                         double fraction);
+
+/// Exact Opt_k by exhaustive search. Requires num_sets <= 24.
+std::size_t brute_force_kcover(const CoverageInstance& instance, std::uint32_t k);
+
+/// Exact minimum set-cover size by exhaustive search. Requires num_sets <= 20.
+/// Returns num_sets + 1 if no family covers all coverable elements (cannot
+/// happen when every element has degree >= 1).
+std::uint32_t brute_force_setcover_size(const CoverageInstance& instance);
+
+}  // namespace covstream

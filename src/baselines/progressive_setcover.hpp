@@ -1,0 +1,29 @@
+// Progressive-threshold p-pass set cover — the classic set-arrival baseline
+// family of Table 1 ("set cover, p passes, (p+1) m^{1/(p+1)}, O~(m)",
+// Chakrabarti–Wirth / Cormode–Karloff–Wirth style).
+//
+// Pass i admits any arriving set whose marginal gain is at least
+// tau_i = m^{(p-i)/p}; the final pass has tau_p = 1 and therefore finishes
+// the cover. Space is the O(m) covered bitmap plus the solution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/edge_stream.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+struct ProgressiveResult {
+  std::vector<SetId> solution;
+  std::size_t covered = 0;
+  bool covered_everything = false;
+  std::size_t passes = 0;
+  std::size_t space_words = 0;
+};
+
+ProgressiveResult progressive_setcover(EdgeStream& stream, SetId num_sets,
+                                       ElemId num_elems, std::size_t passes);
+
+}  // namespace covstream

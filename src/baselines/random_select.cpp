@@ -1,0 +1,15 @@
+#include "baselines/random_select.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace covstream {
+
+std::vector<SetId> random_k_sets(SetId num_sets, std::uint32_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint32_t take = std::min<std::uint32_t>(k, num_sets);
+  return rng.sample_without_replacement(num_sets, take);
+}
+
+}  // namespace covstream

@@ -1,0 +1,13 @@
+// Uniform-random k-set selection: the quality floor in the k-cover benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+std::vector<SetId> random_k_sets(SetId num_sets, std::uint32_t k, std::uint64_t seed);
+
+}  // namespace covstream

@@ -1,0 +1,145 @@
+#include "baselines/saha_getoor.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace covstream {
+namespace {
+
+struct Kept {
+  SetId id = kInvalidSet;
+  std::vector<ElemId> elems;  // sorted, deduplicated
+};
+
+class SwapState {
+ public:
+  SwapState(ElemId num_elems, std::uint32_t k) : k_(k), cover_count_(num_elems, 0) {}
+
+  std::size_t covered() const { return covered_; }
+  std::size_t swaps() const { return swaps_; }
+
+  const std::vector<Kept>& kept() const { return kept_; }
+
+  void offer(SetId id, std::vector<ElemId> elems) {
+    std::sort(elems.begin(), elems.end());
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+    if (kept_.size() < k_) {
+      add(Kept{id, std::move(elems)});
+      return;
+    }
+    // Gain of adding the new set on top of the current solution.
+    std::size_t gain = 0;
+    for (const ElemId e : elems) {
+      if (cover_count_[e] == 0) ++gain;
+    }
+    if (gain == 0) return;
+    // Best achievable coverage when replacing each kept set T:
+    // C' = C - unique(T) + gain + |elems ∩ unique(T)|.
+    std::size_t best_after = covered_;  // must strictly improve
+    std::size_t best_index = kept_.size();
+    for (std::size_t i = 0; i < kept_.size(); ++i) {
+      const std::size_t unique_t = unique_count(kept_[i]);
+      std::size_t regained = 0;
+      for (const ElemId e : elems) {
+        if (cover_count_[e] == 1 && contains(kept_[i], e)) ++regained;
+      }
+      const std::size_t after = covered_ - unique_t + gain + regained;
+      if (after > best_after) {
+        best_after = after;
+        best_index = i;
+      }
+    }
+    // Swap threshold C/(2k): the improvement that yields the 1/4 guarantee.
+    const std::size_t threshold = covered_ + std::max<std::size_t>(1, covered_ / (2 * k_));
+    if (best_index < kept_.size() && best_after >= threshold) {
+      remove(best_index);
+      add(Kept{id, std::move(elems)});
+      ++swaps_;
+    }
+  }
+
+  /// Peak space: per-element count bytes + stored set elements.
+  std::size_t space_words() const {
+    std::size_t stored = 0;
+    for (const Kept& kept : kept_) stored += kept.elems.size();
+    return cover_count_.size() / 8 + stored + 4;
+  }
+
+ private:
+  static bool contains(const Kept& kept, ElemId e) {
+    return std::binary_search(kept.elems.begin(), kept.elems.end(), e);
+  }
+
+  std::size_t unique_count(const Kept& kept) const {
+    std::size_t unique = 0;
+    for (const ElemId e : kept.elems) {
+      if (cover_count_[e] == 1) ++unique;
+    }
+    return unique;
+  }
+
+  void add(Kept kept) {
+    for (const ElemId e : kept.elems) {
+      if (cover_count_[e]++ == 0) ++covered_;
+    }
+    kept_.push_back(std::move(kept));
+  }
+
+  void remove(std::size_t index) {
+    for (const ElemId e : kept_[index].elems) {
+      if (--cover_count_[e] == 0) --covered_;
+    }
+    kept_.erase(kept_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  std::uint32_t k_;
+  std::vector<std::uint8_t> cover_count_;  // how many kept sets contain e
+  std::vector<Kept> kept_;
+  std::size_t covered_ = 0;
+  std::size_t swaps_ = 0;
+};
+
+}  // namespace
+
+SwapKCoverResult saha_getoor_kcover(EdgeStream& stream, SetId num_sets,
+                                    ElemId num_elems, std::uint32_t k) {
+  COVSTREAM_CHECK(k >= 1);
+  SwapState state(num_elems, k);
+  SwapKCoverResult result;
+
+  std::unordered_set<SetId> closed;
+  SetId current = kInvalidSet;
+  std::vector<ElemId> buffer;
+  std::size_t peak_words = 0;
+
+  auto flush = [&] {
+    if (current == kInvalidSet) return;
+    state.offer(current, std::move(buffer));
+    buffer = {};
+    closed.insert(current);
+    peak_words = std::max(peak_words, state.space_words());
+  };
+
+  stream.reset();
+  Edge edge;
+  while (stream.next(edge)) {
+    COVSTREAM_CHECK(edge.set < num_sets);
+    if (edge.set != current) {
+      flush();
+      if (closed.count(edge.set)) result.fragmented = true;
+      current = edge.set;
+    }
+    buffer.push_back(edge.elem);
+    peak_words = std::max(peak_words, state.space_words() + buffer.size());
+  }
+  flush();
+
+  for (const auto& kept : state.kept()) result.solution.push_back(kept.id);
+  result.covered = state.covered();
+  result.swaps = state.swaps();
+  result.space_words = peak_words;
+  result.passes = stream.passes_started();
+  return result;
+}
+
+}  // namespace covstream

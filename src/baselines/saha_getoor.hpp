@@ -1,0 +1,34 @@
+// Saha–Getoor style swap-based streaming max-k-cover (SDM'09) — the Table 1
+// baseline "k-cover, 1 pass, 1/4, O~(m), set arrival".
+//
+// Maintains at most k sets with their element lists plus per-element coverage
+// counts (the O~(m) space). When a new set arrives with the buffer full, it
+// replaces the currently least-useful solution set if doing so improves
+// coverage by at least C/(2k). Only meaningful on set-arrival streams: each
+// set must arrive contiguously. On fragmented (edge-arrival) streams the
+// algorithm still runs but treats each contiguous run as a separate "set" —
+// which is exactly how the model mismatch of Table 1 manifests; the result
+// reports whether fragmentation occurred.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/edge_stream.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+struct SwapKCoverResult {
+  std::vector<SetId> solution;
+  std::size_t covered = 0;       // true union size of the kept sets
+  std::size_t space_words = 0;   // peak words
+  std::size_t passes = 0;
+  bool fragmented = false;       // stream was not set-arrival
+  std::size_t swaps = 0;
+};
+
+SwapKCoverResult saha_getoor_kcover(EdgeStream& stream, SetId num_sets,
+                                    ElemId num_elems, std::uint32_t k);
+
+}  // namespace covstream

@@ -1,0 +1,115 @@
+#include "baselines/sieve_streaming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "util/bitvec.hpp"
+
+namespace covstream {
+namespace {
+
+struct Guess {
+  double value = 0.0;  // the OPT guess v
+  std::vector<SetId> solution;
+  BitVec covered;
+  std::size_t covered_count = 0;
+};
+
+}  // namespace
+
+SieveResult sieve_streaming_kcover(EdgeStream& stream, SetId num_sets,
+                                   ElemId num_elems, std::uint32_t k, double eps) {
+  COVSTREAM_CHECK(k >= 1);
+  COVSTREAM_CHECK(eps > 0.0 && eps < 1.0);
+  SieveResult result;
+
+  std::map<long, Guess> guesses;  // keyed by j with v = (1+eps)^j
+  double max_singleton = 0.0;
+  const double base = 1.0 + eps;
+
+  auto sync_guesses = [&] {
+    if (max_singleton <= 0.0) return;
+    const long j_low =
+        static_cast<long>(std::ceil(std::log(max_singleton) / std::log(base)));
+    const long j_high = static_cast<long>(
+        std::floor(std::log(2.0 * k * max_singleton) / std::log(base)));
+    // Drop guesses below the window; instantiate missing ones inside it.
+    for (auto it = guesses.begin(); it != guesses.end();) {
+      it = it->first < j_low ? guesses.erase(it) : std::next(it);
+    }
+    for (long j = j_low; j <= j_high; ++j) {
+      if (guesses.count(j)) continue;
+      Guess guess;
+      guess.value = std::pow(base, static_cast<double>(j));
+      guess.covered.resize(num_elems);
+      guesses.emplace(j, std::move(guess));
+    }
+  };
+
+  std::unordered_set<SetId> closed;
+  SetId current = kInvalidSet;
+  std::vector<ElemId> buffer;
+  std::size_t peak_words = 0;
+
+  auto offer = [&](SetId id, std::vector<ElemId>& elems) {
+    std::sort(elems.begin(), elems.end());
+    elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+    max_singleton = std::max(max_singleton, static_cast<double>(elems.size()));
+    sync_guesses();
+    for (auto& [j, guess] : guesses) {
+      if (guess.solution.size() >= k) continue;
+      std::size_t gain = 0;
+      for (const ElemId e : elems) {
+        if (!guess.covered.test(e)) ++gain;
+      }
+      const double needed = (guess.value / 2.0 -
+                             static_cast<double>(guess.covered_count)) /
+                            static_cast<double>(k - guess.solution.size());
+      if (static_cast<double>(gain) >= needed) {
+        for (const ElemId e : elems) {
+          if (guess.covered.set_if_clear(e)) ++guess.covered_count;
+        }
+        guess.solution.push_back(id);
+      }
+    }
+    std::size_t words = 4;
+    for (const auto& [j, guess] : guesses) {
+      words += guess.covered.space_words() + guess.solution.size() / 2 + 2;
+    }
+    peak_words = std::max(peak_words, words);
+  };
+
+  stream.reset();
+  Edge edge;
+  while (stream.next(edge)) {
+    if (edge.set != current) {
+      if (current != kInvalidSet) {
+        offer(current, buffer);
+        closed.insert(current);
+        buffer.clear();
+      }
+      if (closed.count(edge.set)) result.fragmented = true;
+      current = edge.set;
+    }
+    buffer.push_back(edge.elem);
+  }
+  if (current != kInvalidSet) offer(current, buffer);
+
+  const Guess* best = nullptr;
+  for (const auto& [j, guess] : guesses) {
+    if (best == nullptr || guess.covered_count > best->covered_count) best = &guess;
+  }
+  if (best != nullptr) {
+    result.solution = best->solution;
+    result.covered = best->covered_count;
+  }
+  result.active_guesses = guesses.size();
+  result.space_words = peak_words;
+  result.passes = stream.passes_started();
+  (void)num_sets;
+  return result;
+}
+
+}  // namespace covstream

@@ -1,0 +1,32 @@
+// Sieve-Streaming (Badanidiyuru–Mirzasoleiman–Karbasi–Krause, KDD'14)
+// specialized to coverage — the Table 1 baseline "k-cover, 1 pass, 1/2,
+// O~(n+m), set arrival".
+//
+// Maintains solutions for a geometric grid of OPT guesses v = (1+eps)^j in
+// [max_singleton, 2k*max_singleton]; a new set joins guess v's solution if
+// its marginal gain is at least (v/2 - current)/(k - |sol|). Guarantees
+// (1/2 - eps) OPT for monotone submodular f under set arrival. Space is the
+// per-guess covered bitmaps: O(m log(k)/eps) bits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/edge_stream.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+struct SieveResult {
+  std::vector<SetId> solution;
+  std::size_t covered = 0;      // true union of the winning guess's solution
+  std::size_t space_words = 0;  // peak
+  std::size_t passes = 0;
+  std::size_t active_guesses = 0;
+  bool fragmented = false;
+};
+
+SieveResult sieve_streaming_kcover(EdgeStream& stream, SetId num_sets,
+                                   ElemId num_elems, std::uint32_t k, double eps);
+
+}  // namespace covstream

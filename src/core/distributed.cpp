@@ -1,0 +1,78 @@
+#include "core/distributed.hpp"
+
+#include <utility>
+
+#include "parallel/parallel_for.hpp"
+
+namespace covstream {
+
+ShardedSketchBuilder::ShardedSketchBuilder(SketchParams params, std::size_t shards,
+                                           ThreadPool* pool)
+    : pool_(pool) {
+  COVSTREAM_CHECK(shards >= 1);
+  COVSTREAM_CHECK(params.dedupe_edges);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.emplace_back(params);
+  }
+}
+
+void ShardedSketchBuilder::update(std::size_t shard, const Edge& edge) {
+  COVSTREAM_CHECK(shard < shards_.size());
+  shards_[shard].update(edge);
+}
+
+void ShardedSketchBuilder::consume(EdgeStream& stream) {
+  // Deal edges into per-shard buffers, then flush the buffers to their
+  // shards (one task per shard: shard state is never shared across tasks).
+  constexpr std::size_t kChunk = 1 << 15;
+  std::vector<std::vector<Edge>> buffers(shards_.size());
+  std::size_t dealt = 0;
+  auto flush = [&] {
+    parallel_for_blocked(
+        pool_, shards_.size(),
+        [this, &buffers](std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            for (const Edge& edge : buffers[s]) shards_[s].update(edge);
+            buffers[s].clear();
+          }
+        },
+        /*grain=*/1);
+  };
+  stream.reset();
+  Edge edge;
+  while (stream.next(edge)) {
+    buffers[dealt % shards_.size()].push_back(edge);
+    if (++dealt % (kChunk * shards_.size()) == 0) flush();
+  }
+  flush();
+}
+
+std::size_t ShardedSketchBuilder::max_shard_space_words() const {
+  std::size_t peak = 0;
+  for (const SubsampleSketch& shard : shards_) {
+    peak = std::max(peak, shard.peak_space_words());
+  }
+  return peak;
+}
+
+SubsampleSketch ShardedSketchBuilder::finalize() {
+  COVSTREAM_CHECK(!shards_.empty());
+  // Reduction tree: merge pairs until one sketch remains (mirrors the
+  // log-depth combine of the distributed setting).
+  while (shards_.size() > 1) {
+    std::vector<SubsampleSketch> next;
+    next.reserve((shards_.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < shards_.size(); i += 2) {
+      shards_[i].merge_from(shards_[i + 1]);
+      next.push_back(std::move(shards_[i]));
+    }
+    if (shards_.size() % 2 == 1) next.push_back(std::move(shards_.back()));
+    shards_ = std::move(next);
+  }
+  SubsampleSketch result = std::move(shards_.front());
+  shards_.clear();
+  return result;
+}
+
+}  // namespace covstream

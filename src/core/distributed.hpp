@@ -1,0 +1,50 @@
+// Distributed coverage sketching (the paper's companion application [10]):
+// partition the edge stream across W workers, build one H<=n shard per
+// worker with the SAME hash seed, then reduce by merging — the merged sketch
+// is identical to the one a single pass over the whole stream would build,
+// so every Section 3 algorithm runs unchanged on it.
+//
+// ShardedSketchBuilder simulates the MapReduce round locally: updates are
+// routed to shards (round-robin or caller-directed), shards can be updated
+// concurrently via the ThreadPool, and finalize() performs the reduction
+// tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/subsample_sketch.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stream/edge_stream.hpp"
+
+namespace covstream {
+
+class ShardedSketchBuilder {
+ public:
+  /// `params.dedupe_edges` must be true (merge requires it).
+  ShardedSketchBuilder(SketchParams params, std::size_t shards,
+                       ThreadPool* pool = nullptr);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Routes an edge to a specific shard (the distributed setting: whichever
+  /// worker owns that part of the input).
+  void update(std::size_t shard, const Edge& edge);
+
+  /// Consumes a whole stream, dealing edges round-robin across shards
+  /// (chunked, and shard updates parallelized when a pool is given).
+  void consume(EdgeStream& stream);
+
+  /// Per-worker peak space (what each machine pays before the reduce).
+  std::size_t max_shard_space_words() const;
+
+  /// Reduces all shards into one sketch (pairwise merge tree). The builder
+  /// is consumed: shards are left empty.
+  SubsampleSketch finalize();
+
+ private:
+  std::vector<SubsampleSketch> shards_;
+  ThreadPool* pool_;
+};
+
+}  // namespace covstream

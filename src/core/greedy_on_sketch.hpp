@@ -1,0 +1,37 @@
+// Lazy greedy over a SketchView. This is "the greedy algorithm" every
+// streaming algorithm in Section 3 runs on the sketch: the classic
+// Nemhauser–Wolsey–Fisher 1-1/e greedy, implemented with lazy marginal-gain
+// evaluation (valid by submodularity of coverage), so large sketches solve in
+// near-linear time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/subsample_sketch.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+struct GreedyResult {
+  std::vector<SetId> solution;             // in pick order
+  std::vector<std::size_t> marginal_gains; // retained elements gained per pick
+  std::size_t covered = 0;                 // retained elements covered at end
+
+  double cover_fraction(std::size_t num_retained) const {
+    return num_retained == 0
+               ? 1.0
+               : static_cast<double>(covered) / static_cast<double>(num_retained);
+  }
+};
+
+/// Picks up to k sets maximizing coverage of retained elements. Stops early
+/// when no set has positive marginal gain.
+GreedyResult greedy_max_cover(const SketchView& view, std::uint32_t k);
+
+/// Picks up to `max_sets` sets, stopping as soon as `target_covered` retained
+/// elements are covered (used by Algorithm 4 and the multipass final stage).
+GreedyResult greedy_cover_target(const SketchView& view, std::size_t max_sets,
+                                 std::size_t target_covered);
+
+}  // namespace covstream

@@ -1,0 +1,95 @@
+#include "core/lower_bound.hpp"
+
+#include "core/subsample_sketch.hpp"
+#include "util/rng.hpp"
+
+namespace covstream {
+namespace {
+
+/// Does any set cover both elements 0 and 1 among the given per-set flags?
+bool any_set_covers_both(const std::vector<bool>& has_a,
+                         const std::vector<bool>& has_b) {
+  for (std::size_t i = 0; i < has_a.size(); ++i) {
+    if (has_a[i] && has_b[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool sketch_decides_intersection(const DisjointnessInstance& instance,
+                                 std::size_t edge_budget, std::uint64_t seed) {
+  SketchParams params;
+  params.num_sets = instance.graph.num_sets();
+  params.k = 1;
+  params.eps = 0.5;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = edge_budget;
+  params.enforce_degree_cap = false;  // k=1 cap is huge anyway; keep it exact
+  params.hash_seed = seed;
+  SubsampleSketch sketch(params);
+  for (const Edge& edge : instance.alice_then_bob_stream) sketch.update(edge);
+
+  const auto sets_a = sketch.sets_of(0);
+  const auto sets_b = sketch.sets_of(1);
+  // Opt_1 = 2 iff some set reaches both retained elements.
+  std::vector<bool> touches_a(instance.graph.num_sets(), false);
+  for (const SetId s : sets_a) touches_a[s] = true;
+  for (const SetId t : sets_b) {
+    if (touches_a[t]) return true;
+  }
+  return false;
+}
+
+bool reservoir_decides_intersection(const DisjointnessInstance& instance,
+                                    std::size_t edge_budget, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> reservoir;
+  reservoir.reserve(edge_budget);
+  std::size_t seen = 0;
+  for (const Edge& edge : instance.alice_then_bob_stream) {
+    ++seen;
+    if (reservoir.size() < edge_budget) {
+      reservoir.push_back(edge);
+    } else {
+      const std::size_t j = rng.next_below(static_cast<std::uint64_t>(seen));
+      if (j < edge_budget) reservoir[j] = edge;
+    }
+  }
+  std::vector<bool> has_a(instance.graph.num_sets(), false);
+  std::vector<bool> has_b(instance.graph.num_sets(), false);
+  for (const Edge& edge : reservoir) {
+    (edge.elem == 0 ? has_a : has_b)[edge.set] = true;
+  }
+  return any_set_covers_both(has_a, has_b);
+}
+
+DisjointnessErrors disjointness_error_rate(std::uint32_t bits, double density,
+                                           std::size_t edge_budget,
+                                           std::size_t trials, std::uint64_t seed) {
+  Rng rng(seed);
+  DisjointnessErrors errors;
+  errors.trials = trials;
+  std::size_t sketch_wrong = 0;
+  std::size_t reservoir_wrong = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const bool intersecting = (t % 2) == 0;
+    const DisjointnessInstance instance =
+        make_disjointness(bits, intersecting, density, rng.next());
+    if (sketch_decides_intersection(instance, edge_budget, rng.next()) !=
+        intersecting) {
+      ++sketch_wrong;
+    }
+    if (reservoir_decides_intersection(instance, edge_budget, rng.next()) !=
+        intersecting) {
+      ++reservoir_wrong;
+    }
+  }
+  errors.sketch_error =
+      static_cast<double>(sketch_wrong) / static_cast<double>(trials);
+  errors.reservoir_error =
+      static_cast<double>(reservoir_wrong) / static_cast<double>(trials);
+  return errors;
+}
+
+}  // namespace covstream

@@ -1,0 +1,38 @@
+// Appendix E / Theorem 1.2: any (1/2 + eps)-approximate streaming k-cover
+// algorithm needs Omega(n) space, via reduction from set disjointness.
+//
+// We realize the reduction empirically: DISJ inputs become 1-cover streams
+// (workloads/make_disjointness), and two budgeted one-pass deciders try to
+// distinguish Opt_1 = 2 (intersecting) from Opt_1 = 1 (disjoint):
+//  * sketch_decides_intersection — the H<=n sketch with an explicit edge
+//    budget; below ~deg(a)+deg(b) = Theta(n) edges it can never see both
+//    elements and degrades to guessing on intersecting inputs.
+//  * reservoir_decides_intersection — a uniform b-edge reservoir; its error
+//    decays smoothly as b approaches n, tracing the Omega(n) threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/generators.hpp"
+
+namespace covstream {
+
+/// True = "predicts the sets intersect" (Opt_1 = 2).
+bool sketch_decides_intersection(const DisjointnessInstance& instance,
+                                 std::size_t edge_budget, std::uint64_t seed);
+
+bool reservoir_decides_intersection(const DisjointnessInstance& instance,
+                                    std::size_t edge_budget, std::uint64_t seed);
+
+struct DisjointnessErrors {
+  double sketch_error = 0.0;     // fraction of trials misclassified
+  double reservoir_error = 0.0;
+  std::size_t trials = 0;
+};
+
+/// Balanced trials (half intersecting, half disjoint) at one budget.
+DisjointnessErrors disjointness_error_rate(std::uint32_t bits, double density,
+                                           std::size_t edge_budget,
+                                           std::size_t trials, std::uint64_t seed);
+
+}  // namespace covstream

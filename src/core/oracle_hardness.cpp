@@ -1,0 +1,123 @@
+#include "core/oracle_hardness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace covstream {
+
+PurificationInstance PurificationInstance::make(std::uint32_t n, std::uint32_t k,
+                                                double eps, std::uint64_t seed) {
+  COVSTREAM_CHECK(k >= 1 && k <= n);
+  COVSTREAM_CHECK(eps > 0.0 && eps < 1.0);
+  PurificationInstance instance;
+  instance.n_ = n;
+  instance.k_ = k;
+  instance.eps_ = eps;
+  instance.gold_.assign(n, false);
+  Rng rng(seed);
+  for (const std::uint32_t item : rng.sample_without_replacement(n, k)) {
+    instance.gold_[item] = true;
+  }
+  return instance;
+}
+
+std::size_t PurificationInstance::gold_count(
+    std::span<const std::uint32_t> items) const {
+  std::size_t count = 0;
+  for (const std::uint32_t item : items) {
+    COVSTREAM_CHECK(item < n_);
+    if (gold_[item]) ++count;
+  }
+  return count;
+}
+
+bool PurificationInstance::pure(std::span<const std::uint32_t> items) const {
+  const double expectation =
+      static_cast<double>(k_) * static_cast<double>(items.size()) / n_;
+  const double slack =
+      eps_ * (expectation + static_cast<double>(k_) * static_cast<double>(k_) / n_);
+  const double gold = static_cast<double>(gold_count(items));
+  return gold < expectation - slack || gold > expectation + slack;
+}
+
+double NoisyCoverageOracle::true_coverage(
+    std::span<const std::uint32_t> items) const {
+  if (items.empty()) return 0.0;
+  const double n = instance_->n();
+  const double k = instance_->k();
+  return k + (n / k) * static_cast<double>(instance_->gold_count(items));
+}
+
+double NoisyCoverageOracle::query(std::span<const std::uint32_t> items) {
+  ++queries_;
+  if (items.empty()) return 0.0;
+  if (instance_->pure(items)) {
+    ++pure_hits_;
+    return true_coverage(items);
+  }
+  return static_cast<double>(instance_->k()) + static_cast<double>(items.size());
+}
+
+double NoisyCoverageOracle::opt() const {
+  return static_cast<double>(instance_->k()) + static_cast<double>(instance_->n());
+}
+
+AttackResult attack_random_subsets(const PurificationInstance& instance,
+                                   std::size_t max_queries, std::uint64_t seed) {
+  Rng rng(seed);
+  NoisyCoverageOracle oracle(&instance);
+  AttackResult result;
+  std::vector<std::uint32_t> best;
+  double best_value = -1.0;
+  for (std::size_t q = 0; q < max_queries; ++q) {
+    std::vector<std::uint32_t> candidate =
+        rng.sample_without_replacement(instance.n(), instance.k());
+    const double value = oracle.query(candidate);
+    if (value > best_value) {
+      best_value = value;
+      best = std::move(candidate);
+    }
+  }
+  result.queries = oracle.queries();
+  result.pure_hits = oracle.pure_hits();
+  result.best_ratio = oracle.true_coverage(best) / oracle.opt();
+  return result;
+}
+
+AttackResult attack_greedy_oracle(const PurificationInstance& instance,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  NoisyCoverageOracle oracle(&instance);
+  std::vector<std::uint32_t> chosen;
+  std::vector<bool> used(instance.n(), false);
+  // Evaluate items in a random scan order each round so flat oracle answers
+  // produce a uniformly random pick (first-maximum tie break).
+  for (std::uint32_t step = 0; step < instance.k(); ++step) {
+    std::vector<std::uint32_t> order = rng.permutation(instance.n());
+    std::uint32_t best_item = kInvalidSet;
+    double best_value = -1.0;
+    std::vector<std::uint32_t> candidate = chosen;
+    candidate.push_back(0);
+    for (const std::uint32_t item : order) {
+      if (used[item]) continue;
+      candidate.back() = item;
+      const double value = oracle.query(candidate);
+      if (value > best_value) {
+        best_value = value;
+        best_item = item;
+      }
+    }
+    COVSTREAM_CHECK(best_item != kInvalidSet);
+    used[best_item] = true;
+    chosen.push_back(best_item);
+  }
+  AttackResult result;
+  result.queries = oracle.queries();
+  result.pure_hits = oracle.pure_hits();
+  result.best_ratio = oracle.true_coverage(chosen) / oracle.opt();
+  return result;
+}
+
+}  // namespace covstream

@@ -1,0 +1,90 @@
+// Appendix A / Theorem 1.3: black-box access to a (1 +- eps)-approximate
+// coverage oracle is NOT enough to approximate k-cover — in contrast to the
+// H<=n sketch, which exposes structure, not just values.
+//
+// The construction: n items, a hidden uniformly-random gold subset of size k.
+// The implied coverage instance has C(S) = k + (n/k) * Gold(S) for nonempty S
+// (k shared elements + n/k exclusive elements per gold set), so Opt_k = k+n.
+// The adversarial oracle answers k + |S| whenever the gold count of S is
+// within the Pure_eps dead zone — which, by concentration, is almost every
+// query — and only reveals C(S) on the exponentially-rare "impure" queries.
+//
+// The bench (appendixA_oracle) runs natural attack strategies against this
+// oracle and shows their achieved ratio pinned near the trivial 4k/n until
+// the query count explodes, reproducing the theorem's shape.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+class PurificationInstance {
+ public:
+  /// n items, k hidden gold ones (uniform without replacement), dead-zone eps.
+  static PurificationInstance make(std::uint32_t n, std::uint32_t k, double eps,
+                                   std::uint64_t seed);
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t k() const { return k_; }
+  double eps() const { return eps_; }
+
+  std::size_t gold_count(std::span<const std::uint32_t> items) const;
+
+  /// Pure_eps(S): 1 iff Gold(S) escapes the concentration dead zone
+  /// [k|S|/n - eps(k|S|/n + k^2/n), k|S|/n + eps(k|S|/n + k^2/n)].
+  bool pure(std::span<const std::uint32_t> items) const;
+
+  bool is_gold(std::uint32_t item) const { return gold_[item]; }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::uint32_t k_ = 0;
+  double eps_ = 0.0;
+  std::vector<bool> gold_;
+};
+
+/// The (1 +- 2eps)-approximate oracle C_eps' built from Pure_eps (Appendix A
+/// proof of Theorem 1.3). Query counting included.
+class NoisyCoverageOracle {
+ public:
+  explicit NoisyCoverageOracle(const PurificationInstance* instance)
+      : instance_(instance) {}
+
+  /// True coverage C(S) = k + (n/k) Gold(S) (0 for empty S).
+  double true_coverage(std::span<const std::uint32_t> items) const;
+
+  /// Oracle answer; increments the query counter.
+  double query(std::span<const std::uint32_t> items);
+
+  double opt() const;  // k + n
+
+  std::size_t queries() const { return queries_; }
+  std::size_t pure_hits() const { return pure_hits_; }
+
+ private:
+  const PurificationInstance* instance_;
+  std::size_t queries_ = 0;
+  std::size_t pure_hits_ = 0;  // queries where Pure_eps(S) = 1
+};
+
+struct AttackResult {
+  double best_ratio = 0.0;  // best C(S)/Opt over size-k sets committed to
+  std::size_t queries = 0;
+  std::size_t pure_hits = 0;
+};
+
+/// Repeatedly samples uniform size-k subsets and keeps the best oracle value.
+AttackResult attack_random_subsets(const PurificationInstance& instance,
+                                   std::size_t max_queries, std::uint64_t seed);
+
+/// Greedy through the oracle: grows the set item-by-item by best oracle
+/// marginal (Theorem 1.3's target: the oracle value is flat, so this learns
+/// nothing and lands on an essentially random set).
+AttackResult attack_greedy_oracle(const PurificationInstance& instance,
+                                  std::uint64_t seed);
+
+}  // namespace covstream

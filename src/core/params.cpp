@@ -1,0 +1,73 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace covstream {
+
+std::string to_string(BudgetMode mode) {
+  switch (mode) {
+    case BudgetMode::kPaper:
+      return "paper";
+    case BudgetMode::kPractical:
+      return "practical";
+    case BudgetMode::kExplicit:
+      return "explicit";
+  }
+  return "?";
+}
+
+void SketchParams::validate() const {
+  COVSTREAM_CHECK(num_sets > 0);
+  COVSTREAM_CHECK(k >= 1);
+  COVSTREAM_CHECK(eps > 0.0 && eps <= 1.0);
+  COVSTREAM_CHECK(delta_pp >= 1.0);
+  if (budget_mode == BudgetMode::kExplicit) COVSTREAM_CHECK(explicit_budget > 0);
+  if (budget_mode == BudgetMode::kPractical) COVSTREAM_CHECK(practical_c > 0.0);
+}
+
+std::size_t SketchParams::degree_cap() const {
+  if (!enforce_degree_cap) return std::numeric_limits<std::size_t>::max();
+  const double log_inv_eps = std::log(1.0 / eps);
+  const double cap =
+      std::ceil(static_cast<double>(num_sets) * log_inv_eps / (eps * k));
+  if (!(cap >= 1.0)) return 1;  // eps == 1 collapses the formula; keep >= 1
+  if (cap >= 1e18) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(cap);
+}
+
+double SketchParams::paper_delta() const {
+  // Number of geometric levels mu = log_{1/(1-eps)} m = ln m / ln(1/(1-eps)).
+  const double m = std::max<double>(4.0, static_cast<double>(elems_hint));
+  const double denom = std::log(1.0 / std::max(1e-12, 1.0 - eps));
+  const double mu = std::max(2.0, std::log(m) / std::max(1e-12, denom));
+  return delta_pp * std::max(1.0, std::log(mu));
+}
+
+std::size_t SketchParams::edge_budget() const {
+  const double n = static_cast<double>(num_sets);
+  double budget = 0.0;
+  switch (budget_mode) {
+    case BudgetMode::kPaper: {
+      const double log_inv_eps = std::max(1e-9, std::log(1.0 / eps));
+      const double log_n = std::max(1.0, std::log(n));
+      budget = 24.0 * n * paper_delta() * log_inv_eps * log_n /
+               ((1.0 - eps + 1e-12) * eps * eps * eps);
+      break;
+    }
+    case BudgetMode::kPractical: {
+      budget = practical_c * n * std::log2(n + 2.0) * std::log2(2.0 / eps);
+      break;
+    }
+    case BudgetMode::kExplicit:
+      // Explicit budgets are taken literally (space-sweep experiments need
+      // budgets below n); the theory modes are floored at n.
+      return explicit_budget;
+  }
+  budget = std::max(budget, n);
+  if (budget >= 1e18) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(budget);
+}
+
+}  // namespace covstream

@@ -1,0 +1,56 @@
+#include "core/sketch_ladder.hpp"
+
+#include "parallel/parallel_for.hpp"
+
+namespace covstream {
+namespace {
+constexpr std::size_t kChunkEdges = 1 << 15;
+}
+
+SketchLadder::SketchLadder(std::vector<SketchParams> rung_params, ThreadPool* pool)
+    : pool_(pool) {
+  rungs_.reserve(rung_params.size());
+  for (SketchParams& params : rung_params) {
+    rungs_.emplace_back(params);
+  }
+}
+
+void SketchLadder::update(const Edge& edge) {
+  for (SubsampleSketch& rung : rungs_) rung.update(edge);
+}
+
+void SketchLadder::update_chunk(const std::vector<Edge>& edges) {
+  parallel_for_blocked(
+      pool_, rungs_.size(),
+      [this, &edges](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          for (const Edge& edge : edges) rungs_[r].update(edge);
+        }
+      },
+      /*grain=*/1);
+}
+
+void SketchLadder::consume(EdgeStream& stream,
+                           const std::function<bool(const Edge&)>& filter) {
+  std::vector<Edge> chunk;
+  chunk.reserve(kChunkEdges);
+  stream.reset();
+  Edge edge;
+  while (stream.next(edge)) {
+    if (filter && !filter(edge)) continue;
+    chunk.push_back(edge);
+    if (chunk.size() >= kChunkEdges) {
+      update_chunk(chunk);
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) update_chunk(chunk);
+}
+
+std::size_t SketchLadder::peak_space_words() const {
+  std::size_t total = 0;
+  for (const SubsampleSketch& rung : rungs_) total += rung.peak_space_words();
+  return total;
+}
+
+}  // namespace covstream

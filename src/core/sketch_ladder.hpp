@@ -1,0 +1,49 @@
+// A ladder of H<=n sketches built in a single streaming pass.
+//
+// Algorithm 5 guesses the set-cover size k' over a geometric grid and "runs
+// these in parallel": every guess needs its own sketch (the degree cap
+// depends on k). SketchLadder feeds one pass of edges to all rungs — serially
+// edge-by-edge, or chunk-parallel across rungs with a ThreadPool (rungs are
+// independent, so parallel == serial bit-for-bit, DESIGN.md §5.5).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/subsample_sketch.hpp"
+#include "parallel/thread_pool.hpp"
+#include "stream/edge_stream.hpp"
+
+namespace covstream {
+
+class SketchLadder {
+ public:
+  explicit SketchLadder(std::vector<SketchParams> rung_params,
+                        ThreadPool* pool = nullptr);
+
+  std::size_t size() const { return rungs_.size(); }
+  SubsampleSketch& rung(std::size_t i) { return rungs_[i]; }
+  const SubsampleSketch& rung(std::size_t i) const { return rungs_[i]; }
+
+  /// Feeds one edge to every rung (serial path).
+  void update(const Edge& edge);
+
+  /// Feeds a buffered chunk of edges to every rung, one task per rung.
+  void update_chunk(const std::vector<Edge>& edges);
+
+  /// Runs one full pass of the stream through all rungs, chunk-buffered.
+  /// `filter` may be empty; otherwise edges failing it are skipped (used by
+  /// Algorithm 6 to hide covered elements).
+  void consume(EdgeStream& stream,
+               const std::function<bool(const Edge&)>& filter = {});
+
+  /// Sum of rung peak spaces (they coexist during the pass).
+  std::size_t peak_space_words() const;
+
+ private:
+  std::vector<SubsampleSketch> rungs_;
+  ThreadPool* pool_;
+};
+
+}  // namespace covstream

@@ -1,0 +1,58 @@
+#include "core/streaming_kcover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace covstream {
+
+SketchParams StreamingOptions::sketch_params(SetId num_sets, std::uint32_t k,
+                                             double eps_override,
+                                             double delta_override) const {
+  SketchParams params;
+  params.num_sets = num_sets;
+  params.k = std::max<std::uint32_t>(1, std::min<std::uint32_t>(k, num_sets));
+  params.eps = eps_override > 0.0 ? eps_override : eps;
+  if (delta_override > 0.0) {
+    params.delta_pp = delta_override;
+  } else if (delta_pp > 0.0) {
+    params.delta_pp = delta_pp;
+  } else {
+    // Algorithm 3's choice: delta'' = 2 + log n.
+    params.delta_pp = 2.0 + std::log(std::max<double>(2.0, num_sets));
+  }
+  params.elems_hint = elems_hint;
+  params.budget_mode = budget_mode;
+  params.practical_c = practical_c;
+  params.explicit_budget = explicit_budget;
+  params.enforce_degree_cap = enforce_degree_cap;
+  params.hash_seed = seed;
+  return params;
+}
+
+KCoverResult kcover_on_sketch(const SubsampleSketch& sketch, std::uint32_t k) {
+  const SketchView view = sketch.view();
+  const GreedyResult greedy = greedy_max_cover(view, k);
+  KCoverResult result;
+  result.solution = greedy.solution;
+  result.estimated_coverage =
+      view.p_star > 0.0 ? static_cast<double>(greedy.covered) / view.p_star : 0.0;
+  result.sketch_retained = sketch.retained_elements();
+  result.sketch_edges = sketch.stored_edges();
+  result.p_star = view.p_star;
+  result.space_words = sketch.peak_space_words();
+  result.final_space_words = sketch.space_words();
+  return result;
+}
+
+KCoverResult streaming_kcover(EdgeStream& stream, SetId num_sets, std::uint32_t k,
+                              const StreamingOptions& options) {
+  // Algorithm 3: eps' = eps / 12 drives the sketch; greedy runs on the view.
+  SketchParams params = options.sketch_params(num_sets, k, options.eps / 12.0);
+  SubsampleSketch sketch(params);
+  sketch.consume(stream);
+  KCoverResult result = kcover_on_sketch(sketch, k);
+  result.passes = stream.passes_started();
+  return result;
+}
+
+}  // namespace covstream

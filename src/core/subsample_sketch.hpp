@@ -1,0 +1,154 @@
+// The H<=n coverage sketch (Section 2 of the paper).
+//
+// Conceptually: hash every element to [0,1]; H_p keeps elements with hash at
+// most p; H'_p additionally caps each element's degree at
+// n*log(1/eps)/(eps*k); H<=n picks p = p* automatically so that the sketch
+// holds Theta(edge_budget) = O~(n) edges.
+//
+// Streaming realization (Algorithm 2, recast as max-hash eviction —
+// DESIGN.md §5.1): we retain the elements with the smallest hashes whose
+// capped edges fit the budget. On every arriving edge we (1) drop it if its
+// element hash is above the running cutoff (the element was evicted before),
+// (2) otherwise append it subject to the degree cap, and (3) evict the
+// retained element with the maximum hash while over budget. Eviction is
+// final: once the prefix below some hash exceeds the budget it exceeds it
+// forever, so the final state equals the offline H'_{p*} (Algorithm 1) with
+// p* = the largest hash prefix whose capped edges fit the budget.
+//
+// Update cost is O(1) amortized plus O(log R) per eviction (R = retained
+// elements) — the O~(1) update time claimed in Section 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.hpp"
+#include "graph/coverage_instance.hpp"
+#include "hash/hash64.hpp"
+#include "stream/edge_stream.hpp"
+#include "util/bitvec.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+/// Solver-friendly snapshot of a finished sketch: a CSR from sets to retained
+/// element slots, plus the realized threshold p*.
+struct SketchView {
+  SetId num_sets = 0;
+  std::size_t num_retained = 0;          // elements kept by the sketch
+  std::vector<std::size_t> set_offsets;  // num_sets + 1
+  std::vector<std::uint32_t> set_slots;  // retained-element slot per edge
+  double p_star = 1.0;                   // realized sampling threshold
+
+  std::size_t num_edges() const { return set_slots.size(); }
+
+  std::span<const std::uint32_t> slots_of(SetId set) const {
+    COVSTREAM_CHECK(set < num_sets);
+    return {set_slots.data() + set_offsets[set],
+            set_offsets[set + 1] - set_offsets[set]};
+  }
+
+  /// |Gamma(sketch, family)|: retained elements touched by the family.
+  std::size_t neighborhood_size(std::span<const SetId> family) const;
+
+  /// Coverage estimate |Gamma(sketch, family)| / p* (Lemma 2.2 form).
+  double estimate_coverage(std::span<const SetId> family) const;
+};
+
+class SubsampleSketch {
+ public:
+  explicit SubsampleSketch(SketchParams params);
+
+  /// Streaming update with one edge (O~(1)).
+  void update(const Edge& edge);
+
+  /// Convenience: runs one full pass of `stream` through update().
+  void consume(EdgeStream& stream);
+
+  /// Algorithm 1: offline construction (hash-sort elements, take the maximal
+  /// prefix fitting the budget). Used by tests to validate the streaming
+  /// path: both construct the same object for the same params/seed.
+  static SubsampleSketch build_offline(const CoverageInstance& instance,
+                                       SketchParams params);
+
+  const SketchParams& params() const { return params_; }
+
+  std::size_t retained_elements() const { return live_elements_; }
+  std::size_t stored_edges() const { return stored_edges_; }
+
+  /// Realized threshold p*: the largest retained unit hash (1.0 while nothing
+  /// has been evicted — then the sketch is the whole capped graph H'_1).
+  double p_star() const;
+
+  /// True if any element was ever evicted (i.e. p* < 1 meaningfully).
+  bool saturated() const { return cutoff_hash_ != ~0ULL; }
+
+  /// Sorted set ids stored for a retained element (empty span if the element
+  /// is not retained). Mainly for tests.
+  std::span<const SetId> sets_of(ElemId elem) const;
+
+  bool is_retained(ElemId elem) const;
+
+  /// Removes retained elements matching `pred` (with their edges) and
+  /// rebuilds the internal indexes. The result is still a valid hash-prefix
+  /// sketch of the surviving subgraph (used by Algorithm 6's merged marking
+  /// pass to drop just-covered elements at end of pass).
+  void purge(const std::function<bool(ElemId)>& pred);
+
+  /// Union-merges `other` into *this (both must share params and hash seed,
+  /// and have dedupe enabled). If the two sketches were built over two
+  /// partitions of a stream, the merge result equals the sketch of the whole
+  /// stream: the paper's companion distributed application — shards are
+  /// mergeable because the retained set is a min-hash prefix, and any
+  /// element evicted by either shard is provably outside the combined
+  /// prefix. See core/distributed.hpp for the shard driver.
+  void merge_from(const SubsampleSketch& other);
+
+  /// Builds the solver view (CSR set -> retained slots).
+  SketchView view() const;
+
+  /// Coverage estimate without materializing a view (linear scan; fine for
+  /// tests and small families).
+  double estimate_coverage(std::span<const SetId> family) const;
+
+  /// Analytic space in 8-byte words (DESIGN.md §5.2): per retained element
+  /// (hash + id + bookkeeping) and per stored edge (one SetId, packed 2 per
+  /// word), plus heap and map overhead.
+  std::size_t space_words() const;
+
+  /// Peak space over the run (eviction shrinks the sketch; peak is what a
+  /// space bound must pay for).
+  std::size_t peak_space_words() const { return peak_space_words_; }
+
+ private:
+  struct Slot {
+    ElemId elem = kInvalidElem;
+    std::uint64_t hash = 0;
+    bool alive = false;
+    std::vector<SetId> sets;  // sorted, capped at degree_cap
+  };
+
+  void evict_max();
+  void note_space();
+
+  SketchParams params_;
+  Mix64Hash hash_;
+  std::size_t degree_cap_ = 0;
+  std::size_t edge_budget_ = 0;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<ElemId, std::uint32_t> slot_of_;
+  // Max-heap of (hash, slot); one live entry per retained element.
+  std::priority_queue<std::pair<std::uint64_t, std::uint32_t>> by_hash_;
+  std::uint64_t cutoff_hash_ = ~0ULL;  // min hash ever evicted; admit below only
+  std::size_t stored_edges_ = 0;
+  std::size_t live_elements_ = 0;
+  std::size_t peak_space_words_ = 0;
+};
+
+}  // namespace covstream

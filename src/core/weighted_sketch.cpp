@@ -1,0 +1,222 @@
+#include "core/weighted_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitvec.hpp"
+
+namespace covstream {
+
+double WeightedSketchView::estimate_weighted_coverage(
+    std::span<const SetId> family) const {
+  BitVec touched(num_retained);
+  double total = 0.0;
+  for (const SetId set : family) {
+    for (const std::uint32_t slot : slots_of(set)) {
+      if (touched.set_if_clear(slot)) total += slot_value[slot];
+    }
+  }
+  return total;
+}
+
+WeightedGreedyResult weighted_greedy_max_cover(const WeightedSketchView& view,
+                                               std::uint32_t k) {
+  WeightedGreedyResult result;
+  if (k == 0 || view.num_sets == 0) return result;
+  BitVec covered(view.num_retained);
+  std::priority_queue<std::pair<double, SetId>> heap;
+  for (SetId s = 0; s < view.num_sets; ++s) {
+    double total = 0.0;
+    for (const std::uint32_t slot : view.slots_of(s)) total += view.slot_value[slot];
+    if (total > 0.0) heap.emplace(total, s);
+  }
+  auto current_gain = [&](SetId s) {
+    double gain = 0.0;
+    for (const std::uint32_t slot : view.slots_of(s)) {
+      if (!covered.test(slot)) gain += view.slot_value[slot];
+    }
+    return gain;
+  };
+  while (result.solution.size() < k && !heap.empty()) {
+    const auto [cached, set] = heap.top();
+    heap.pop();
+    const double gain = current_gain(set);
+    if (gain <= 0.0) continue;
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.emplace(gain, set);
+      continue;
+    }
+    for (const std::uint32_t slot : view.slots_of(set)) {
+      if (covered.set_if_clear(slot)) result.value += view.slot_value[slot];
+    }
+    result.solution.push_back(set);
+  }
+  return result;
+}
+
+WeightedSubsampleSketch::WeightedSubsampleSketch(SketchParams params)
+    : params_(params), hash_(params.hash_seed) {
+  params_.validate();
+  degree_cap_ = params_.degree_cap();
+  edge_budget_ = params_.edge_budget();
+}
+
+double WeightedSubsampleSketch::key_of(ElemId elem, double weight) const {
+  COVSTREAM_CHECK(weight > 0.0);
+  // key = -log(1 - u)/w is Exp(w)-distributed AND monotone increasing in the
+  // unit hash u, so for w == 1 the kept prefix coincides with the unweighted
+  // sketch's min-hash prefix (u in [0, 1), so the argument stays positive).
+  const double u = hash_to_unit(hash_(elem));
+  return -std::log1p(-u) / weight;
+}
+
+void WeightedSubsampleSketch::update(const WeightedEdge& edge) {
+  COVSTREAM_CHECK(edge.set < params_.num_sets);
+  const double key = key_of(edge.elem, edge.weight);
+  if (key >= cutoff_key_) return;
+
+  auto it = slot_of_.find(edge.elem);
+  std::uint32_t slot_index;
+  if (it == slot_of_.end()) {
+    if (free_slots_.empty()) {
+      slot_index = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot_index = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    Slot& slot = slots_[slot_index];
+    slot.elem = edge.elem;
+    slot.key = key;
+    slot.weight = edge.weight;
+    slot.alive = true;
+    slot.sets.clear();
+    slot_of_.emplace(edge.elem, slot_index);
+    by_key_.emplace(key, slot_index);
+    ++live_elements_;
+  } else {
+    slot_index = it->second;
+    // Weights must be a function of the element, not of the arrival.
+    COVSTREAM_CHECK(std::abs(slots_[slot_index].weight - edge.weight) <
+                    1e-9 * (1.0 + std::abs(edge.weight)));
+  }
+
+  Slot& slot = slots_[slot_index];
+  if (slot.sets.size() >= degree_cap_) return;
+  const auto pos = std::lower_bound(slot.sets.begin(), slot.sets.end(), edge.set);
+  if (pos != slot.sets.end() && *pos == edge.set) return;
+  slot.sets.insert(pos, edge.set);
+  ++stored_edges_;
+
+  while (stored_edges_ > edge_budget_ && live_elements_ > 1) {
+    evict_max();
+  }
+  const std::size_t words = space_words();
+  if (words > peak_space_words_) peak_space_words_ = words;
+}
+
+void WeightedSubsampleSketch::evict_max() {
+  COVSTREAM_CHECK(!by_key_.empty());
+  const auto [key, slot_index] = by_key_.top();
+  by_key_.pop();
+  Slot& slot = slots_[slot_index];
+  COVSTREAM_CHECK(slot.alive && slot.key == key);
+  cutoff_key_ = std::min(cutoff_key_, key);
+  stored_edges_ -= slot.sets.size();
+  slot_of_.erase(slot.elem);
+  slot.alive = false;
+  slot.sets.clear();
+  slot.sets.shrink_to_fit();
+  free_slots_.push_back(slot_index);
+  --live_elements_;
+}
+
+double WeightedSubsampleSketch::tau_star() const {
+  if (!saturated()) return kInfiniteKey;
+  if (by_key_.empty()) return cutoff_key_;
+  return by_key_.top().first;
+}
+
+WeightedSketchView WeightedSubsampleSketch::view() const {
+  WeightedSketchView view;
+  view.num_sets = params_.num_sets;
+  view.tau_star = tau_star();
+  view.set_offsets.assign(params_.num_sets + 1, 0);
+
+  std::vector<std::uint32_t> compact(slots_.size(), 0);
+  std::uint32_t next = 0;
+  view.slot_value.clear();
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].alive) continue;
+    compact[i] = next++;
+    // Horvitz–Thompson correction. Unsaturated sketch: inclusion prob. 1.
+    double value = slots_[i].weight;
+    if (saturated()) {
+      const double inclusion = 1.0 - std::exp(-slots_[i].weight * view.tau_star);
+      COVSTREAM_CHECK(inclusion > 0.0);
+      value = slots_[i].weight / inclusion;
+    }
+    view.slot_value.push_back(value);
+  }
+  view.num_retained = next;
+
+  for (const Slot& slot : slots_) {
+    if (!slot.alive) continue;
+    for (const SetId set : slot.sets) ++view.set_offsets[set + 1];
+  }
+  for (SetId s = 0; s < params_.num_sets; ++s) {
+    view.set_offsets[s + 1] += view.set_offsets[s];
+  }
+  view.set_slots.resize(stored_edges_);
+  std::vector<std::size_t> cursor(view.set_offsets.begin(), view.set_offsets.end() - 1);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (!slot.alive) continue;
+    for (const SetId set : slot.sets) {
+      view.set_slots[cursor[set]++] = compact[i];
+    }
+  }
+  return view;
+}
+
+double WeightedSubsampleSketch::estimate_weighted_coverage(
+    std::span<const SetId> family) const {
+  std::vector<bool> in_family(params_.num_sets, false);
+  for (const SetId set : family) in_family[set] = true;
+  const double tau = tau_star();
+  double total = 0.0;
+  for (const Slot& slot : slots_) {
+    if (!slot.alive) continue;
+    for (const SetId set : slot.sets) {
+      if (!in_family[set]) continue;
+      if (saturated()) {
+        total += slot.weight / (1.0 - std::exp(-slot.weight * tau));
+      } else {
+        total += slot.weight;
+      }
+      break;
+    }
+  }
+  return total;
+}
+
+std::size_t WeightedSubsampleSketch::space_words() const {
+  // Same layout as the unweighted sketch plus one weight word per element.
+  return 8 + live_elements_ * 8 + (stored_edges_ + 1) / 2;
+}
+
+WeightedKCoverResult streaming_weighted_kcover(
+    const std::vector<WeightedEdge>& stream, SetId num_sets, std::uint32_t k,
+    const SketchParams& params) {
+  COVSTREAM_CHECK(params.num_sets == num_sets);
+  WeightedSubsampleSketch sketch(params);
+  for (const WeightedEdge& edge : stream) sketch.update(edge);
+  const WeightedGreedyResult greedy = weighted_greedy_max_cover(sketch.view(), k);
+  WeightedKCoverResult result;
+  result.solution = greedy.solution;
+  result.estimated_value = greedy.value;
+  result.space_words = sketch.peak_space_words();
+  return result;
+}
+
+}  // namespace covstream

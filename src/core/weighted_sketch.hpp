@@ -1,0 +1,138 @@
+// Weighted coverage sketching — the natural extension the paper's conclusion
+// invites ("we hope this technique can be applied to ... other problems").
+//
+// Problem: elements carry weights w(e) > 0 and the objective is
+// C_w(S) = sum of w(e) over covered e (weighted max-k-cover). Uniform
+// subsampling wastes its budget on low-weight elements, so we replace the
+// uniform hash with an *exponential clock*: key(e) = -ln(u_e)/w(e) with
+// u_e = unit hash of e. Then P[key(e) <= tau] = 1 - exp(-w(e) tau): heavy
+// elements are kept preferentially, and keeping the smallest keys is a
+// weighted bottom-k (order) sample.
+//
+// Estimation uses the Horvitz–Thompson correction at the realized threshold
+// tau* (the largest retained key): each retained covered element contributes
+// w(e) / (1 - exp(-w(e) tau*)). For w == 1 the scheme degenerates exactly to
+// the unweighted H<=n sketch (keys are monotone in the hash), which the
+// tests exploit.
+//
+// The degree cap and edge budget carry over unchanged — the cap argument
+// (Lemma 2.4) never used uniformity, only that at most eps-fraction of the
+// *sampled* mass is affected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/greedy_on_sketch.hpp"
+#include "core/params.hpp"
+#include "hash/hash64.hpp"
+#include "stream/edge_stream.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+/// An edge with its element's weight (the weight must be consistent across
+/// all arrivals of the same element; checked in debug mode).
+struct WeightedEdge {
+  SetId set = 0;
+  ElemId elem = 0;
+  double weight = 1.0;
+};
+
+/// Solver view with Horvitz–Thompson-corrected weights per retained slot.
+struct WeightedSketchView {
+  SetId num_sets = 0;
+  std::size_t num_retained = 0;
+  std::vector<std::size_t> set_offsets;
+  std::vector<std::uint32_t> set_slots;
+  std::vector<double> slot_value;  // HT-corrected weight per slot
+  double tau_star = 0.0;           // realized key threshold
+
+  std::span<const std::uint32_t> slots_of(SetId set) const {
+    COVSTREAM_CHECK(set < num_sets);
+    return {set_slots.data() + set_offsets[set],
+            set_offsets[set + 1] - set_offsets[set]};
+  }
+
+  /// HT estimate of C_w(family).
+  double estimate_weighted_coverage(std::span<const SetId> family) const;
+};
+
+struct WeightedGreedyResult {
+  std::vector<SetId> solution;
+  double value = 0.0;  // HT-estimated weighted coverage
+};
+
+/// Lazy greedy maximizing HT-estimated weighted coverage on the view.
+WeightedGreedyResult weighted_greedy_max_cover(const WeightedSketchView& view,
+                                               std::uint32_t k);
+
+class WeightedSubsampleSketch {
+ public:
+  explicit WeightedSubsampleSketch(SketchParams params);
+
+  void update(const WeightedEdge& edge);
+
+  std::size_t retained_elements() const { return live_elements_; }
+  std::size_t stored_edges() const { return stored_edges_; }
+
+  /// Realized key threshold tau* (infinite — i.e. "keep everything" — until
+  /// the first eviction; reported as the max retained key then).
+  double tau_star() const;
+  bool saturated() const { return cutoff_key_ != kInfiniteKey; }
+
+  bool is_retained(ElemId elem) const { return slot_of_.count(elem) > 0; }
+
+  WeightedSketchView view() const;
+
+  /// HT estimate of the weighted coverage of a family (linear scan).
+  double estimate_weighted_coverage(std::span<const SetId> family) const;
+
+  std::size_t space_words() const;
+  std::size_t peak_space_words() const { return peak_space_words_; }
+
+ private:
+  static constexpr double kInfiniteKey = 1e300;
+
+  struct Slot {
+    ElemId elem = kInvalidElem;
+    double key = 0.0;
+    double weight = 1.0;
+    bool alive = false;
+    std::vector<SetId> sets;
+  };
+
+  double key_of(ElemId elem, double weight) const;
+  void evict_max();
+
+  SketchParams params_;
+  Mix64Hash hash_;
+  std::size_t degree_cap_ = 0;
+  std::size_t edge_budget_ = 0;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<ElemId, std::uint32_t> slot_of_;
+  std::priority_queue<std::pair<double, std::uint32_t>> by_key_;
+  double cutoff_key_ = kInfiniteKey;
+  std::size_t stored_edges_ = 0;
+  std::size_t live_elements_ = 0;
+  std::size_t peak_space_words_ = 0;
+};
+
+/// Single-pass streaming weighted k-cover: build the weighted sketch over a
+/// stream of weighted edges, then run weighted greedy.
+struct WeightedKCoverResult {
+  std::vector<SetId> solution;
+  double estimated_value = 0.0;
+  std::size_t space_words = 0;
+};
+WeightedKCoverResult streaming_weighted_kcover(
+    const std::vector<WeightedEdge>& stream, SetId num_sets, std::uint32_t k,
+    const SketchParams& params);
+
+}  // namespace covstream

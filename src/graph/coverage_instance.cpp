@@ -1,0 +1,73 @@
+#include "graph/coverage_instance.hpp"
+
+#include <algorithm>
+
+namespace covstream {
+
+CoverageInstance CoverageInstance::from_edges(SetId num_sets, ElemId num_elems,
+                                              std::vector<Edge> edges) {
+  for (const Edge& edge : edges) {
+    COVSTREAM_CHECK(edge.set < num_sets);
+    COVSTREAM_CHECK(edge.elem < num_elems);
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.set != b.set ? a.set < b.set : a.elem < b.elem;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  CoverageInstance instance;
+  instance.num_sets_ = num_sets;
+  instance.num_elems_ = num_elems;
+
+  instance.set_offsets_.assign(num_sets + 1, 0);
+  for (const Edge& edge : edges) ++instance.set_offsets_[edge.set + 1];
+  for (SetId s = 0; s < num_sets; ++s) {
+    instance.set_offsets_[s + 1] += instance.set_offsets_[s];
+  }
+  instance.set_elems_.reserve(edges.size());
+  for (const Edge& edge : edges) instance.set_elems_.push_back(edge.elem);
+
+  instance.elem_offsets_.assign(num_elems + 1, 0);
+  for (const Edge& edge : edges) ++instance.elem_offsets_[edge.elem + 1];
+  for (ElemId e = 0; e < num_elems; ++e) {
+    instance.elem_offsets_[e + 1] += instance.elem_offsets_[e];
+  }
+  instance.elem_sets_.resize(edges.size());
+  std::vector<std::size_t> cursor(instance.elem_offsets_.begin(),
+                                  instance.elem_offsets_.end() - 1);
+  for (const Edge& edge : edges) {
+    instance.elem_sets_[cursor[edge.elem]++] = edge.set;
+  }
+  return instance;
+}
+
+std::size_t CoverageInstance::coverage(std::span<const SetId> family) const {
+  return covered_mask(family).count();
+}
+
+BitVec CoverageInstance::covered_mask(std::span<const SetId> family) const {
+  BitVec mask(num_elems_);
+  for (const SetId set : family) {
+    for (const ElemId elem : elements_of(set)) mask.set(elem);
+  }
+  return mask;
+}
+
+std::size_t CoverageInstance::num_covered_by_all() const {
+  std::size_t covered = 0;
+  for (ElemId e = 0; e < num_elems_; ++e) {
+    if (elem_offsets_[e + 1] > elem_offsets_[e]) ++covered;
+  }
+  return covered;
+}
+
+std::vector<Edge> CoverageInstance::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (SetId s = 0; s < num_sets_; ++s) {
+    for (const ElemId e : elements_of(s)) edges.push_back({s, e});
+  }
+  return edges;
+}
+
+}  // namespace covstream

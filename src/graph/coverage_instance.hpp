@@ -1,0 +1,72 @@
+// Offline representation of a coverage instance: the bipartite graph G of the
+// paper's Preliminaries, stored as CSR in both directions (set -> elements and
+// element -> sets). Offline algorithms (exact greedy, brute force) and the
+// workload plumbing run on this; streaming algorithms only ever see an edge
+// stream derived from it.
+//
+// Elements are dense ids in [0, m). The streaming sketch itself accepts
+// arbitrary 64-bit element ids; density is a property of our generators, not
+// of the algorithms (DESIGN.md §5.3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+class CoverageInstance {
+ public:
+  CoverageInstance() = default;
+
+  /// Builds from an edge list. Duplicate (set, element) pairs are collapsed.
+  /// `num_elems` is the size of the ground set; ids must lie in [0, num_elems).
+  static CoverageInstance from_edges(SetId num_sets, ElemId num_elems,
+                                     std::vector<Edge> edges);
+
+  SetId num_sets() const { return num_sets_; }
+  ElemId num_elems() const { return num_elems_; }
+  std::size_t num_edges() const { return set_elems_.size(); }
+
+  std::span<const ElemId> elements_of(SetId set) const {
+    COVSTREAM_CHECK(set < num_sets_);
+    return {set_elems_.data() + set_offsets_[set],
+            set_offsets_[set + 1] - set_offsets_[set]};
+  }
+
+  std::span<const SetId> sets_of(ElemId elem) const {
+    COVSTREAM_CHECK(elem < num_elems_);
+    return {elem_sets_.data() + elem_offsets_[elem],
+            elem_offsets_[elem + 1] - elem_offsets_[elem]};
+  }
+
+  std::size_t set_size(SetId set) const { return elements_of(set).size(); }
+  std::size_t elem_degree(ElemId elem) const { return sets_of(elem).size(); }
+
+  /// Exact coverage function C(S) = |union of the family's sets|.
+  std::size_t coverage(std::span<const SetId> family) const;
+
+  /// Bitmask over [0, m) of elements covered by the family.
+  BitVec covered_mask(std::span<const SetId> family) const;
+
+  /// Number of elements with degree >= 1 (the paper assumes no isolated
+  /// elements; generators may still produce some, and callers that need the
+  /// assumption use this as the effective ground-set size).
+  std::size_t num_covered_by_all() const;
+
+  /// Materializes the deduplicated edge list (set-major order).
+  std::vector<Edge> edge_list() const;
+
+ private:
+  SetId num_sets_ = 0;
+  ElemId num_elems_ = 0;
+  std::vector<std::size_t> set_offsets_;   // n + 1
+  std::vector<ElemId> set_elems_;          // grouped by set, sorted
+  std::vector<std::size_t> elem_offsets_;  // m + 1
+  std::vector<SetId> elem_sets_;           // grouped by element, sorted
+};
+
+}  // namespace covstream

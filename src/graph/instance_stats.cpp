@@ -1,0 +1,43 @@
+#include "graph/instance_stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace covstream {
+
+InstanceStats compute_stats(const CoverageInstance& instance) {
+  InstanceStats stats;
+  stats.num_sets = instance.num_sets();
+  stats.num_elems = instance.num_elems();
+  stats.num_edges = instance.num_edges();
+  for (SetId s = 0; s < instance.num_sets(); ++s) {
+    stats.max_set_size = std::max(stats.max_set_size, instance.set_size(s));
+  }
+  for (ElemId e = 0; e < instance.num_elems(); ++e) {
+    const std::size_t degree = instance.elem_degree(e);
+    stats.max_elem_degree = std::max(stats.max_elem_degree, degree);
+    if (degree == 0) ++stats.isolated_elems;
+  }
+  if (instance.num_sets() > 0) {
+    stats.avg_set_size =
+        static_cast<double>(stats.num_edges) / static_cast<double>(instance.num_sets());
+  }
+  if (instance.num_elems() > 0) {
+    stats.avg_elem_degree = static_cast<double>(stats.num_edges) /
+                            static_cast<double>(instance.num_elems());
+  }
+  return stats;
+}
+
+std::string InstanceStats::to_string() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof buffer,
+                "n=%u m=%llu edges=%zu avg|S|=%.1f max|S|=%zu avgdeg=%.2f "
+                "maxdeg=%zu isolated=%zu",
+                num_sets, static_cast<unsigned long long>(num_elems), num_edges,
+                avg_set_size, max_set_size, avg_elem_degree, max_elem_degree,
+                isolated_elems);
+  return buffer;
+}
+
+}  // namespace covstream

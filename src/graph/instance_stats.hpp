@@ -1,0 +1,27 @@
+// Summary statistics of a coverage instance, printed by examples/benches so
+// every experiment records the workload it ran on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/coverage_instance.hpp"
+
+namespace covstream {
+
+struct InstanceStats {
+  SetId num_sets = 0;
+  ElemId num_elems = 0;
+  std::size_t num_edges = 0;
+  std::size_t max_set_size = 0;
+  std::size_t max_elem_degree = 0;
+  double avg_set_size = 0.0;
+  double avg_elem_degree = 0.0;
+  std::size_t isolated_elems = 0;  // degree-0 elements (paper assumes none)
+
+  std::string to_string() const;
+};
+
+InstanceStats compute_stats(const CoverageInstance& instance);
+
+}  // namespace covstream

@@ -1,0 +1,51 @@
+// 64-bit hashing of element ids.
+//
+// The sketch of Section 2 needs a hash h : E -> [0,1] that behaves uniformly
+// and independently per element. We provide two families:
+//  * Mix64Hash  — a seeded SplitMix64/Murmur3-finalizer mixer. Fast, and in
+//    practice indistinguishable from a random function on structured ids.
+//  * TabulationHash (hash/tabulation.hpp) — 3-independent simple tabulation,
+//    for tests that want a provable independence family.
+//
+// Unit-interval comparisons are done on the raw 64-bit hash (h(u) <= p iff
+// hash64(u) <= p * 2^64), which avoids double rounding in the hot path.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+/// Stateless strong 64->64 bit mixer (Murmur3 fmix64 variant, xor-seeded).
+std::uint64_t mix64(std::uint64_t x);
+
+/// Seeded element hash; the seed is the "choice of random function h".
+class Mix64Hash {
+ public:
+  explicit Mix64Hash(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::uint64_t operator()(ElemId id) const {
+    return mix64(id ^ (seed_ * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Maps a raw 64-bit hash to a double in [0, 1).
+inline double hash_to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Threshold for "h(u) <= p" comparisons performed on raw hashes.
+/// Saturates at 2^64-1 for p >= 1.
+inline std::uint64_t unit_to_threshold(double p) {
+  if (p >= 1.0) return ~0ULL;
+  if (p <= 0.0) return 0;
+  return static_cast<std::uint64_t>(p * 0x1.0p64);
+}
+
+}  // namespace covstream

@@ -1,0 +1,14 @@
+#include "hash/tabulation.hpp"
+
+#include "util/rng.hpp"
+
+namespace covstream {
+
+TabulationHash::TabulationHash(std::uint64_t seed) {
+  Rng rng(seed ^ 0x7ab7ab7ab7ab7ab7ULL);
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = rng.next();
+  }
+}
+
+}  // namespace covstream

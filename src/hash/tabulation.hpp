@@ -1,0 +1,30 @@
+// Simple tabulation hashing (Zobrist/Carter-Wegman style): 8 lookup tables of
+// 256 random 64-bit words, XORed per input byte. 3-independent, and known to
+// behave like full randomness for many sampling applications (Patrascu &
+// Thorup). Used in tests as a provably-independent alternative to Mix64Hash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+class TabulationHash {
+ public:
+  explicit TabulationHash(std::uint64_t seed = 0);
+
+  std::uint64_t operator()(ElemId id) const {
+    std::uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= tables_[byte][(id >> (8 * byte)) & 0xff];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+}  // namespace covstream

@@ -1,0 +1,27 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+
+namespace covstream {
+
+void parallel_for_blocked(ThreadPool* pool, std::size_t count,
+                          const std::function<void(std::size_t, std::size_t)>& body,
+                          std::size_t grain) {
+  if (count == 0) return;
+  if (pool == nullptr || pool->thread_count() <= 1 || count <= grain) {
+    body(0, count);
+    return;
+  }
+  const std::size_t chunks =
+      std::min(pool->thread_count() * 4, (count + grain - 1) / grain);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunk_size;
+    const std::size_t end = std::min(count, begin + chunk_size);
+    if (begin >= end) break;
+    pool->submit([&body, begin, end] { body(begin, end); });
+  }
+  pool->wait_idle();
+}
+
+}  // namespace covstream

@@ -1,0 +1,20 @@
+// Blocked parallel_for over an index range, built on ThreadPool. The body
+// receives [begin, end) chunks; chunk boundaries are deterministic, so
+// reductions that combine per-chunk results in chunk order are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.hpp"
+
+namespace covstream {
+
+/// Runs body(begin, end) over ~thread_count chunks of [0, count). Blocks
+/// until complete. With pool == nullptr (or count below `grain`), runs
+/// serially in the calling thread.
+void parallel_for_blocked(ThreadPool* pool, std::size_t count,
+                          const std::function<void(std::size_t, std::size_t)>& body,
+                          std::size_t grain = 1024);
+
+}  // namespace covstream

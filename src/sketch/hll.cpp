@@ -1,0 +1,50 @@
+#include "sketch/hll.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace covstream {
+
+HllSketch::HllSketch(int precision, std::uint64_t seed)
+    : precision_(precision), seed_(seed), hash_(seed) {
+  COVSTREAM_CHECK(precision_ >= 4 && precision_ <= 16);
+  registers_.assign(std::size_t{1} << precision_, 0);
+}
+
+void HllSketch::add(ElemId elem) {
+  const std::uint64_t h = hash_(elem);
+  const std::size_t index = h >> (64 - precision_);
+  const std::uint64_t rest = (h << precision_) | (std::uint64_t{1} << (precision_ - 1));
+  const std::uint8_t rank = static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+  if (rank > registers_[index]) registers_[index] = rank;
+}
+
+double HllSketch::estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double inv_sum = 0.0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t reg : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  const double alpha =
+      registers_.size() == 16 ? 0.673
+      : registers_.size() == 32 ? 0.697
+      : registers_.size() == 64 ? 0.709
+                                : 0.7213 / (1.0 + 1.079 / m);
+  double estimate = alpha * m * m / inv_sum;
+  if (estimate <= 2.5 * m && zeros != 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));  // linear counting
+  }
+  return estimate;
+}
+
+void HllSketch::merge(const HllSketch& other) {
+  COVSTREAM_CHECK(precision_ == other.precision_);
+  COVSTREAM_CHECK(seed_ == other.seed_);
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) registers_[i] = other.registers_[i];
+  }
+}
+
+}  // namespace covstream

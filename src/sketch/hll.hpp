@@ -1,0 +1,33 @@
+// HyperLogLog distinct counter, used as a smaller-but-biased comparison point
+// to KMV in the Appendix D space study. Standard Flajolet et al. estimator
+// with linear-counting small-range correction; mergeable by register-max.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash64.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+class HllSketch {
+ public:
+  /// `precision` p in [4, 16]: 2^p one-byte registers.
+  HllSketch(int precision, std::uint64_t seed);
+
+  void add(ElemId elem);
+  double estimate() const;
+  void merge(const HllSketch& other);
+
+  int precision() const { return precision_; }
+  std::size_t space_words() const { return 2 + registers_.size() / 8; }
+
+ private:
+  int precision_;
+  std::uint64_t seed_;
+  Mix64Hash hash_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace covstream

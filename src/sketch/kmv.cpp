@@ -1,0 +1,42 @@
+#include "sketch/kmv.hpp"
+
+namespace covstream {
+
+KmvSketch::KmvSketch(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), seed_(seed), hash_(seed) {
+  COVSTREAM_CHECK(capacity_ >= 2);
+}
+
+void KmvSketch::add(ElemId elem) {
+  const std::uint64_t h = hash_(elem);
+  if (kept_.size() < capacity_) {
+    kept_.insert(h);
+    return;
+  }
+  const std::uint64_t largest = *kept_.rbegin();
+  if (h >= largest) return;  // not among the t smallest (or duplicate)
+  if (kept_.insert(h).second) {
+    kept_.erase(std::prev(kept_.end()));
+  }
+}
+
+double KmvSketch::estimate() const {
+  if (kept_.size() < capacity_) return static_cast<double>(kept_.size());
+  const double u_t = hash_to_unit(*kept_.rbegin());
+  COVSTREAM_CHECK(u_t > 0.0);
+  return static_cast<double>(capacity_ - 1) / u_t;
+}
+
+void KmvSketch::merge(const KmvSketch& other) {
+  COVSTREAM_CHECK(seed_ == other.seed_);
+  COVSTREAM_CHECK(capacity_ == other.capacity_);
+  for (const std::uint64_t h : other.kept_) {
+    if (kept_.size() < capacity_) {
+      kept_.insert(h);
+    } else if (h < *kept_.rbegin() && kept_.insert(h).second) {
+      kept_.erase(std::prev(kept_.end()));
+    }
+  }
+}
+
+}  // namespace covstream

@@ -1,0 +1,49 @@
+// K-Minimum-Values distinct-count sketch — our concrete stand-in for the
+// `l0` sketch of Cormode et al. [16] used by the Appendix D baseline.
+//
+// Keeps the `t` smallest distinct hash values seen. With t = O(1/eps^2) the
+// estimator (t-1)/u_(t) is a (1 +- eps) approximation of the number of
+// distinct insertions w.h.p., and two sketches over the same hash function
+// merge losslessly (union semantics) — exactly the properties Appendix D
+// needs to estimate the coverage of a family by merging per-set sketches.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "hash/hash64.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+class KmvSketch {
+ public:
+  /// `capacity` is t; `seed` selects the shared hash function (sketches must
+  /// share a seed to be mergeable).
+  KmvSketch(std::size_t capacity, std::uint64_t seed);
+
+  void add(ElemId elem);
+
+  /// Estimated number of distinct elements added. Exact while fewer than
+  /// `capacity` distinct hashes have been seen.
+  double estimate() const;
+
+  /// True count is still exact (sketch has not saturated).
+  bool is_exact() const { return kept_.size() < capacity_; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Union-merges `other` into *this. Seeds and capacities must match.
+  void merge(const KmvSketch& other);
+
+  std::size_t space_words() const { return 2 + kept_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seed_;
+  Mix64Hash hash_;
+  std::set<std::uint64_t> kept_;  // ordered ascending; size <= capacity_
+};
+
+}  // namespace covstream

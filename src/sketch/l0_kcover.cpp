@@ -1,0 +1,100 @@
+#include "sketch/l0_kcover.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace covstream {
+
+L0KCover::L0KCover(SetId num_sets, std::size_t sketch_capacity, std::uint64_t seed)
+    : num_sets_(num_sets), seed_(seed) {
+  per_set_.reserve(num_sets);
+  for (SetId s = 0; s < num_sets; ++s) {
+    per_set_.emplace_back(sketch_capacity, seed);
+  }
+}
+
+std::size_t L0KCover::capacity_for(SetId num_sets, std::uint32_t k, double eps) {
+  COVSTREAM_CHECK(eps > 0.0 && eps <= 1.0);
+  // log (n choose k) <= k log n; capacity ~ log(choices)/eps^2.
+  const double logn = std::log(std::max<double>(2.0, num_sets));
+  const double t = static_cast<double>(k) * logn / (eps * eps);
+  return std::max<std::size_t>(8, static_cast<std::size_t>(t));
+}
+
+void L0KCover::update(const Edge& edge) {
+  COVSTREAM_CHECK(edge.set < num_sets_);
+  per_set_[edge.set].add(edge.elem);
+}
+
+void L0KCover::consume(EdgeStream& stream) {
+  run_pass(stream, [this](const Edge& edge) { update(edge); });
+}
+
+double L0KCover::estimate_coverage(std::span<const SetId> family) const {
+  if (family.empty()) return 0.0;
+  KmvSketch merged = per_set_[family[0]];
+  for (std::size_t i = 1; i < family.size(); ++i) {
+    merged.merge(per_set_[family[i]]);
+  }
+  return merged.estimate();
+}
+
+std::vector<SetId> L0KCover::solve_greedy(std::uint32_t k) const {
+  std::vector<SetId> solution;
+  std::vector<bool> used(num_sets_, false);
+  KmvSketch merged(per_set_.empty() ? KmvSketch(8, seed_) : per_set_[0]);
+  for (std::uint32_t step = 0; step < k && step < num_sets_; ++step) {
+    SetId best = kInvalidSet;
+    double best_value = -1.0;
+    for (SetId s = 0; s < num_sets_; ++s) {
+      if (used[s]) continue;
+      KmvSketch candidate = step == 0 ? per_set_[s] : merged;
+      if (step != 0) candidate.merge(per_set_[s]);
+      const double value = candidate.estimate();
+      if (value > best_value) {
+        best_value = value;
+        best = s;
+      }
+    }
+    COVSTREAM_CHECK(best != kInvalidSet);
+    used[best] = true;
+    solution.push_back(best);
+    if (solution.size() == 1) {
+      merged = per_set_[best];
+    } else {
+      merged.merge(per_set_[best]);
+    }
+  }
+  return solution;
+}
+
+std::vector<SetId> L0KCover::solve_exhaustive(std::uint32_t k) const {
+  COVSTREAM_CHECK(k >= 1 && k <= num_sets_);
+  COVSTREAM_CHECK(num_sets_ <= 32);  // combinatorial guard
+  std::vector<SetId> indices(k), best;
+  double best_value = -1.0;
+  // Iterate k-combinations of [0, n) in lexicographic order.
+  for (std::uint32_t i = 0; i < k; ++i) indices[i] = i;
+  while (true) {
+    const double value = estimate_coverage(indices);
+    if (value > best_value) {
+      best_value = value;
+      best = indices;
+    }
+    // Advance to next combination.
+    int pos = static_cast<int>(k) - 1;
+    while (pos >= 0 && indices[pos] == num_sets_ - k + pos) --pos;
+    if (pos < 0) break;
+    ++indices[pos];
+    for (std::uint32_t j = pos + 1; j < k; ++j) indices[j] = indices[j - 1] + 1;
+  }
+  return best;
+}
+
+std::size_t L0KCover::space_words() const {
+  std::size_t total = 1;
+  for (const KmvSketch& sketch : per_set_) total += sketch.space_words();
+  return total;
+}
+
+}  // namespace covstream

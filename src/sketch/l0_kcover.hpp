@@ -1,0 +1,51 @@
+// Appendix D baseline (Theorem D.2): maintain one mergeable distinct-count
+// (KMV) sketch per set over the stream, then solve k-cover by querying merged
+// sketches — a (1 +- eps) coverage oracle realized in O~(nk) space.
+//
+// Two solvers are provided:
+//  * exhaustive: tries all (n choose k) families (the Theorem D.2 algorithm;
+//    exponential time, only for tiny instances), and
+//  * greedy-by-oracle: iteratively grows the family by the best merged
+//    estimate. This is NOT covered by Theorem D.2's guarantee (Theorem 1.3
+//    is exactly about such black-box oracle use) but is the natural practical
+//    heuristic — the benches contrast both against the H<=n sketch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/kmv.hpp"
+#include "stream/edge_stream.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+class L0KCover {
+ public:
+  /// `sketch_capacity` is the per-set KMV size t. Appendix D sets
+  /// t = O(k log n / eps^2) so the union bound over (n choose k) families
+  /// holds; total space is then O~(nk).
+  L0KCover(SetId num_sets, std::size_t sketch_capacity, std::uint64_t seed);
+
+  /// Appendix-D-style capacity for given (n, k, eps).
+  static std::size_t capacity_for(SetId num_sets, std::uint32_t k, double eps);
+
+  void update(const Edge& edge);
+  void consume(EdgeStream& stream);
+
+  /// (1 +- eps)-style oracle: estimated coverage of a family.
+  double estimate_coverage(std::span<const SetId> family) const;
+
+  std::vector<SetId> solve_greedy(std::uint32_t k) const;
+  std::vector<SetId> solve_exhaustive(std::uint32_t k) const;  // tiny n only
+
+  std::size_t space_words() const;
+
+ private:
+  SetId num_sets_;
+  std::uint64_t seed_;
+  std::vector<KmvSketch> per_set_;
+};
+
+}  // namespace covstream

@@ -1,0 +1,88 @@
+#include "stream/arrival_order.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace covstream {
+
+std::string to_string(ArrivalOrder order) {
+  switch (order) {
+    case ArrivalOrder::kSetMajor:
+      return "set-major";
+    case ArrivalOrder::kSetMajorShuffled:
+      return "set-arrival";
+    case ArrivalOrder::kRandom:
+      return "random";
+    case ArrivalOrder::kElementMajor:
+      return "elem-major";
+    case ArrivalOrder::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+std::vector<Edge> ordered_edges(const CoverageInstance& instance, ArrivalOrder order,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(instance.num_edges());
+  switch (order) {
+    case ArrivalOrder::kSetMajor: {
+      edges = instance.edge_list();
+      break;
+    }
+    case ArrivalOrder::kSetMajorShuffled: {
+      std::vector<std::uint32_t> set_order = rng.permutation(instance.num_sets());
+      for (const SetId s : set_order) {
+        for (const ElemId e : instance.elements_of(s)) edges.push_back({s, e});
+      }
+      break;
+    }
+    case ArrivalOrder::kRandom: {
+      edges = instance.edge_list();
+      rng.shuffle(edges);
+      break;
+    }
+    case ArrivalOrder::kElementMajor: {
+      for (ElemId e = 0; e < instance.num_elems(); ++e) {
+        for (const SetId s : instance.sets_of(e)) edges.push_back({s, e});
+      }
+      break;
+    }
+    case ArrivalOrder::kRoundRobin: {
+      // Deal one edge per set per round until all sets are exhausted.
+      std::size_t round = 0;
+      bool emitted = true;
+      while (emitted) {
+        emitted = false;
+        for (SetId s = 0; s < instance.num_sets(); ++s) {
+          const auto elems = instance.elements_of(s);
+          if (round < elems.size()) {
+            edges.push_back({s, elems[round]});
+            emitted = true;
+          }
+        }
+        ++round;
+      }
+      break;
+    }
+  }
+  COVSTREAM_CHECK(edges.size() == instance.num_edges());
+  return edges;
+}
+
+bool is_set_arrival(const std::vector<Edge>& edges) {
+  std::unordered_set<SetId> closed;
+  SetId current = kInvalidSet;
+  for (const Edge& edge : edges) {
+    if (edge.set == current) continue;
+    if (closed.count(edge.set)) return false;  // set resumed after closing
+    if (current != kInvalidSet) closed.insert(current);
+    current = edge.set;
+  }
+  return true;
+}
+
+}  // namespace covstream

@@ -1,0 +1,38 @@
+// Arrival orders for the edge stream.
+//
+// The paper's guarantees hold for *arbitrary* order; baselines from the
+// set-arrival literature (Saha–Getoor, Sieve-Streaming) are only defined when
+// each set's edges arrive contiguously. These orders let benches demonstrate
+// both facts: our algorithms are order-oblivious, the baselines are not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/coverage_instance.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+enum class ArrivalOrder {
+  kSetMajor,          // all edges of set 0, then set 1, ... (= set-arrival)
+  kSetMajorShuffled,  // set-arrival with random set order (typical baseline input)
+  kRandom,            // uniformly random edge order (pure edge arrival)
+  kElementMajor,      // grouped by element (worst case for set-arrival algos)
+  kRoundRobin,        // interleaves sets one edge at a time (adversarial for
+                      // swap-based streaming: every set trickles in)
+};
+
+std::string to_string(ArrivalOrder order);
+
+/// Materializes the instance's edges in the requested order. `seed` drives
+/// the shuffles (unused for deterministic orders).
+std::vector<Edge> ordered_edges(const CoverageInstance& instance, ArrivalOrder order,
+                                std::uint64_t seed);
+
+/// True iff each set's edges are contiguous in `edges` (the precondition for
+/// set-arrival baselines).
+bool is_set_arrival(const std::vector<Edge>& edges);
+
+}  // namespace covstream

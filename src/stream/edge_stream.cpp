@@ -1,0 +1,9 @@
+#include "stream/edge_stream.hpp"
+
+// VectorStream is fully inline; this TU anchors the EdgeStream vtable.
+
+namespace covstream {
+
+// (intentionally empty)
+
+}  // namespace covstream

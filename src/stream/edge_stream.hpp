@@ -1,0 +1,81 @@
+// The edge-arrival streaming model (paper §1.1): information arrives as
+// (set, element) membership pairs in arbitrary order. EdgeStream is the only
+// interface streaming algorithms get; multi-pass algorithms call reset() to
+// begin another pass, and pass counts are tracked so benches can report the
+// "# passes" column of Table 1.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  /// Rewinds to the beginning. The first pass also requires a reset() (this
+  /// makes "number of resets == number of passes" hold trivially).
+  virtual void reset() = 0;
+
+  /// Produces the next edge of the current pass; false at end of pass.
+  virtual bool next(Edge& edge) = 0;
+
+  /// Total edges per pass, if known (0 if unknown).
+  virtual std::size_t edges_per_pass() const = 0;
+
+  /// Number of passes started so far (== number of reset() calls).
+  std::size_t passes_started() const { return passes_; }
+
+ protected:
+  void note_pass() { ++passes_; }
+
+ private:
+  std::size_t passes_ = 0;
+};
+
+/// An edge stream over an in-memory edge list (the workhorse for tests and
+/// benches; arrival order is whatever order the vector is in — see
+/// stream/arrival_order.hpp).
+class VectorStream final : public EdgeStream {
+ public:
+  explicit VectorStream(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+
+  void reset() override {
+    cursor_ = 0;
+    note_pass();
+  }
+
+  bool next(Edge& edge) override {
+    if (cursor_ >= edges_.size()) return false;
+    edge = edges_[cursor_++];
+    return true;
+  }
+
+  std::size_t edges_per_pass() const override { return edges_.size(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::vector<Edge> edges_;
+  std::size_t cursor_ = 0;
+};
+
+/// Runs one full pass, invoking `consume(edge)` per edge. Returns the number
+/// of edges delivered.
+template <typename Consumer>
+std::size_t run_pass(EdgeStream& stream, Consumer&& consume) {
+  stream.reset();
+  Edge edge;
+  std::size_t delivered = 0;
+  while (stream.next(edge)) {
+    consume(edge);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace covstream

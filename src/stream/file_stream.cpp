@@ -1,0 +1,111 @@
+#include "stream/file_stream.hpp"
+
+#include <cinttypes>
+#include <cstring>
+#include <vector>
+
+namespace covstream {
+namespace {
+
+constexpr char kMagic[8] = {'c', 'o', 'v', 's', 'b', 'i', 'n', '1'};
+
+}  // namespace
+
+TextFileStream::TextFileStream(std::string path) : path_(std::move(path)) {}
+
+TextFileStream::~TextFileStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TextFileStream::reset() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "r");
+  COVSTREAM_CHECK(file_ != nullptr);
+  malformed_ = 0;
+  note_pass();
+}
+
+bool TextFileStream::next(Edge& edge) {
+  COVSTREAM_CHECK(file_ != nullptr);  // reset() starts the pass
+  char line[256];
+  while (std::fgets(line, sizeof line, file_) != nullptr) {
+    const char* cursor = line;
+    while (*cursor == ' ' || *cursor == '\t') ++cursor;
+    if (*cursor == '#' || *cursor == '\n' || *cursor == '\0') continue;
+    unsigned long long set = 0, elem = 0;
+    if (std::sscanf(cursor, "%llu %llu", &set, &elem) == 2 &&
+        set <= static_cast<unsigned long long>(kInvalidSet)) {
+      edge.set = static_cast<SetId>(set);
+      edge.elem = static_cast<ElemId>(elem);
+      return true;
+    }
+    ++malformed_;
+  }
+  return false;
+}
+
+BinaryFileStream::BinaryFileStream(std::string path) : path_(std::move(path)) {
+  // Pre-scan the header once to learn the edge count.
+  std::FILE* probe = std::fopen(path_.c_str(), "rb");
+  COVSTREAM_CHECK(probe != nullptr);
+  char magic[8];
+  std::uint64_t count = 0;
+  COVSTREAM_CHECK(std::fread(magic, 1, 8, probe) == 8);
+  COVSTREAM_CHECK(std::memcmp(magic, kMagic, 8) == 0);
+  COVSTREAM_CHECK(std::fread(&count, sizeof count, 1, probe) == 1);
+  edges_ = static_cast<std::size_t>(count);
+  std::fclose(probe);
+}
+
+BinaryFileStream::~BinaryFileStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void BinaryFileStream::reset() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "rb");
+  COVSTREAM_CHECK(file_ != nullptr);
+  COVSTREAM_CHECK(std::fseek(file_, 16, SEEK_SET) == 0);  // magic + count
+  note_pass();
+}
+
+bool BinaryFileStream::next(Edge& edge) {
+  COVSTREAM_CHECK(file_ != nullptr);
+  std::uint32_t set = 0;
+  std::uint64_t elem = 0;
+  if (std::fread(&set, sizeof set, 1, file_) != 1) return false;
+  if (std::fread(&elem, sizeof elem, 1, file_) != 1) return false;
+  edge.set = set;
+  edge.elem = elem;
+  return true;
+}
+
+std::size_t write_text_edges(const std::string& path, const std::vector<Edge>& edges) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  COVSTREAM_CHECK(file != nullptr);
+  std::fprintf(file, "# covstream text edge list: <set> <elem>\n");
+  for (const Edge& edge : edges) {
+    std::fprintf(file, "%" PRIu32 " %" PRIu64 "\n", edge.set, edge.elem);
+  }
+  std::fclose(file);
+  return edges.size();
+}
+
+std::size_t write_binary_edges(const std::string& path,
+                               const std::vector<Edge>& edges) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  COVSTREAM_CHECK(file != nullptr);
+  COVSTREAM_CHECK(std::fwrite(kMagic, 1, 8, file) == 8);
+  const std::uint64_t count = edges.size();
+  COVSTREAM_CHECK(std::fwrite(&count, sizeof count, 1, file) == 1);
+  for (const Edge& edge : edges) {
+    const std::uint32_t set = edge.set;
+    const std::uint64_t elem = edge.elem;
+    COVSTREAM_CHECK(std::fwrite(&set, sizeof set, 1, file) == 1);
+    COVSTREAM_CHECK(std::fwrite(&elem, sizeof elem, 1, file) == 1);
+  }
+  std::fclose(file);
+  return edges.size();
+}
+
+}  // namespace covstream

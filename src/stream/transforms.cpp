@@ -1,0 +1,44 @@
+#include "stream/transforms.hpp"
+
+#include "hash/hash64.hpp"
+
+namespace covstream {
+
+SampleStream::SampleStream(EdgeStream* upstream, double rate, std::uint64_t seed)
+    : upstream_(upstream), threshold_(unit_to_threshold(rate)), seed_(seed) {
+  COVSTREAM_CHECK(rate >= 0.0 && rate <= 1.0);
+}
+
+bool SampleStream::next(Edge& edge) {
+  while (upstream_->next(edge)) {
+    // Hash the (set, elem) pair so the same edge gets the same verdict on
+    // every pass — vital for multi-pass algorithms on sampled inputs.
+    const std::uint64_t h =
+        mix64(mix64(edge.elem ^ seed_) ^ (static_cast<std::uint64_t>(edge.set) << 32 |
+                                          0x9e3779b9ULL));
+    if (h <= threshold_) return true;
+  }
+  return false;
+}
+
+void ConcatStream::reset() {
+  for (EdgeStream* part : parts_) part->reset();
+  current_ = 0;
+  note_pass();
+}
+
+bool ConcatStream::next(Edge& edge) {
+  while (current_ < parts_.size()) {
+    if (parts_[current_]->next(edge)) return true;
+    ++current_;
+  }
+  return false;
+}
+
+std::size_t ConcatStream::edges_per_pass() const {
+  std::size_t total = 0;
+  for (const EdgeStream* part : parts_) total += part->edges_per_pass();
+  return total;
+}
+
+}  // namespace covstream

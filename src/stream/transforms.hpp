@@ -1,0 +1,141 @@
+// Composable stream adaptors. Each wraps an upstream EdgeStream (not owned)
+// and presents a transformed stream; passes on the adaptor drive passes on
+// the upstream. Used to splice workloads together, subsample inputs, and
+// inject faults in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stream/edge_stream.hpp"
+#include "util/rng.hpp"
+
+namespace covstream {
+
+/// Keeps only edges matching the predicate.
+class FilterStream final : public EdgeStream {
+ public:
+  FilterStream(EdgeStream* upstream, std::function<bool(const Edge&)> keep)
+      : upstream_(upstream), keep_(std::move(keep)) {}
+
+  void reset() override {
+    upstream_->reset();
+    note_pass();
+  }
+
+  bool next(Edge& edge) override {
+    while (upstream_->next(edge)) {
+      if (keep_(edge)) return true;
+    }
+    return false;
+  }
+
+  std::size_t edges_per_pass() const override { return 0; }
+
+ private:
+  EdgeStream* upstream_;
+  std::function<bool(const Edge&)> keep_;
+};
+
+/// Keeps each edge independently with probability `rate` (Bernoulli
+/// subsampling; deterministic given the seed and stable across passes
+/// because the decision hashes the edge rather than consuming RNG state).
+class SampleStream final : public EdgeStream {
+ public:
+  SampleStream(EdgeStream* upstream, double rate, std::uint64_t seed);
+
+  void reset() override {
+    upstream_->reset();
+    note_pass();
+  }
+
+  bool next(Edge& edge) override;
+  std::size_t edges_per_pass() const override { return 0; }
+
+ private:
+  EdgeStream* upstream_;
+  std::uint64_t threshold_;
+  std::uint64_t seed_;
+};
+
+/// Truncates each pass after `limit` edges.
+class LimitStream final : public EdgeStream {
+ public:
+  LimitStream(EdgeStream* upstream, std::size_t limit)
+      : upstream_(upstream), limit_(limit) {}
+
+  void reset() override {
+    upstream_->reset();
+    delivered_ = 0;
+    note_pass();
+  }
+
+  bool next(Edge& edge) override {
+    if (delivered_ >= limit_) return false;
+    if (!upstream_->next(edge)) return false;
+    ++delivered_;
+    return true;
+  }
+
+  std::size_t edges_per_pass() const override { return limit_; }
+
+ private:
+  EdgeStream* upstream_;
+  std::size_t limit_;
+  std::size_t delivered_ = 0;
+};
+
+/// Concatenates several upstreams per pass, in order.
+class ConcatStream final : public EdgeStream {
+ public:
+  explicit ConcatStream(std::vector<EdgeStream*> parts) : parts_(std::move(parts)) {}
+
+  void reset() override;
+  bool next(Edge& edge) override;
+  std::size_t edges_per_pass() const override;
+
+ private:
+  std::vector<EdgeStream*> parts_;
+  std::size_t current_ = 0;
+};
+
+/// Duplicates each edge `copies` times consecutively (duplicate-robustness
+/// testing: algorithms with dedupe on must be unaffected).
+class DuplicateStream final : public EdgeStream {
+ public:
+  DuplicateStream(EdgeStream* upstream, std::size_t copies)
+      : upstream_(upstream), copies_(copies) {
+    COVSTREAM_CHECK(copies_ >= 1);
+  }
+
+  void reset() override {
+    upstream_->reset();
+    remaining_ = 0;
+    note_pass();
+  }
+
+  bool next(Edge& edge) override {
+    if (remaining_ > 0) {
+      --remaining_;
+      edge = held_;
+      return true;
+    }
+    if (!upstream_->next(held_)) return false;
+    remaining_ = copies_ - 1;
+    edge = held_;
+    return true;
+  }
+
+  std::size_t edges_per_pass() const override {
+    return upstream_->edges_per_pass() * copies_;
+  }
+
+ private:
+  EdgeStream* upstream_;
+  std::size_t copies_;
+  std::size_t remaining_ = 0;
+  Edge held_;
+};
+
+}  // namespace covstream

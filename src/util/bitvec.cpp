@@ -1,0 +1,36 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+
+namespace covstream {
+
+std::size_t BitVec::count() const {
+  std::size_t total = 0;
+  for (const std::uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+void BitVec::or_with(const BitVec& other) {
+  COVSTREAM_CHECK(bits_ == other.bits_);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+std::size_t BitVec::count_and_not(const BitVec& other) const {
+  COVSTREAM_CHECK(bits_ == other.bits_);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += std::popcount(other.words_[w] & ~words_[w]);
+  }
+  return total;
+}
+
+std::size_t BitVec::count_or(const BitVec& other) const {
+  COVSTREAM_CHECK(bits_ == other.bits_);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    total += std::popcount(words_[w] | other.words_[w]);
+  }
+  return total;
+}
+
+}  // namespace covstream

@@ -1,0 +1,77 @@
+// Dynamic bit vector tuned for coverage bookkeeping: set/test, popcount,
+// union/intersection in bulk, and "count newly set bits" which is the inner
+// loop of every greedy coverage algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return bits_; }
+  std::size_t word_count() const { return words_.size(); }
+
+  bool test(std::size_t i) const {
+    COVSTREAM_CHECK(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) {
+    COVSTREAM_CHECK(i < bits_);
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+
+  /// Sets bit i; returns true iff it was previously clear.
+  bool set_if_clear(std::size_t i) {
+    COVSTREAM_CHECK(i < bits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    std::uint64_t& word = words_[i >> 6];
+    if (word & mask) return false;
+    word |= mask;
+    return true;
+  }
+
+  void reset(std::size_t i) {
+    COVSTREAM_CHECK(i < bits_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void clear() {
+    for (auto& word : words_) word = 0;
+  }
+
+  std::size_t count() const;
+
+  /// *this |= other. Sizes must match.
+  void or_with(const BitVec& other);
+
+  /// Number of bits set in `other` but not in *this (the coverage gain of
+  /// adding `other` on top of *this).
+  std::size_t count_and_not(const BitVec& other) const;
+
+  /// Popcount of the union *this | other without materializing it.
+  std::size_t count_or(const BitVec& other) const;
+
+  bool operator==(const BitVec& other) const = default;
+
+  /// Space in 8-byte words (for SpaceMeter accounting).
+  std::size_t space_words() const { return words_.size(); }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace covstream

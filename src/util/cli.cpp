@@ -1,0 +1,73 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+CliArgs::CliArgs(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "?";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: expected --key=value, got '%s'\n", program_.c_str(),
+                   arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";  // bare --flag means boolean true
+      consumed_[arg] = false;
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      consumed_[arg.substr(0, eq)] = false;
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string CliArgs::get_string(const std::string& key, const std::string& fallback) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::size_t CliArgs::get_size(const std::string& key, std::size_t fallback) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return static_cast<std::size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+}
+
+bool CliArgs::get_bool(const std::string& key, bool fallback) {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  consumed_[key] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+void CliArgs::finish() const {
+  bool bad = false;
+  for (const auto& [key, used] : consumed_) {
+    if (!used) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(), key.c_str());
+      bad = true;
+    }
+  }
+  if (bad) std::exit(2);
+}
+
+}  // namespace covstream

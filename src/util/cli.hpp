@@ -1,0 +1,34 @@
+// Tiny --key=value flag parser shared by benches and examples.
+//
+//   CliArgs args(argc, argv);
+//   const std::size_t n = args.get_size("n", 1000);
+//   const double eps = args.get_double("eps", 0.1);
+//   args.finish();  // aborts on unrecognized flags (catches typos)
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace covstream {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& fallback);
+  double get_double(const std::string& key, double fallback);
+  std::size_t get_size(const std::string& key, std::size_t fallback);
+  bool get_bool(const std::string& key, bool fallback);
+
+  /// Aborts with a message listing any flags that were passed but never read.
+  void finish() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+  std::string program_;
+};
+
+}  // namespace covstream

@@ -1,0 +1,44 @@
+// Core shared definitions for covstream.
+//
+// Conventions (see DESIGN.md):
+//  * SetId indexes the n sets, ElemId identifies elements. Element ids may be
+//    arbitrary 64-bit values in the streaming algorithms (the universe is
+//    unknown in the edge-arrival model); offline instances use dense ids.
+//  * All sizes/counters use std::size_t or std::uint64_t.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace covstream {
+
+using SetId = std::uint32_t;
+using ElemId = std::uint64_t;
+
+/// A single unit of the edge-arrival stream: "element `elem` belongs to set
+/// `set`".
+struct Edge {
+  SetId set = 0;
+  ElemId elem = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+constexpr SetId kInvalidSet = static_cast<SetId>(-1);
+constexpr ElemId kInvalidElem = static_cast<ElemId>(-1);
+
+[[noreturn]] inline void fatal(const char* file, int line, const char* what) {
+  std::fprintf(stderr, "covstream fatal: %s:%d: %s\n", file, line, what);
+  std::abort();
+}
+
+// Always-on invariant check (cheap checks only; heavy checks should be
+// guarded by NDEBUG in the caller).
+#define COVSTREAM_CHECK(cond)                                   \
+  do {                                                          \
+    if (!(cond)) ::covstream::fatal(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+}  // namespace covstream

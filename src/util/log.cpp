@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace covstream {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void log_message(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[covstream %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace covstream

@@ -1,0 +1,25 @@
+// Leveled stderr logging. Benches run with Info; tests default to Warn so
+// ctest output stays readable. Not thread-safe beyond line atomicity.
+#pragma once
+
+#include <string>
+
+namespace covstream {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& message);
+
+#define COVSTREAM_LOG(level, msg)                                      \
+  do {                                                                 \
+    if (static_cast<int>(level) >= static_cast<int>(::covstream::log_level())) \
+      ::covstream::log_message(level, msg);                            \
+  } while (false)
+
+#define COVSTREAM_INFO(msg) COVSTREAM_LOG(::covstream::LogLevel::Info, msg)
+#define COVSTREAM_WARN(msg) COVSTREAM_LOG(::covstream::LogLevel::Warn, msg)
+
+}  // namespace covstream

@@ -1,0 +1,39 @@
+#include "util/rng.hpp"
+
+namespace covstream {
+
+std::vector<std::uint64_t> Rng::split(std::size_t count) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) seeds.push_back(next());
+  return seeds;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t size) {
+  std::vector<std::uint32_t> perm(size);
+  for (std::uint32_t i = 0; i < size; ++i) perm[i] = i;
+  shuffle(perm);
+  return perm;
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t universe,
+                                                           std::uint32_t count) {
+  COVSTREAM_CHECK(count <= universe);
+  // Floyd's algorithm: O(count) expected time, O(count) space.
+  std::vector<std::uint32_t> result;
+  result.reserve(count);
+  std::unordered_set<std::uint32_t> chosen;
+  chosen.reserve(count * 2);
+  for (std::uint32_t j = universe - count; j < universe; ++j) {
+    const std::uint32_t t = next_below(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace covstream

@@ -1,0 +1,94 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Rng wraps xoshiro256** seeded through SplitMix64, per the recommendation of
+// its authors. Every randomized component in covstream takes an explicit
+// 64-bit seed so that tests and benches are reproducible (DESIGN.md §5.4).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+/// SplitMix64 step; also usable as a standalone 64-bit mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Not cryptographic; plenty for sketching.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedc0de5eedc0deULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero. Uses rejection sampling
+  /// against the largest multiple of `bound` to avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) {
+    COVSTREAM_CHECK(bound != 0);
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound + 1) % bound;
+    while (true) {
+      const std::uint64_t x = next();
+      if (x <= limit) return x % bound;
+    }
+  }
+
+  std::uint32_t next_below(std::uint32_t bound) {
+    return static_cast<std::uint32_t>(next_below(static_cast<std::uint64_t>(bound)));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool next_bool(double probability_true) { return next_unit() < probability_true; }
+
+  /// Fisher–Yates in-place shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = next_below(static_cast<std::uint64_t>(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// `count` fresh independent seeds (for fanning out to sub-components).
+  std::vector<std::uint64_t> split(std::size_t count);
+
+  /// Random permutation of [0, size).
+  std::vector<std::uint32_t> permutation(std::uint32_t size);
+
+  /// `count` distinct values from [0, universe), unordered.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t universe,
+                                                        std::uint32_t count);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace covstream

@@ -1,0 +1,20 @@
+#include "util/space_meter.hpp"
+
+#include <cstdio>
+
+namespace covstream {
+
+std::string format_words(std::size_t words) {
+  char buffer[64];
+  const double w = static_cast<double>(words);
+  if (words >= 10'000'000) {
+    std::snprintf(buffer, sizeof buffer, "%.1f Mw", w / 1e6);
+  } else if (words >= 10'000) {
+    std::snprintf(buffer, sizeof buffer, "%.1f Kw", w / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%zu w", words);
+  }
+  return buffer;
+}
+
+}  // namespace covstream

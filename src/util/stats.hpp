@@ -1,0 +1,46 @@
+// Streaming statistics helpers used by the bench harness: Welford running
+// mean/variance, min/max, quantiles over a retained sample, and a small
+// aggregate used to report "mean ± stderr over seeds".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace covstream {
+
+/// Welford single-pass mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double stderror() const;  // stddev / sqrt(n)
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// "mean ± stderr" rendered with the given precision.
+  std::string summary(int precision = 3) const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile over a stored sample (fine at bench scale).
+double quantile(std::vector<double> values, double q);
+
+/// Pearson correlation of two equally sized series.
+double correlation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Least-squares slope of log(y) against log(x); used by benches to verify
+/// scaling exponents (e.g. space ~ n^1.0, error ~ budget^-0.5).
+double loglog_slope(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace covstream

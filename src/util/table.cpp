@@ -1,0 +1,89 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  COVSTREAM_CHECK(!headers_.empty());
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  rows_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::cell(const std::string& value) {
+  COVSTREAM_CHECK(!rows_.empty());
+  COVSTREAM_CHECK(rows_.back().size() < headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::cell(const char* value) { return cell(std::string(value)); }
+
+Table& Table::cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return cell(std::string(buffer));
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto append_row = [&](std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& value = c < cells.size() ? cells[c] : std::string();
+      out += "  ";
+      out += value;
+      out.append(widths[c] - value.size(), ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  append_row(out, headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  out += rule + '\n';
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+std::string Table::to_markdown() const {
+  std::string out = "|";
+  for (const auto& header : headers_) out += " " + header + " |";
+  out += "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      out += " " + (c < row.size() ? row[c] : std::string()) + " |";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void Table::print(const std::string& title) const {
+  std::printf("== %s ==\n%s\n", title.c_str(), to_text().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace covstream

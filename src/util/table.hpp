@@ -1,0 +1,39 @@
+// Console table rendering for the bench harness. Produces both an aligned
+// plain-text table (default) and GitHub-flavored markdown, so bench output
+// can be pasted straight into EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace covstream {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& value);
+  Table& cell(const char* value);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+  Table& cell(int value) { return cell(static_cast<long long>(value)); }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  std::string to_text() const;
+  std::string to_markdown() const;
+
+  /// Prints to stdout: a title line, the text table, and a blank line.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace covstream

@@ -1,0 +1,26 @@
+// Minimal wall-clock timer for benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace covstream {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double nanos() const { return seconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace covstream

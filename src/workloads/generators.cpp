@@ -1,0 +1,246 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "workloads/zipf.hpp"
+
+namespace covstream {
+namespace {
+
+// Draws `count` distinct elements from [0, universe) into `out`.
+void sample_distinct(Rng& rng, ElemId universe, std::size_t count,
+                     std::vector<ElemId>& out) {
+  out.clear();
+  COVSTREAM_CHECK(static_cast<ElemId>(count) <= universe);
+  if (count * 3 >= universe) {
+    // Dense draw: shuffle a prefix.
+    std::vector<ElemId> all(universe);
+    for (ElemId e = 0; e < universe; ++e) all[e] = e;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + rng.next_below(static_cast<std::uint64_t>(universe - i));
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+  } else {
+    while (out.size() < count) {
+      const ElemId candidate = rng.next_below(static_cast<std::uint64_t>(universe));
+      if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+        out.push_back(candidate);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GeneratedInstance make_uniform(SetId num_sets, ElemId num_elems, std::size_t set_size,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_sets) * set_size);
+  for (SetId s = 0; s < num_sets; ++s) {
+    for (std::size_t i = 0; i < set_size; ++i) {
+      edges.push_back({s, rng.next_below(static_cast<std::uint64_t>(num_elems))});
+    }
+  }
+  GeneratedInstance out;
+  out.graph = CoverageInstance::from_edges(num_sets, num_elems, std::move(edges));
+  out.family = "uniform";
+  return out;
+}
+
+GeneratedInstance make_zipf(SetId num_sets, ElemId num_elems, std::size_t min_size,
+                            std::size_t max_size, double alpha_sets,
+                            double alpha_elems, std::uint64_t seed) {
+  COVSTREAM_CHECK(min_size >= 1 && min_size <= max_size);
+  Rng rng(seed);
+  const ZipfSampler size_sampler(max_size - min_size + 1, alpha_sets);
+  const ZipfSampler elem_sampler(static_cast<std::size_t>(num_elems), alpha_elems);
+  // Random relabeling so that "popular" element ids are spread over [0, m)
+  // rather than clustered at small ids.
+  std::vector<ElemId> relabel(num_elems);
+  for (ElemId e = 0; e < num_elems; ++e) relabel[e] = e;
+  rng.shuffle(relabel);
+
+  std::vector<Edge> edges;
+  for (SetId s = 0; s < num_sets; ++s) {
+    const std::size_t size = min_size + size_sampler.sample(rng);
+    for (std::size_t i = 0; i < size; ++i) {
+      edges.push_back({s, relabel[elem_sampler.sample(rng)]});
+    }
+  }
+  GeneratedInstance out;
+  out.graph = CoverageInstance::from_edges(num_sets, num_elems, std::move(edges));
+  out.family = "zipf";
+  return out;
+}
+
+GeneratedInstance make_planted_kcover(SetId num_sets, std::uint32_t k,
+                                      std::size_t block_size, double decoy_fraction,
+                                      std::uint64_t seed) {
+  COVSTREAM_CHECK(k >= 1 && k <= num_sets);
+  COVSTREAM_CHECK(block_size >= 2);
+  COVSTREAM_CHECK(decoy_fraction > 0.0 && decoy_fraction < 1.0);
+  Rng rng(seed);
+  const ElemId num_elems = static_cast<ElemId>(k) * block_size;
+  std::vector<Edge> edges;
+
+  // Planted sets 0..k-1: disjoint blocks. (Set ids are shuffled afterwards so
+  // algorithms cannot exploit id order.)
+  for (std::uint32_t b = 0; b < k; ++b) {
+    for (std::size_t i = 0; i < block_size; ++i) {
+      edges.push_back({b, static_cast<ElemId>(b) * block_size + i});
+    }
+  }
+  // Decoys: random subsets of single blocks, each at most decoy_fraction of a
+  // block. Any family of k sets containing a decoy covers strictly less than
+  // k * block_size, so Opt_k = k * block_size with the planted family as the
+  // unique maximizer (up to ties among decoy choices below optimum).
+  const std::size_t max_decoy =
+      std::max<std::size_t>(1, static_cast<std::size_t>(decoy_fraction * block_size));
+  std::vector<ElemId> scratch;
+  for (SetId s = k; s < num_sets; ++s) {
+    const std::uint32_t block = rng.next_below(k);
+    const std::size_t size = 1 + rng.next_below(static_cast<std::uint64_t>(max_decoy));
+    sample_distinct(rng, static_cast<ElemId>(block_size), size, scratch);
+    for (const ElemId offset : scratch) {
+      edges.push_back({s, static_cast<ElemId>(block) * block_size + offset});
+    }
+  }
+
+  // Shuffle set identities.
+  std::vector<std::uint32_t> relabel = rng.permutation(num_sets);
+  for (Edge& edge : edges) edge.set = relabel[edge.set];
+
+  GeneratedInstance out;
+  out.graph = CoverageInstance::from_edges(num_sets, num_elems, std::move(edges));
+  out.family = "planted-kcover";
+  out.opt_kcover = static_cast<std::size_t>(k) * block_size;
+  out.planted_k = k;
+  out.opt_kcover_solution.reserve(k);
+  for (std::uint32_t b = 0; b < k; ++b) out.opt_kcover_solution.push_back(relabel[b]);
+  return out;
+}
+
+GeneratedInstance make_planted_setcover(SetId num_sets, std::uint32_t k_star,
+                                        std::size_t block_size, double decoy_fraction,
+                                        std::uint64_t seed) {
+  COVSTREAM_CHECK(k_star >= 1 && k_star <= num_sets);
+  COVSTREAM_CHECK(block_size >= 2);
+  COVSTREAM_CHECK(decoy_fraction > 0.0 && decoy_fraction < 1.0);
+  Rng rng(seed);
+  const ElemId num_elems = static_cast<ElemId>(k_star) * block_size;
+  std::vector<Edge> edges;
+  for (std::uint32_t b = 0; b < k_star; ++b) {
+    for (std::size_t i = 0; i < block_size; ++i) {
+      edges.push_back({b, static_cast<ElemId>(b) * block_size + i});
+    }
+  }
+  const std::size_t max_decoy =
+      std::max<std::size_t>(1, static_cast<std::size_t>(decoy_fraction * block_size));
+  std::vector<ElemId> scratch;
+  for (SetId s = k_star; s < num_sets; ++s) {
+    const std::uint32_t block = rng.next_below(k_star);
+    const std::size_t size = 1 + rng.next_below(static_cast<std::uint64_t>(max_decoy));
+    sample_distinct(rng, static_cast<ElemId>(block_size), size, scratch);
+    for (const ElemId offset : scratch) {
+      edges.push_back({s, static_cast<ElemId>(block) * block_size + offset});
+    }
+  }
+  std::vector<std::uint32_t> relabel = rng.permutation(num_sets);
+  for (Edge& edge : edges) edge.set = relabel[edge.set];
+
+  GeneratedInstance out;
+  out.graph = CoverageInstance::from_edges(num_sets, num_elems, std::move(edges));
+  out.family = "planted-setcover";
+  out.opt_setcover = k_star;
+  return out;
+}
+
+GeneratedInstance make_communities(SetId num_sets, ElemId num_elems,
+                                   std::uint32_t communities, std::size_t set_size,
+                                   double cross_fraction, std::uint64_t seed) {
+  COVSTREAM_CHECK(communities >= 1);
+  COVSTREAM_CHECK(cross_fraction >= 0.0 && cross_fraction <= 1.0);
+  Rng rng(seed);
+  const ElemId community_span = num_elems / communities;
+  COVSTREAM_CHECK(community_span >= 1);
+  std::vector<Edge> edges;
+  for (SetId s = 0; s < num_sets; ++s) {
+    const std::uint32_t home = rng.next_below(communities);
+    const ElemId base = static_cast<ElemId>(home) * community_span;
+    for (std::size_t i = 0; i < set_size; ++i) {
+      if (rng.next_bool(cross_fraction)) {
+        edges.push_back({s, rng.next_below(static_cast<std::uint64_t>(num_elems))});
+      } else {
+        edges.push_back(
+            {s, base + rng.next_below(static_cast<std::uint64_t>(community_span))});
+      }
+    }
+  }
+  GeneratedInstance out;
+  out.graph = CoverageInstance::from_edges(num_sets, num_elems, std::move(edges));
+  out.family = "communities";
+  return out;
+}
+
+DisjointnessInstance make_disjointness(std::uint32_t bits, bool intersecting,
+                                       double density, std::uint64_t seed) {
+  COVSTREAM_CHECK(bits >= 2);
+  COVSTREAM_CHECK(density > 0.0 && density <= 1.0);
+  Rng rng(seed);
+  // Draw A and B with the requested intersection pattern. To make the
+  // distinguishing task information-theoretically about all n bits, each
+  // index lands in A and/or B independently; for the disjoint case any index
+  // that would land in both is assigned to one side at random.
+  // The classic hard distribution: A and B are (near-)disjoint random sets,
+  // and the intersecting case differs by exactly ONE planted witness index —
+  // so distinguishing the cases requires essentially full information about
+  // the stream, not just a lucky sample.
+  std::vector<bool> in_a(bits, false), in_b(bits, false);
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    const bool a = rng.next_bool(density);
+    const bool b = rng.next_bool(density);
+    if (a && b) {
+      if (rng.next_bool(0.5)) {
+        in_a[i] = true;
+      } else {
+        in_b[i] = true;
+      }
+    } else {
+      in_a[i] = a;
+      in_b[i] = b;
+    }
+  }
+  if (intersecting) {
+    const std::uint32_t shared = rng.next_below(bits);
+    in_a[shared] = in_b[shared] = true;
+  }
+  // Guarantee no isolated side (at least one edge each) so Opt_1 >= 1.
+  if (std::find(in_a.begin(), in_a.end(), true) == in_a.end()) {
+    in_a[rng.next_below(bits)] = true;
+  }
+  if (std::find(in_b.begin(), in_b.end(), true) == in_b.end()) {
+    const std::uint32_t idx = rng.next_below(bits);
+    in_b[idx] = true;
+    if (!intersecting) in_a[idx] = false;
+  }
+
+  DisjointnessInstance out;
+  out.intersecting = false;
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    if (in_a[i]) out.alice_then_bob_stream.push_back({i, 0});
+    if (in_a[i] && in_b[i]) out.intersecting = true;
+  }
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    if (in_b[i]) out.alice_then_bob_stream.push_back({i, 1});
+  }
+  COVSTREAM_CHECK(out.intersecting == intersecting);
+  out.graph = CoverageInstance::from_edges(bits, 2, out.alice_then_bob_stream);
+  return out;
+}
+
+}  // namespace covstream

@@ -1,0 +1,80 @@
+// Workload generators (DESIGN.md §2.1): synthetic instance families with
+// *known optima* wherever possible, so benches measure true approximation
+// ratios rather than ratios against another heuristic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/coverage_instance.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+/// A generated instance together with whatever ground truth the construction
+/// guarantees.
+struct GeneratedInstance {
+  CoverageInstance graph;
+  std::string family;
+
+  /// Exact Opt_k for the k the instance was planted for (planted families).
+  std::optional<std::size_t> opt_kcover;
+  std::optional<std::uint32_t> planted_k;
+  std::vector<SetId> opt_kcover_solution;
+
+  /// Exact minimum set-cover size (planted set-cover families).
+  std::optional<std::uint32_t> opt_setcover;
+};
+
+/// Uniform random bipartite instance: each of `num_sets` sets draws
+/// `set_size` elements uniformly from [0, num_elems) (duplicates collapse).
+GeneratedInstance make_uniform(SetId num_sets, ElemId num_elems, std::size_t set_size,
+                               std::uint64_t seed);
+
+/// Skewed instance: set sizes follow Zipf(alpha_sets) scaled to
+/// [min_size, max_size]; element popularity follows Zipf(alpha_elems), so a
+/// few elements appear in a large fraction of the sets. This is the family
+/// that exercises the degree cap of H'p.
+GeneratedInstance make_zipf(SetId num_sets, ElemId num_elems, std::size_t min_size,
+                            std::size_t max_size, double alpha_sets,
+                            double alpha_elems, std::uint64_t seed);
+
+/// Planted max-k-cover with known OPT: k planted sets cover disjoint blocks
+/// of `block_size` fresh elements each; the remaining sets are decoys, each a
+/// random subset (at most `decoy_fraction` of a block) of a single planted
+/// block. Opt_k = k * block_size, achieved only by the planted sets.
+GeneratedInstance make_planted_kcover(SetId num_sets, std::uint32_t k,
+                                      std::size_t block_size, double decoy_fraction,
+                                      std::uint64_t seed);
+
+/// Planted set cover with known OPT: the ground set is partitioned into
+/// k_star blocks, one planted set per block; decoys are strict partial
+/// subsets of single blocks. Since blocks are disjoint and every set touches
+/// exactly one block, any cover needs >= k_star sets; the planted family
+/// achieves it.
+GeneratedInstance make_planted_setcover(SetId num_sets, std::uint32_t k_star,
+                                        std::size_t block_size, double decoy_fraction,
+                                        std::uint64_t seed);
+
+/// Overlapping-community instance (data-summarization flavor): `communities`
+/// element clusters; each set samples mostly within its home community with
+/// `cross_fraction` of its elements drawn globally.
+GeneratedInstance make_communities(SetId num_sets, ElemId num_elems,
+                                   std::uint32_t communities, std::size_t set_size,
+                                   double cross_fraction, std::uint64_t seed);
+
+/// The Appendix E lower-bound gadget: a 1-cover instance derived from a
+/// set-disjointness input (A, B subsets of [bits]). Two elements {0, 1};
+/// set i covers element 0 iff i is in A and element 1 iff i is in B.
+/// Opt_1 = 2 iff A and B intersect, else 1.
+struct DisjointnessInstance {
+  CoverageInstance graph;
+  std::vector<Edge> alice_then_bob_stream;  // Alice's edges before Bob's
+  bool intersecting = false;
+};
+DisjointnessInstance make_disjointness(std::uint32_t bits, bool intersecting,
+                                       double density, std::uint64_t seed);
+
+}  // namespace covstream

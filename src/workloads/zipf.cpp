@@ -1,0 +1,33 @@
+#include "workloads/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.hpp"
+
+namespace covstream {
+
+ZipfSampler::ZipfSampler(std::size_t support, double alpha) : alpha_(alpha) {
+  COVSTREAM_CHECK(support > 0);
+  cdf_.resize(support);
+  double total = 0.0;
+  for (std::size_t i = 0; i < support; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -alpha);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_unit();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t i) const {
+  COVSTREAM_CHECK(i < cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace covstream

@@ -1,0 +1,33 @@
+// Zipf (power-law) sampling over {0, ..., support-1} with exponent `alpha`:
+// P(i) proportional to 1/(i+1)^alpha. Used to generate skewed element
+// popularity (high-degree elements are exactly what the sketch's degree cap
+// H'p exists for) and heavy-tailed set sizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace covstream {
+
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t support, double alpha);
+
+  std::size_t support() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+  /// Draws one sample in [0, support).
+  std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of value i.
+  double pmf(std::size_t i) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace covstream

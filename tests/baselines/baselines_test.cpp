@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "baselines/offline_greedy.hpp"
+#include "baselines/progressive_setcover.hpp"
+#include "baselines/random_select.hpp"
+#include "baselines/saha_getoor.hpp"
+#include "baselines/sieve_streaming.hpp"
+#include "stream/arrival_order.hpp"
+#include "stream/edge_stream.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+TEST(OfflineGreedy, MatchesBruteForceWithinClassicBound) {
+  // Greedy >= (1 - 1/e) OPT on every instance; on small random instances
+  // verify against exact brute force.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const GeneratedInstance gen = make_uniform(12, 60, 8, seed);
+    const std::size_t opt = brute_force_kcover(gen.graph, 3);
+    const OfflineGreedyResult greedy = greedy_kcover(gen.graph, 3);
+    EXPECT_GE(static_cast<double>(greedy.covered),
+              (1.0 - 1.0 / std::exp(1.0)) * static_cast<double>(opt) - 1e-9);
+  }
+}
+
+TEST(OfflineGreedy, ExactOnPlanted) {
+  const GeneratedInstance gen = make_planted_kcover(40, 4, 30, 0.4, 2);
+  const OfflineGreedyResult greedy = greedy_kcover(gen.graph, 4);
+  EXPECT_EQ(greedy.covered, *gen.opt_kcover);
+}
+
+TEST(OfflineGreedy, GainsAreNonIncreasing) {
+  const GeneratedInstance gen = make_uniform(30, 300, 15, 3);
+  const OfflineGreedyResult greedy = greedy_kcover(gen.graph, 10);
+  for (std::size_t i = 1; i < greedy.marginal_gains.size(); ++i) {
+    EXPECT_LE(greedy.marginal_gains[i], greedy.marginal_gains[i - 1]);
+  }
+}
+
+TEST(OfflineGreedy, StopsAtZeroGain) {
+  // 2 sets cover everything; asking for 10 returns at most the useful ones.
+  const CoverageInstance g =
+      CoverageInstance::from_edges(4, 4, {{0, 0}, {0, 1}, {1, 2}, {1, 3}, {2, 0}});
+  const OfflineGreedyResult greedy = greedy_kcover(g, 10);
+  EXPECT_EQ(greedy.covered, 4u);
+  EXPECT_LE(greedy.solution.size(), 2u);
+}
+
+TEST(OfflineGreedy, SetCoverCoversEverythingCoverable) {
+  const GeneratedInstance gen = make_planted_setcover(50, 5, 40, 0.4, 4);
+  const OfflineGreedyResult greedy = greedy_setcover(gen.graph);
+  EXPECT_EQ(greedy.covered, gen.graph.num_covered_by_all());
+}
+
+TEST(OfflineGreedy, SetCoverWithinLnMOfBruteForce) {
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    const GeneratedInstance gen = make_planted_setcover(14, 3, 8, 0.5, seed);
+    const std::uint32_t opt = brute_force_setcover_size(gen.graph);
+    const OfflineGreedyResult greedy = greedy_setcover(gen.graph);
+    const double harmonic_bound =
+        (1.0 + std::log(static_cast<double>(gen.graph.num_elems())));
+    EXPECT_LE(static_cast<double>(greedy.solution.size()),
+              harmonic_bound * static_cast<double>(opt));
+  }
+}
+
+TEST(OfflineGreedy, PartialCoverHitsFraction) {
+  const GeneratedInstance gen = make_uniform(40, 500, 25, 5);
+  const OfflineGreedyResult greedy = greedy_partial_cover(gen.graph, 0.8);
+  EXPECT_GE(static_cast<double>(greedy.covered),
+            0.8 * static_cast<double>(gen.graph.num_covered_by_all()));
+  const OfflineGreedyResult full = greedy_setcover(gen.graph);
+  EXPECT_LE(greedy.solution.size(), full.solution.size());
+}
+
+TEST(BruteForce, KCoverExactTinyCase) {
+  // Sets: {0,1}, {1,2}, {3}. Opt_2 = 4 via {0,1}+{3} or {1,2}+{3}... = 3+1.
+  const CoverageInstance g =
+      CoverageInstance::from_edges(3, 4, {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(brute_force_kcover(g, 1), 2u);
+  EXPECT_EQ(brute_force_kcover(g, 2), 3u);
+  EXPECT_EQ(brute_force_kcover(g, 3), 4u);
+  EXPECT_EQ(brute_force_kcover(g, 5), 4u);  // k > n clamps
+}
+
+TEST(BruteForce, SetCoverExactTinyCase) {
+  const CoverageInstance g = CoverageInstance::from_edges(
+      3, 4, {{0, 0}, {0, 1}, {1, 2}, {1, 3}, {2, 0}, {2, 2}});
+  EXPECT_EQ(brute_force_setcover_size(g), 2u);
+}
+
+TEST(SahaGetoor, FillsUpToK) {
+  const GeneratedInstance gen = make_uniform(30, 300, 15, 6);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, 1));
+  const SwapKCoverResult result = saha_getoor_kcover(stream, 30, 300, 5);
+  EXPECT_EQ(result.solution.size(), 5u);
+  EXPECT_FALSE(result.fragmented);
+  EXPECT_EQ(result.passes, 1u);
+  EXPECT_EQ(result.covered, gen.graph.coverage(result.solution));
+}
+
+TEST(SahaGetoor, QuarterGuaranteeOnPlanted) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const GeneratedInstance gen = make_planted_kcover(60, 4, 50, 0.4, seed);
+    VectorStream stream(
+        ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, seed));
+    const SwapKCoverResult result =
+        saha_getoor_kcover(stream, 60, gen.graph.num_elems(), 4);
+    EXPECT_GE(static_cast<double>(result.covered),
+              0.25 * static_cast<double>(*gen.opt_kcover))
+        << "seed=" << seed;
+  }
+}
+
+TEST(SahaGetoor, DetectsFragmentedStream) {
+  const GeneratedInstance gen = make_uniform(10, 50, 6, 7);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRoundRobin, 2));
+  const SwapKCoverResult result = saha_getoor_kcover(stream, 10, 50, 3);
+  EXPECT_TRUE(result.fragmented);
+}
+
+TEST(SahaGetoor, SpaceScalesWithM) {
+  // Space includes the per-element count table: Omega(m).
+  const GeneratedInstance small = make_uniform(20, 1000, 10, 8);
+  VectorStream s1(ordered_edges(small.graph, ArrivalOrder::kSetMajorShuffled, 3));
+  const auto r1 = saha_getoor_kcover(s1, 20, 1000, 4);
+  const GeneratedInstance big = make_uniform(20, 100000, 10, 8);
+  VectorStream s2(ordered_edges(big.graph, ArrivalOrder::kSetMajorShuffled, 3));
+  const auto r2 = saha_getoor_kcover(s2, 20, 100000, 4);
+  EXPECT_GT(r2.space_words, 10 * r1.space_words);
+}
+
+TEST(Sieve, HalfGuaranteeOnPlanted) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const GeneratedInstance gen = make_planted_kcover(60, 4, 50, 0.4, seed + 20);
+    VectorStream stream(
+        ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, seed));
+    const SieveResult result =
+        sieve_streaming_kcover(stream, 60, gen.graph.num_elems(), 4, 0.1);
+    EXPECT_GE(static_cast<double>(result.covered),
+              (0.5 - 0.1) * static_cast<double>(*gen.opt_kcover))
+        << "seed=" << seed;
+  }
+}
+
+TEST(Sieve, SolutionWithinK) {
+  const GeneratedInstance gen = make_uniform(40, 400, 20, 9);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, 4));
+  const SieveResult result = sieve_streaming_kcover(stream, 40, 400, 6, 0.2);
+  EXPECT_LE(result.solution.size(), 6u);
+  EXPECT_GT(result.active_guesses, 0u);
+  EXPECT_EQ(result.covered, gen.graph.coverage(result.solution));
+}
+
+TEST(Sieve, TighterEpsMoreGuesses) {
+  const GeneratedInstance gen = make_uniform(40, 400, 20, 10);
+  VectorStream s1(ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, 5));
+  const SieveResult coarse = sieve_streaming_kcover(s1, 40, 400, 6, 0.4);
+  VectorStream s2(ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, 5));
+  const SieveResult fine = sieve_streaming_kcover(s2, 40, 400, 6, 0.05);
+  EXPECT_GT(fine.active_guesses, coarse.active_guesses);
+}
+
+TEST(Progressive, CoversEverythingInFinalPass) {
+  const GeneratedInstance gen = make_planted_setcover(50, 5, 40, 0.4, 11);
+  for (const std::size_t passes : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    VectorStream stream(
+        ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, 6));
+    const ProgressiveResult result =
+        progressive_setcover(stream, 50, gen.graph.num_elems(), passes);
+    EXPECT_TRUE(result.covered_everything) << "passes=" << passes;
+    EXPECT_EQ(result.passes, passes);
+    EXPECT_EQ(gen.graph.coverage(result.solution), gen.graph.num_covered_by_all());
+  }
+}
+
+TEST(Progressive, MorePassesSmallerSolution) {
+  const GeneratedInstance gen = make_zipf(150, 3000, 5, 100, 0.9, 1.1, 12);
+  std::vector<std::size_t> sizes;
+  for (const std::size_t passes : {std::size_t{1}, std::size_t{4}}) {
+    VectorStream stream(
+        ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, 7));
+    const ProgressiveResult result =
+        progressive_setcover(stream, 150, gen.graph.num_elems(), passes);
+    sizes.push_back(result.solution.size());
+  }
+  // One pass admits everything with gain >= 1 in arrival order — much worse
+  // than thresholded refinement.
+  EXPECT_GE(sizes[0], sizes[1]);
+}
+
+TEST(RandomSelect, DistinctAndInRange) {
+  const auto picks = random_k_sets(100, 10, 13);
+  EXPECT_EQ(picks.size(), 10u);
+  std::set<SetId> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (const SetId s : picks) EXPECT_LT(s, 100u);
+}
+
+TEST(RandomSelect, ClampsKToN) {
+  EXPECT_EQ(random_k_sets(5, 50, 14).size(), 5u);
+}
+
+}  // namespace
+}  // namespace covstream

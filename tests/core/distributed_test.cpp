@@ -1,0 +1,155 @@
+#include "core/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/greedy_on_sketch.hpp"
+#include "stream/arrival_order.hpp"
+#include "stream/edge_stream.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+SketchParams shard_params(SetId n, std::size_t budget, std::uint64_t seed) {
+  SketchParams params;
+  params.num_sets = n;
+  params.k = 5;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = budget;
+  params.hash_seed = seed;
+  return params;
+}
+
+void expect_same_sketch(const SubsampleSketch& a, const SubsampleSketch& b,
+                        ElemId num_elems) {
+  EXPECT_EQ(a.retained_elements(), b.retained_elements());
+  EXPECT_EQ(a.stored_edges(), b.stored_edges());
+  EXPECT_DOUBLE_EQ(a.p_star(), b.p_star());
+  for (ElemId e = 0; e < num_elems; ++e) {
+    const auto sa = a.sets_of(e);
+    const auto sb = b.sets_of(e);
+    ASSERT_EQ(sa.size(), sb.size()) << "elem " << e;
+    EXPECT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()));
+  }
+}
+
+TEST(Merge, TwoPartitionsEqualSingleStream) {
+  const GeneratedInstance gen = make_uniform(40, 1500, 30, 3);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 1);
+  const SketchParams params = shard_params(40, 600, 99);
+
+  SubsampleSketch whole(params);
+  for (const Edge& edge : edges) whole.update(edge);
+
+  SubsampleSketch left(params), right(params);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    (i % 2 ? left : right).update(edges[i]);
+  }
+  left.merge_from(right);
+  expect_same_sketch(left, whole, gen.graph.num_elems());
+}
+
+TEST(Merge, UnsaturatedShardsUnion) {
+  const SketchParams params = shard_params(10, 10000, 7);
+  SubsampleSketch a(params), b(params);
+  a.update({0, 1});
+  a.update({1, 2});
+  b.update({2, 1});
+  b.update({3, 3});
+  a.merge_from(b);
+  EXPECT_EQ(a.retained_elements(), 3u);
+  EXPECT_EQ(a.stored_edges(), 4u);
+  const auto sets_of_1 = a.sets_of(1);
+  EXPECT_EQ(std::vector<SetId>(sets_of_1.begin(), sets_of_1.end()),
+            (std::vector<SetId>{0, 2}));
+}
+
+TEST(Merge, DuplicateEdgesAcrossShardsCollapse) {
+  const SketchParams params = shard_params(10, 10000, 7);
+  SubsampleSketch a(params), b(params);
+  a.update({4, 9});
+  b.update({4, 9});
+  a.merge_from(b);
+  EXPECT_EQ(a.stored_edges(), 1u);
+}
+
+TEST(Merge, MergeWithEmptyIsIdentity) {
+  const GeneratedInstance gen = make_uniform(20, 300, 10, 4);
+  const SketchParams params = shard_params(20, 200, 11);
+  SubsampleSketch a(params), empty(params);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 2));
+  a.consume(stream);
+  const std::size_t retained = a.retained_elements();
+  const std::size_t edges = a.stored_edges();
+  a.merge_from(empty);
+  EXPECT_EQ(a.retained_elements(), retained);
+  EXPECT_EQ(a.stored_edges(), edges);
+}
+
+class ShardSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardSweep, ShardedBuilderEqualsSingleStream) {
+  const std::size_t shards = GetParam();
+  const GeneratedInstance gen = make_zipf(60, 3000, 10, 80, 0.9, 1.2, 5);
+  const SketchParams params = shard_params(60, 900, 321);
+
+  SubsampleSketch whole(params);
+  VectorStream s1(ordered_edges(gen.graph, ArrivalOrder::kRandom, 3));
+  whole.consume(s1);
+
+  ShardedSketchBuilder builder(params, shards);
+  VectorStream s2(ordered_edges(gen.graph, ArrivalOrder::kRandom, 3));
+  builder.consume(s2);
+  const SubsampleSketch merged = builder.finalize();
+
+  expect_same_sketch(merged, whole, gen.graph.num_elems());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST(Sharded, ParallelPoolMatchesSerial) {
+  const GeneratedInstance gen = make_uniform(50, 2000, 40, 6);
+  const SketchParams params = shard_params(50, 700, 77);
+
+  ShardedSketchBuilder serial(params, 4);
+  VectorStream s1(ordered_edges(gen.graph, ArrivalOrder::kRandom, 4));
+  serial.consume(s1);
+  const SubsampleSketch a = serial.finalize();
+
+  ThreadPool pool(3);
+  ShardedSketchBuilder parallel(params, 4, &pool);
+  VectorStream s2(ordered_edges(gen.graph, ArrivalOrder::kRandom, 4));
+  parallel.consume(s2);
+  const SubsampleSketch b = parallel.finalize();
+
+  expect_same_sketch(a, b, gen.graph.num_elems());
+}
+
+TEST(Sharded, GreedyOnMergedSolvesKCover) {
+  const GeneratedInstance gen = make_planted_kcover(50, 4, 100, 0.4, 7);
+  SketchParams params = shard_params(50, 2000, 13);
+  params.k = 4;
+  ShardedSketchBuilder builder(params, 4);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 5));
+  builder.consume(stream);
+  const SubsampleSketch merged = builder.finalize();
+  const GreedyResult greedy = greedy_max_cover(merged.view(), 4);
+  EXPECT_GE(static_cast<double>(gen.graph.coverage(greedy.solution)),
+            0.9 * static_cast<double>(*gen.opt_kcover));
+}
+
+TEST(Sharded, PerShardSpaceReported) {
+  const GeneratedInstance gen = make_uniform(30, 1000, 20, 8);
+  const SketchParams params = shard_params(30, 300, 17);
+  ShardedSketchBuilder builder(params, 3);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 6));
+  builder.consume(stream);
+  EXPECT_GT(builder.max_shard_space_words(), 0u);
+}
+
+}  // namespace
+}  // namespace covstream

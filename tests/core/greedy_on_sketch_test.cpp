@@ -1,0 +1,130 @@
+#include "core/greedy_on_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/subsample_sketch.hpp"
+#include "stream/arrival_order.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+/// Builds a view directly (num_sets sets over dense slots) from set->slots.
+SketchView make_view(SetId num_sets, std::size_t num_retained,
+                     const std::vector<std::vector<std::uint32_t>>& sets) {
+  SketchView view;
+  view.num_sets = num_sets;
+  view.num_retained = num_retained;
+  view.p_star = 1.0;
+  view.set_offsets.assign(num_sets + 1, 0);
+  for (SetId s = 0; s < num_sets; ++s) view.set_offsets[s + 1] = sets[s].size();
+  for (SetId s = 0; s < num_sets; ++s) {
+    view.set_offsets[s + 1] += view.set_offsets[s];
+  }
+  for (SetId s = 0; s < num_sets; ++s) {
+    for (const std::uint32_t slot : sets[s]) view.set_slots.push_back(slot);
+  }
+  return view;
+}
+
+TEST(GreedyOnSketch, PicksLargestFirst) {
+  // set 0: {0,1,2}, set 1: {3}, set 2: {0,1}.
+  const SketchView view = make_view(3, 4, {{0, 1, 2}, {3}, {0, 1}});
+  const GreedyResult result = greedy_max_cover(view, 2);
+  ASSERT_EQ(result.solution.size(), 2u);
+  EXPECT_EQ(result.solution[0], 0u);
+  EXPECT_EQ(result.solution[1], 1u);
+  EXPECT_EQ(result.covered, 4u);
+  EXPECT_EQ(result.marginal_gains, (std::vector<std::size_t>{3, 1}));
+}
+
+TEST(GreedyOnSketch, StopsAtZeroGain) {
+  const SketchView view = make_view(3, 3, {{0, 1, 2}, {0, 1}, {2}});
+  const GreedyResult result = greedy_max_cover(view, 3);
+  EXPECT_EQ(result.solution.size(), 1u) << "others add nothing";
+  EXPECT_EQ(result.covered, 3u);
+}
+
+TEST(GreedyOnSketch, MarginalGainsNonIncreasing) {
+  const GeneratedInstance gen = make_uniform(50, 2000, 60, 9);
+  SketchParams params;
+  params.num_sets = 50;
+  params.k = 20;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 2000;
+  params.hash_seed = 3;
+  SubsampleSketch sketch(params);
+  for (const Edge& edge : ordered_edges(gen.graph, ArrivalOrder::kRandom, 1)) {
+    sketch.update(edge);
+  }
+  const GreedyResult result = greedy_max_cover(sketch.view(), 20);
+  for (std::size_t i = 1; i < result.marginal_gains.size(); ++i) {
+    EXPECT_LE(result.marginal_gains[i], result.marginal_gains[i - 1]) << i;
+  }
+  std::size_t total = 0;
+  for (const std::size_t gain : result.marginal_gains) total += gain;
+  EXPECT_EQ(total, result.covered);
+}
+
+TEST(GreedyOnSketch, PrefixProperty) {
+  // Greedy for k' < k is a prefix of greedy for k (same tie-breaks).
+  const GeneratedInstance gen = make_uniform(30, 800, 25, 10);
+  SketchParams params;
+  params.num_sets = 30;
+  params.k = 10;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 100000;
+  params.hash_seed = 4;
+  SubsampleSketch sketch(params);
+  for (const Edge& edge : ordered_edges(gen.graph, ArrivalOrder::kRandom, 2)) {
+    sketch.update(edge);
+  }
+  const SketchView view = sketch.view();
+  const GreedyResult big = greedy_max_cover(view, 10);
+  const GreedyResult small = greedy_max_cover(view, 4);
+  ASSERT_LE(small.solution.size(), big.solution.size());
+  for (std::size_t i = 0; i < small.solution.size(); ++i) {
+    EXPECT_EQ(small.solution[i], big.solution[i]) << i;
+  }
+}
+
+TEST(GreedyOnSketch, CoverTargetStopsEarly) {
+  const SketchView view = make_view(4, 8, {{0, 1, 2, 3}, {4, 5}, {6}, {7}});
+  const GreedyResult result = greedy_cover_target(view, 4, 5);
+  EXPECT_EQ(result.covered, 6u);  // 4 + 2 crosses the target of 5
+  EXPECT_EQ(result.solution.size(), 2u);
+}
+
+TEST(GreedyOnSketch, CoverTargetRespectsMaxSets) {
+  const SketchView view = make_view(4, 8, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  const GreedyResult result = greedy_cover_target(view, 2, 8);
+  EXPECT_EQ(result.solution.size(), 2u);
+  EXPECT_EQ(result.covered, 4u) << "capped before reaching the target";
+}
+
+TEST(GreedyOnSketch, EmptyViewAndZeroK) {
+  SketchView empty;
+  empty.num_sets = 0;
+  EXPECT_TRUE(greedy_max_cover(empty, 5).solution.empty());
+  const SketchView view = make_view(2, 2, {{0}, {1}});
+  EXPECT_TRUE(greedy_max_cover(view, 0).solution.empty());
+}
+
+TEST(GreedyOnSketch, CoverFractionHelper) {
+  GreedyResult result;
+  result.covered = 30;
+  EXPECT_DOUBLE_EQ(result.cover_fraction(60), 0.5);
+  EXPECT_DOUBLE_EQ(result.cover_fraction(0), 1.0) << "empty sketch convention";
+}
+
+TEST(GreedyOnSketch, IgnoresEmptySets) {
+  const SketchView view = make_view(3, 2, {{}, {0, 1}, {}});
+  const GreedyResult result = greedy_max_cover(view, 3);
+  ASSERT_EQ(result.solution.size(), 1u);
+  EXPECT_EQ(result.solution[0], 1u);
+}
+
+}  // namespace
+}  // namespace covstream

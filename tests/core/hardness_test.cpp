@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/lower_bound.hpp"
+#include "core/oracle_hardness.hpp"
+#include "util/rng.hpp"
+
+namespace covstream {
+namespace {
+
+TEST(Purification, GoldCountMatchesConstruction) {
+  const PurificationInstance inst = PurificationInstance::make(100, 10, 0.2, 1);
+  std::vector<std::uint32_t> all(100);
+  for (std::uint32_t i = 0; i < 100; ++i) all[i] = i;
+  EXPECT_EQ(inst.gold_count(all), 10u);
+}
+
+TEST(Purification, TypicalRandomSubsetIsImpureRarely) {
+  // Pure_eps fires only when the gold count escapes the concentration band;
+  // for a random size-k query this is rare.
+  const PurificationInstance inst = PurificationInstance::make(400, 20, 0.5, 2);
+  Rng rng(3);
+  int pure = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const auto subset = rng.sample_without_replacement(400, 20);
+    pure += inst.pure(subset) ? 1 : 0;
+  }
+  EXPECT_LT(pure, trials / 4);
+}
+
+TEST(Purification, AllGoldSetIsPure) {
+  const PurificationInstance inst = PurificationInstance::make(200, 10, 0.2, 4);
+  std::vector<std::uint32_t> gold;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    if (inst.is_gold(i)) gold.push_back(i);
+  }
+  ASSERT_EQ(gold.size(), 10u);
+  // Gold(S) = 10 vs expectation k|S|/n = 0.5: far outside the band.
+  EXPECT_TRUE(inst.pure(gold));
+}
+
+TEST(Oracle, TrueCoverageFormula) {
+  const PurificationInstance inst = PurificationInstance::make(100, 10, 0.2, 5);
+  NoisyCoverageOracle oracle(&inst);
+  std::vector<std::uint32_t> gold;
+  for (std::uint32_t i = 0; i < 100 && gold.size() < 3; ++i) {
+    if (inst.is_gold(i)) gold.push_back(i);
+  }
+  ASSERT_EQ(gold.size(), 3u);
+  // C(S) = k + (n/k) * Gold(S) = 10 + 10 * 3.
+  EXPECT_DOUBLE_EQ(oracle.true_coverage(gold), 40.0);
+  EXPECT_DOUBLE_EQ(oracle.opt(), 110.0);
+}
+
+TEST(Oracle, EmptyQueryIsZero) {
+  const PurificationInstance inst = PurificationInstance::make(50, 5, 0.2, 6);
+  NoisyCoverageOracle oracle(&inst);
+  const std::vector<std::uint32_t> empty;
+  EXPECT_DOUBLE_EQ(oracle.query(empty), 0.0);
+}
+
+TEST(Oracle, FlatAnswerInsideDeadZone) {
+  // k chosen so eps k^2/n ~ 1.8: random queries overwhelmingly land inside
+  // the dead zone and get the flat k + |S| answer.
+  const PurificationInstance inst = PurificationInstance::make(1000, 60, 0.5, 7);
+  NoisyCoverageOracle oracle(&inst);
+  Rng rng(8);
+  int flat = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    const auto subset = rng.sample_without_replacement(1000, 60);
+    if (oracle.query(subset) == 60.0 + 60.0) ++flat;
+  }
+  EXPECT_GT(flat, trials * 3 / 4);
+  EXPECT_EQ(oracle.queries(), static_cast<std::size_t>(trials));
+}
+
+TEST(Oracle, AnswerIsWithinTwoEpsOfTruth) {
+  // The construction guarantees C_eps' is a (1 +- 2eps)-approximate oracle.
+  const double eps = 0.3;
+  const PurificationInstance inst = PurificationInstance::make(500, 25, eps, 9);
+  NoisyCoverageOracle oracle(&inst);
+  Rng rng(10);
+  for (int t = 0; t < 200; ++t) {
+    const std::size_t size = 1 + rng.next_below(std::uint64_t{400});
+    const auto subset = rng.sample_without_replacement(
+        500, static_cast<std::uint32_t>(size));
+    const double answer = oracle.query(subset);
+    const double truth = oracle.true_coverage(subset);
+    EXPECT_GE(answer, (1.0 - 2.0 * eps) * truth - 1e-9);
+    EXPECT_LE(answer, (1.0 + 2.0 * eps) * truth + 1e-9);
+  }
+}
+
+TEST(Attacks, RandomProbingStaysNearTrivialRatio) {
+  // eps k^2 / n = 2.5: the Theorem 1.3 regime. Trivial bound ~4k/n = 0.2.
+  const PurificationInstance inst = PurificationInstance::make(2000, 100, 0.5, 11);
+  const AttackResult result = attack_random_subsets(inst, 2000, 12);
+  EXPECT_EQ(result.queries, 2000u);
+  EXPECT_LT(result.best_ratio, 0.25);
+}
+
+TEST(Attacks, GreedyOracleLearnsNothing) {
+  // Theorem 1.3's regime needs the dead-zone slack eps*k^2/n to swallow
+  // whole items: k >= sqrt(n/eps). Here eps k^2/n = 5 >> 1.
+  const PurificationInstance inst = PurificationInstance::make(1000, 100, 0.5, 13);
+  const AttackResult result = attack_greedy_oracle(inst, 14);
+  // Round s scans the n - s unused items once each.
+  std::size_t expected_queries = 0;
+  for (std::size_t s = 0; s < 100; ++s) expected_queries += 1000 - s;
+  EXPECT_EQ(result.queries, expected_queries);
+  // The trivial ratio of Theorem 1.3 is ~4k/n = 0.4; greedy must not beat it
+  // meaningfully.
+  EXPECT_LT(result.best_ratio, 0.45);
+}
+
+TEST(LowerBound, GenerousBudgetDecidesPerfectly) {
+  Rng rng(15);
+  for (int t = 0; t < 20; ++t) {
+    const bool intersecting = t % 2 == 0;
+    const DisjointnessInstance inst =
+        make_disjointness(128, intersecting, 0.4, rng.next());
+    EXPECT_EQ(sketch_decides_intersection(inst, 1 << 16, rng.next()), intersecting);
+    EXPECT_EQ(reservoir_decides_intersection(inst, 1 << 16, rng.next()),
+              intersecting);
+  }
+}
+
+TEST(LowerBound, TinyBudgetFailsOnIntersecting) {
+  // With budget << n the sketch cannot hold both elements' edge lists.
+  Rng rng(16);
+  int wrong = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const DisjointnessInstance inst = make_disjointness(512, true, 0.4, rng.next());
+    if (!sketch_decides_intersection(inst, 16, rng.next())) ++wrong;
+  }
+  EXPECT_GT(wrong, trials / 2);
+}
+
+TEST(LowerBound, ErrorRateDropsWithBudget) {
+  const DisjointnessErrors tiny = disjointness_error_rate(256, 0.4, 16, 40, 17);
+  const DisjointnessErrors large =
+      disjointness_error_rate(256, 0.4, 1 << 12, 40, 17);
+  EXPECT_GT(tiny.sketch_error, large.sketch_error);
+  EXPECT_GT(tiny.reservoir_error, large.reservoir_error);
+  EXPECT_LT(large.sketch_error, 0.05);
+  EXPECT_LT(large.reservoir_error, 0.05);
+}
+
+TEST(LowerBound, BalancedTrialsReported) {
+  const DisjointnessErrors errors = disjointness_error_rate(64, 0.4, 64, 10, 18);
+  EXPECT_EQ(errors.trials, 10u);
+  EXPECT_GE(errors.sketch_error, 0.0);
+  EXPECT_LE(errors.sketch_error, 1.0);
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,114 @@
+#include "core/sketch_ladder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stream/arrival_order.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+std::vector<SketchParams> three_rungs(SetId n, std::uint64_t seed) {
+  std::vector<SketchParams> rungs;
+  for (const std::uint32_t k : {1u, 4u, 16u}) {
+    SketchParams params;
+    params.num_sets = n;
+    params.k = k;
+    params.eps = 0.3;
+    params.budget_mode = BudgetMode::kExplicit;
+    params.explicit_budget = 300 + 100 * k;
+    params.hash_seed = seed;
+    rungs.push_back(params);
+  }
+  return rungs;
+}
+
+TEST(SketchLadder, EachRungMatchesStandaloneSketch) {
+  const GeneratedInstance gen = make_uniform(30, 800, 20, 5);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 1);
+  const auto rung_params = three_rungs(30, 77);
+
+  SketchLadder ladder(rung_params, nullptr);
+  VectorStream stream(edges);
+  ladder.consume(stream);
+
+  for (std::size_t r = 0; r < rung_params.size(); ++r) {
+    SubsampleSketch standalone(rung_params[r]);
+    for (const Edge& edge : edges) standalone.update(edge);
+    EXPECT_EQ(ladder.rung(r).retained_elements(), standalone.retained_elements())
+        << "rung " << r;
+    EXPECT_EQ(ladder.rung(r).stored_edges(), standalone.stored_edges())
+        << "rung " << r;
+    EXPECT_DOUBLE_EQ(ladder.rung(r).p_star(), standalone.p_star()) << "rung " << r;
+  }
+}
+
+TEST(SketchLadder, ParallelEqualsSerial) {
+  const GeneratedInstance gen = make_uniform(40, 1500, 30, 6);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 2);
+  const auto rung_params = three_rungs(40, 88);
+
+  SketchLadder serial(rung_params, nullptr);
+  VectorStream s1(edges);
+  serial.consume(s1);
+
+  ThreadPool pool(3);
+  SketchLadder parallel(rung_params, &pool);
+  VectorStream s2(edges);
+  parallel.consume(s2);
+
+  for (std::size_t r = 0; r < rung_params.size(); ++r) {
+    EXPECT_EQ(parallel.rung(r).retained_elements(),
+              serial.rung(r).retained_elements());
+    EXPECT_EQ(parallel.rung(r).stored_edges(), serial.rung(r).stored_edges());
+    EXPECT_DOUBLE_EQ(parallel.rung(r).p_star(), serial.rung(r).p_star());
+  }
+}
+
+TEST(SketchLadder, FilterHidesEdges) {
+  const GeneratedInstance gen = make_uniform(20, 400, 15, 7);
+  const auto rung_params = three_rungs(20, 99);
+  SketchLadder ladder(rung_params, nullptr);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 3));
+  // Hide all even elements from every rung.
+  ladder.consume(stream, [](const Edge& edge) { return edge.elem % 2 == 1; });
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    for (ElemId e = 0; e < 400; e += 2) {
+      EXPECT_FALSE(ladder.rung(r).is_retained(e)) << "rung " << r;
+    }
+  }
+}
+
+TEST(SketchLadder, PeakSpaceSumsRungs) {
+  const GeneratedInstance gen = make_uniform(20, 400, 15, 8);
+  const auto rung_params = three_rungs(20, 111);
+  SketchLadder ladder(rung_params, nullptr);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 4));
+  ladder.consume(stream);
+  std::size_t sum = 0;
+  for (std::size_t r = 0; r < ladder.size(); ++r) {
+    sum += ladder.rung(r).peak_space_words();
+  }
+  EXPECT_EQ(ladder.peak_space_words(), sum);
+}
+
+TEST(SketchLadder, UpdateAndChunkPathsAgree) {
+  const GeneratedInstance gen = make_uniform(15, 300, 10, 9);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 5);
+  const auto rung_params = three_rungs(15, 123);
+
+  SketchLadder per_edge(rung_params, nullptr);
+  for (const Edge& edge : edges) per_edge.update(edge);
+
+  SketchLadder chunked(rung_params, nullptr);
+  chunked.update_chunk(edges);
+
+  for (std::size_t r = 0; r < rung_params.size(); ++r) {
+    EXPECT_EQ(per_edge.rung(r).stored_edges(), chunked.rung(r).stored_edges());
+    EXPECT_EQ(per_edge.rung(r).retained_elements(),
+              chunked.rung(r).retained_elements());
+  }
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,188 @@
+#include "core/streaming_kcover.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/offline_greedy.hpp"
+#include "stream/arrival_order.hpp"
+#include "stream/edge_stream.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+StreamingOptions options_with(double eps, std::uint64_t seed) {
+  StreamingOptions options;
+  options.eps = eps;
+  options.seed = seed;
+  return options;
+}
+
+TEST(StreamingKCover, SinglePass) {
+  const GeneratedInstance gen = make_uniform(50, 500, 20, 1);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 1));
+  const KCoverResult result =
+      streaming_kcover(stream, 50, 5, options_with(0.2, 11));
+  EXPECT_EQ(result.passes, 1u);
+  EXPECT_EQ(result.solution.size(), 5u);
+}
+
+TEST(StreamingKCover, SolutionSetsAreValidAndDistinct) {
+  const GeneratedInstance gen = make_uniform(40, 400, 15, 2);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 2));
+  const KCoverResult result =
+      streaming_kcover(stream, 40, 8, options_with(0.2, 12));
+  std::set<SetId> unique(result.solution.begin(), result.solution.end());
+  EXPECT_EQ(unique.size(), result.solution.size());
+  for (const SetId s : result.solution) EXPECT_LT(s, 40u);
+}
+
+TEST(StreamingKCover, RecoversPlantedOptimum) {
+  const GeneratedInstance gen = make_planted_kcover(100, 5, 200, 0.3, 3);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 3));
+  const KCoverResult result =
+      streaming_kcover(stream, 100, 5, options_with(0.2, 13));
+  const std::size_t covered = gen.graph.coverage(result.solution);
+  // Planted instances are greedy-friendly: expect essentially OPT.
+  EXPECT_GE(covered, static_cast<std::size_t>(0.95 * *gen.opt_kcover));
+}
+
+class KCoverGuarantee
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(KCoverGuarantee, AchievesOneMinusInvEMinusEps) {
+  const auto [family_id, seed] = GetParam();
+  const double eps = 0.2;
+  GeneratedInstance gen;
+  std::uint32_t k = 0;
+  switch (family_id) {
+    case 0:
+      gen = make_planted_kcover(80, 4, 150, 0.3, seed);
+      k = 4;
+      break;
+    case 1:
+      gen = make_planted_kcover(120, 8, 60, 0.5, seed);
+      k = 8;
+      break;
+    default:
+      gen = make_planted_kcover(60, 2, 300, 0.4, seed);
+      k = 2;
+      break;
+  }
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, seed));
+  const KCoverResult result =
+      streaming_kcover(stream, gen.graph.num_sets(), k, options_with(eps, seed * 7 + 1));
+  const double ratio = static_cast<double>(gen.graph.coverage(result.solution)) /
+                       static_cast<double>(*gen.opt_kcover);
+  EXPECT_GE(ratio, 1.0 - 1.0 / std::exp(1.0) - eps)
+      << "family=" << family_id << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(FamiliesAndSeeds, KCoverGuarantee,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1u, 2u, 3u, 4u, 5u)));
+
+TEST(StreamingKCover, MatchesOfflineGreedyQualityOnUniform) {
+  const GeneratedInstance gen = make_uniform(80, 2000, 60, 4);
+  const OfflineGreedyResult offline = greedy_kcover(gen.graph, 10);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 4));
+  const KCoverResult result =
+      streaming_kcover(stream, 80, 10, options_with(0.15, 14));
+  const std::size_t covered = gen.graph.coverage(result.solution);
+  EXPECT_GE(static_cast<double>(covered), 0.85 * static_cast<double>(offline.covered));
+}
+
+TEST(StreamingKCover, OrderOblivious) {
+  const GeneratedInstance gen = make_planted_kcover(60, 3, 100, 0.4, 5);
+  for (const ArrivalOrder order :
+       {ArrivalOrder::kSetMajorShuffled, ArrivalOrder::kRandom,
+        ArrivalOrder::kRoundRobin, ArrivalOrder::kElementMajor}) {
+    VectorStream stream(ordered_edges(gen.graph, order, 8));
+    const KCoverResult result =
+        streaming_kcover(stream, 60, 3, options_with(0.2, 15));
+    const double ratio = static_cast<double>(gen.graph.coverage(result.solution)) /
+                         static_cast<double>(*gen.opt_kcover);
+    EXPECT_GE(ratio, 1.0 - 1.0 / std::exp(1.0) - 0.2) << to_string(order);
+  }
+}
+
+TEST(StreamingKCover, EstimatedCoverageTracksTruth) {
+  const GeneratedInstance gen = make_uniform(60, 3000, 80, 6);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 9));
+  const KCoverResult result =
+      streaming_kcover(stream, 60, 6, options_with(0.15, 16));
+  const double truth = static_cast<double>(gen.graph.coverage(result.solution));
+  EXPECT_NEAR(result.estimated_coverage, truth, 0.15 * truth);
+}
+
+TEST(StreamingKCover, KEqualsOneTakesBestSingleSet) {
+  const GeneratedInstance gen = make_planted_kcover(30, 1, 100, 0.4, 7);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 10));
+  const KCoverResult result =
+      streaming_kcover(stream, 30, 1, options_with(0.2, 17));
+  ASSERT_EQ(result.solution.size(), 1u);
+  EXPECT_EQ(gen.graph.coverage(result.solution), *gen.opt_kcover);
+}
+
+TEST(StreamingKCover, KAtLeastNumSetsCoversEverythingRetained) {
+  const GeneratedInstance gen = make_uniform(20, 200, 10, 8);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 11));
+  const KCoverResult result =
+      streaming_kcover(stream, 20, 100, options_with(0.3, 18));
+  // Greedy stops at zero marginal gain; coverage equals the full union.
+  EXPECT_EQ(gen.graph.coverage(result.solution), gen.graph.num_covered_by_all());
+}
+
+TEST(StreamingKCover, SpaceIndependentOfM) {
+  // Same n and fixed element degree (~1.5); m and the stream length grow 16x.
+  // Once the sketch saturates its budget, peak space must stay flat and
+  // bounded by O(budget) words, independent of m.
+  const SetId n = 60;
+  const std::size_t budget = 6000;
+  StreamingOptions options = options_with(0.25, 19);
+  options.budget_mode = BudgetMode::kExplicit;
+  options.explicit_budget = budget;
+
+  std::vector<std::size_t> spaces;
+  for (const ElemId m : {ElemId{8000}, ElemId{32000}, ElemId{128000}}) {
+    const GeneratedInstance gen =
+        make_uniform(n, m, static_cast<std::size_t>(m) / 40, 9);
+    VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 12));
+    const KCoverResult result = streaming_kcover(stream, n, 5, options);
+    spaces.push_back(result.space_words);
+    EXPECT_LE(result.space_words, 8 * budget) << "m=" << m;
+  }
+  const double ratio = static_cast<double>(*std::max_element(spaces.begin(),
+                                                             spaces.end())) /
+                       static_cast<double>(*std::min_element(spaces.begin(),
+                                                             spaces.end()));
+  EXPECT_LT(ratio, 1.5) << "O~(n) space must not scale with m";
+}
+
+TEST(StreamingKCover, DeterministicGivenSeed) {
+  const GeneratedInstance gen = make_uniform(40, 600, 20, 11);
+  const auto run = [&](std::uint64_t seed) {
+    VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 14));
+    return streaming_kcover(stream, 40, 5, options_with(0.2, seed)).solution;
+  };
+  EXPECT_EQ(run(42), run(42));
+}
+
+TEST(KCoverOnSketch, ReusableForSmallerK) {
+  const GeneratedInstance gen = make_planted_kcover(50, 6, 80, 0.4, 12);
+  StreamingOptions options = options_with(0.2, 20);
+  SketchParams params = options.sketch_params(50, 6, options.eps / 12.0);
+  SubsampleSketch sketch(params);
+  VectorStream stream(ordered_edges(gen.graph, ArrivalOrder::kRandom, 15));
+  sketch.consume(stream);
+  const KCoverResult k6 = kcover_on_sketch(sketch, 6);
+  const KCoverResult k3 = kcover_on_sketch(sketch, 3);
+  EXPECT_EQ(k6.solution.size(), 6u);
+  EXPECT_EQ(k3.solution.size(), 3u);
+  // Greedy prefix property: k3 solution is the first 3 picks of k6.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(k3.solution[i], k6.solution[i]);
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,188 @@
+#include "core/weighted_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/subsample_sketch.hpp"
+#include "stream/arrival_order.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+SketchParams wparams(SetId n, std::uint32_t k, std::size_t budget,
+                     std::uint64_t seed = 55) {
+  SketchParams params;
+  params.num_sets = n;
+  params.k = k;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = budget;
+  params.hash_seed = seed;
+  return params;
+}
+
+std::vector<WeightedEdge> weighted(const std::vector<Edge>& edges,
+                                   const std::function<double(ElemId)>& weight) {
+  std::vector<WeightedEdge> out;
+  out.reserve(edges.size());
+  for (const Edge& edge : edges) {
+    out.push_back({edge.set, edge.elem, weight(edge.elem)});
+  }
+  return out;
+}
+
+double true_weighted_coverage(const CoverageInstance& g,
+                              std::span<const SetId> family,
+                              const std::function<double(ElemId)>& weight) {
+  const BitVec mask = g.covered_mask(family);
+  double total = 0.0;
+  for (ElemId e = 0; e < g.num_elems(); ++e) {
+    if (mask.test(e)) total += weight(e);
+  }
+  return total;
+}
+
+TEST(WeightedSketch, UnitWeightsMatchUnweightedRetention) {
+  // With w == 1 the exponential keys are monotone in the unit hash, so the
+  // retained element set must equal the unweighted sketch's.
+  const GeneratedInstance gen = make_uniform(40, 1000, 25, 3);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 1);
+  const SketchParams params = wparams(40, 5, 400, 123);
+
+  SubsampleSketch plain(params);
+  for (const Edge& edge : edges) plain.update(edge);
+  WeightedSubsampleSketch weighted_sketch(params);
+  for (const Edge& edge : edges) weighted_sketch.update({edge.set, edge.elem, 1.0});
+
+  EXPECT_EQ(weighted_sketch.retained_elements(), plain.retained_elements());
+  EXPECT_EQ(weighted_sketch.stored_edges(), plain.stored_edges());
+  for (ElemId e = 0; e < gen.graph.num_elems(); ++e) {
+    EXPECT_EQ(weighted_sketch.is_retained(e), plain.is_retained(e)) << e;
+  }
+}
+
+TEST(WeightedSketch, UnsaturatedEstimateIsExact) {
+  const GeneratedInstance gen = make_uniform(20, 200, 10, 4);
+  auto weight = [](ElemId e) { return 1.0 + static_cast<double>(e % 5); };
+  WeightedSubsampleSketch sketch(wparams(20, 4, 1 << 20));
+  for (const auto& edge :
+       weighted(ordered_edges(gen.graph, ArrivalOrder::kRandom, 2), weight)) {
+    sketch.update(edge);
+  }
+  EXPECT_FALSE(sketch.saturated());
+  const std::vector<SetId> family{0, 3, 9};
+  EXPECT_NEAR(sketch.estimate_weighted_coverage(family),
+              true_weighted_coverage(gen.graph, family, weight), 1e-9);
+}
+
+TEST(WeightedSketch, HeavyElementsPreferentiallyRetained) {
+  // Two weight classes; under saturation the heavy class must be retained at
+  // a visibly higher rate.
+  const ElemId m = 4000;
+  std::vector<WeightedEdge> edges;
+  auto weight = [](ElemId e) { return e < 2000 ? 20.0 : 1.0; };
+  for (ElemId e = 0; e < m; ++e) edges.push_back({0, e, weight(e)});
+  SketchParams params = wparams(1, 1, 800);
+  params.enforce_degree_cap = false;
+  WeightedSubsampleSketch sketch(params);
+  for (const auto& edge : edges) sketch.update(edge);
+  std::size_t heavy = 0, light = 0;
+  for (ElemId e = 0; e < m; ++e) {
+    if (!sketch.is_retained(e)) continue;
+    (e < 2000 ? heavy : light) += 1;
+  }
+  EXPECT_GT(heavy, 4 * light);
+}
+
+class WeightedAccuracy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WeightedAccuracy, HtEstimateConcentrates) {
+  const std::size_t budget = GetParam();
+  const GeneratedInstance gen = make_uniform(60, 20000, 400, 5);
+  auto weight = [](ElemId e) { return 0.5 + static_cast<double>(e % 7); };
+  const std::vector<SetId> family{1, 5, 9, 22, 41};
+  const double truth = true_weighted_coverage(gen.graph, family, weight);
+
+  double total_rel_err = 0.0;
+  const int trials = 6;
+  for (int t = 0; t < trials; ++t) {
+    WeightedSubsampleSketch sketch(wparams(60, 5, budget, 900 + t));
+    for (const auto& edge :
+         weighted(ordered_edges(gen.graph, ArrivalOrder::kRandom, t), weight)) {
+      sketch.update(edge);
+    }
+    total_rel_err += std::abs(sketch.estimate_weighted_coverage(family) - truth) /
+                     truth;
+  }
+  EXPECT_LT(total_rel_err / trials, 8.0 / std::sqrt(static_cast<double>(budget) / 8.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, WeightedAccuracy,
+                         ::testing::Values(2000, 8000, 32000));
+
+TEST(WeightedGreedy, PrefersHeavyBlocks) {
+  // Set 0 covers 30 heavy elements, set 1 covers 60 light ones: unweighted
+  // greedy would pick set 1; weighted greedy must pick set 0 first.
+  std::vector<WeightedEdge> edges;
+  for (ElemId e = 0; e < 30; ++e) edges.push_back({0, e, 10.0});
+  for (ElemId e = 100; e < 160; ++e) edges.push_back({1, e, 1.0});
+  WeightedSubsampleSketch sketch(wparams(2, 1, 1 << 20));
+  for (const auto& edge : edges) sketch.update(edge);
+  const WeightedGreedyResult greedy = weighted_greedy_max_cover(sketch.view(), 1);
+  ASSERT_EQ(greedy.solution.size(), 1u);
+  EXPECT_EQ(greedy.solution[0], 0u);
+  EXPECT_NEAR(greedy.value, 300.0, 1e-9);
+}
+
+TEST(WeightedGreedy, ViewEstimateMatchesSketchEstimate) {
+  const GeneratedInstance gen = make_uniform(30, 2000, 50, 6);
+  auto weight = [](ElemId e) { return 1.0 + (e % 3); };
+  WeightedSubsampleSketch sketch(wparams(30, 4, 600));
+  for (const auto& edge :
+       weighted(ordered_edges(gen.graph, ArrivalOrder::kRandom, 3), weight)) {
+    sketch.update(edge);
+  }
+  const WeightedSketchView view = sketch.view();
+  const std::vector<SetId> family{2, 7, 13};
+  EXPECT_NEAR(view.estimate_weighted_coverage(family),
+              sketch.estimate_weighted_coverage(family), 1e-9);
+}
+
+TEST(WeightedKCover, EndToEndBeatsUnweightedChoiceOnSkewedWeights) {
+  // Planted: k blocks of equal size, one block carries 10x element weight.
+  // With k = 1 the weighted algorithm must find the heavy block.
+  const std::uint32_t blocks = 6;
+  const ElemId block_size = 200;
+  std::vector<WeightedEdge> stream;
+  auto weight = [&](ElemId e) { return e < block_size ? 10.0 : 1.0; };
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    for (ElemId i = 0; i < block_size; ++i) {
+      const ElemId e = static_cast<ElemId>(b) * block_size + i;
+      stream.push_back({b, e, weight(e)});
+    }
+  }
+  const WeightedKCoverResult result =
+      streaming_weighted_kcover(stream, blocks, 1, wparams(blocks, 1, 300));
+  ASSERT_EQ(result.solution.size(), 1u);
+  EXPECT_EQ(result.solution[0], 0u) << "must pick the heavy block";
+}
+
+TEST(WeightedSketch, SpaceAccounting) {
+  WeightedSubsampleSketch sketch(wparams(10, 2, 100));
+  for (ElemId e = 0; e < 50; ++e) sketch.update({0, e, 2.0});
+  EXPECT_GT(sketch.space_words(), 50u);
+  EXPECT_GE(sketch.peak_space_words(), sketch.space_words());
+}
+
+TEST(WeightedSketch, BudgetRespected) {
+  WeightedSubsampleSketch sketch(wparams(5, 1, 64));
+  for (ElemId e = 0; e < 5000; ++e) sketch.update({static_cast<SetId>(e % 5), e, 1.0});
+  EXPECT_LE(sketch.stored_edges(), 64u);
+  EXPECT_TRUE(sketch.saturated());
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "graph/coverage_instance.hpp"
+#include "graph/instance_stats.hpp"
+
+namespace covstream {
+namespace {
+
+CoverageInstance tiny() {
+  // Sets: 0 = {0,1,2}, 1 = {2,3}, 2 = {4}, 3 = {} (empty).
+  return CoverageInstance::from_edges(
+      4, 5, {{0, 0}, {0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}});
+}
+
+TEST(CoverageInstance, BasicCounts) {
+  const CoverageInstance g = tiny();
+  EXPECT_EQ(g.num_sets(), 4u);
+  EXPECT_EQ(g.num_elems(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+}
+
+TEST(CoverageInstance, ElementsOfSet) {
+  const CoverageInstance g = tiny();
+  const auto e0 = g.elements_of(0);
+  EXPECT_EQ(std::vector<ElemId>(e0.begin(), e0.end()), (std::vector<ElemId>{0, 1, 2}));
+  EXPECT_TRUE(g.elements_of(3).empty());
+}
+
+TEST(CoverageInstance, SetsOfElement) {
+  const CoverageInstance g = tiny();
+  const auto s2 = g.sets_of(2);
+  EXPECT_EQ(std::vector<SetId>(s2.begin(), s2.end()), (std::vector<SetId>{0, 1}));
+}
+
+TEST(CoverageInstance, DuplicateEdgesCollapse) {
+  const CoverageInstance g =
+      CoverageInstance::from_edges(2, 3, {{0, 1}, {0, 1}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.set_size(0), 1u);
+}
+
+TEST(CoverageInstance, CoverageFunctionMatchesUnion) {
+  const CoverageInstance g = tiny();
+  const std::vector<SetId> family{0, 1};
+  EXPECT_EQ(g.coverage(family), 4u);  // {0,1,2,3}
+  const std::vector<SetId> all{0, 1, 2, 3};
+  EXPECT_EQ(g.coverage(all), 5u);
+  const std::vector<SetId> empty_family;
+  EXPECT_EQ(g.coverage(empty_family), 0u);
+}
+
+TEST(CoverageInstance, CoverageIsMonotoneAndSubmodular) {
+  const CoverageInstance g = tiny();
+  // Spot-check monotonicity and submodularity on all pairs.
+  for (SetId a = 0; a < g.num_sets(); ++a) {
+    for (SetId b = 0; b < g.num_sets(); ++b) {
+      const std::vector<SetId> fa{a}, fb{b}, fab{a, b};
+      const std::size_t ca = g.coverage(fa);
+      const std::size_t cb = g.coverage(fb);
+      const std::size_t cab = g.coverage(fab);
+      EXPECT_GE(cab, ca);
+      EXPECT_GE(cab, cb);
+      EXPECT_LE(cab, ca + cb);  // submodularity for two sets
+    }
+  }
+}
+
+TEST(CoverageInstance, CoveredMaskMatchesCoverage) {
+  const CoverageInstance g = tiny();
+  const std::vector<SetId> family{1, 2};
+  const BitVec mask = g.covered_mask(family);
+  EXPECT_EQ(mask.count(), g.coverage(family));
+  EXPECT_TRUE(mask.test(2));
+  EXPECT_TRUE(mask.test(3));
+  EXPECT_TRUE(mask.test(4));
+  EXPECT_FALSE(mask.test(0));
+}
+
+TEST(CoverageInstance, EdgeListRoundTrips) {
+  const CoverageInstance g = tiny();
+  const std::vector<Edge> edges = g.edge_list();
+  const CoverageInstance g2 =
+      CoverageInstance::from_edges(g.num_sets(), g.num_elems(), edges);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (SetId s = 0; s < g.num_sets(); ++s) {
+    const auto a = g.elements_of(s);
+    const auto b = g2.elements_of(s);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(CoverageInstance, IsolatedElementsCounted) {
+  // Element 3 is isolated.
+  const CoverageInstance g = CoverageInstance::from_edges(1, 4, {{0, 0}, {0, 1}});
+  EXPECT_EQ(g.num_covered_by_all(), 2u);
+  const InstanceStats stats = compute_stats(g);
+  EXPECT_EQ(stats.isolated_elems, 2u);
+}
+
+TEST(CoverageInstance, EmptyInstance) {
+  const CoverageInstance g = CoverageInstance::from_edges(2, 2, {});
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.coverage(std::vector<SetId>{0, 1}), 0u);
+}
+
+TEST(InstanceStats, ComputesDegreeExtremes) {
+  const CoverageInstance g = tiny();
+  const InstanceStats stats = compute_stats(g);
+  EXPECT_EQ(stats.max_set_size, 3u);
+  EXPECT_EQ(stats.max_elem_degree, 2u);
+  EXPECT_EQ(stats.num_edges, 6u);
+  EXPECT_DOUBLE_EQ(stats.avg_set_size, 6.0 / 4.0);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+}  // namespace
+}  // namespace covstream

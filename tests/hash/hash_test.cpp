@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "hash/hash64.hpp"
+#include "hash/tabulation.hpp"
+
+namespace covstream {
+namespace {
+
+TEST(Mix64, DeterministicAndDistinct) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outputs.insert(mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u) << "no collisions on small consecutive inputs";
+}
+
+TEST(Mix64, AvalancheFlipsAboutHalfTheBits) {
+  double total_flips = 0.0;
+  const int trials = 1000;
+  for (std::uint64_t i = 0; i < trials; ++i) {
+    const std::uint64_t a = mix64(i);
+    const std::uint64_t b = mix64(i ^ 1);  // one input bit flipped
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  EXPECT_NEAR(total_flips / trials, 32.0, 2.0);
+}
+
+TEST(Mix64Hash, SeedChangesFunction) {
+  Mix64Hash h1(1), h2(2);
+  int same = 0;
+  for (ElemId e = 0; e < 100; ++e) same += h1(e) == h2(e) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Mix64Hash, SameSeedSameFunction) {
+  Mix64Hash h1(7), h2(7);
+  for (ElemId e = 0; e < 100; ++e) EXPECT_EQ(h1(e), h2(e));
+}
+
+TEST(UnitHash, RangeAndMonotonicity) {
+  EXPECT_EQ(hash_to_unit(0), 0.0);
+  EXPECT_LT(hash_to_unit(~0ULL), 1.0);
+  EXPECT_GE(hash_to_unit(~0ULL), 1.0 - 1e-9);
+  EXPECT_LT(hash_to_unit(1ULL << 62), hash_to_unit(1ULL << 63));
+}
+
+TEST(UnitHash, ThresholdRoundTrips) {
+  EXPECT_EQ(unit_to_threshold(0.0), 0u);
+  EXPECT_EQ(unit_to_threshold(1.0), ~0ULL);
+  EXPECT_EQ(unit_to_threshold(-0.5), 0u);
+  EXPECT_EQ(unit_to_threshold(2.0), ~0ULL);
+  // h <= threshold(p) should happen for about a p-fraction of hashes.
+  const std::uint64_t half = unit_to_threshold(0.5);
+  EXPECT_NEAR(static_cast<double>(half) / std::pow(2.0, 64), 0.5, 1e-9);
+}
+
+TEST(UnitHash, EmpiricalUniformity) {
+  Mix64Hash hash(3);
+  const int buckets = 16;
+  std::vector<int> histogram(buckets, 0);
+  const int draws = 160000;
+  for (ElemId e = 0; e < draws; ++e) {
+    ++histogram[static_cast<int>(hash_to_unit(hash(e)) * buckets)];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, draws / buckets, draws / buckets * 0.1);
+  }
+}
+
+TEST(Tabulation, Deterministic) {
+  TabulationHash h1(5), h2(5);
+  for (ElemId e = 0; e < 1000; ++e) EXPECT_EQ(h1(e), h2(e));
+}
+
+TEST(Tabulation, SeedChangesFunction) {
+  TabulationHash h1(1), h2(2);
+  int same = 0;
+  for (ElemId e = 0; e < 1000; ++e) same += h1(e) == h2(e) ? 1 : 0;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Tabulation, UsesAllInputBytes) {
+  TabulationHash hash(9);
+  // Flipping a byte anywhere in the 64-bit id must change the hash.
+  const ElemId base = 0x0123456789abcdefULL;
+  for (int byte = 0; byte < 8; ++byte) {
+    const ElemId flipped = base ^ (ElemId{0xff} << (8 * byte));
+    EXPECT_NE(hash(base), hash(flipped));
+  }
+}
+
+TEST(Tabulation, EmpiricalUniformity) {
+  TabulationHash hash(13);
+  const int buckets = 16;
+  std::vector<int> histogram(buckets, 0);
+  const int draws = 160000;
+  for (ElemId e = 0; e < draws; ++e) {
+    ++histogram[static_cast<int>(hash_to_unit(hash(e)) * buckets)];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, draws / buckets, draws / buckets * 0.1);
+  }
+}
+
+TEST(Tabulation, PairwiseIndependenceSpotCheck) {
+  // For a 3-independent family, P[h(x) < t and h(y) < t] = t^2 where the
+  // probability is over the table draw — so average over seeds.
+  const double t = 0.25;
+  int both = 0;
+  int trials = 0;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    TabulationHash hash(seed);
+    for (int i = 0; i < 1000; ++i) {
+      const bool x = hash_to_unit(hash(i)) < t;
+      const bool y = hash_to_unit(hash(i + 1'000'000)) < t;
+      both += (x && y) ? 1 : 0;
+      ++trials;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(both) / trials, t * t, 0.01);
+}
+
+}  // namespace
+}  // namespace covstream

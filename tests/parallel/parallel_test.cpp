@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace covstream {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, ThreadCountRespected) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreWorkBeforeWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] {
+      counter.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for_blocked(
+      &pool, hits.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/64);
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelFor, SerialFallbackWithoutPool) {
+  std::vector<int> hits(100, 0);
+  parallel_for_blocked(nullptr, hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for_blocked(&pool, 0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeStaysSerial) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10, 0);
+  parallel_for_blocked(
+      &pool, hits.size(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      },
+      /*grain=*/1024);
+  for (const int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+TEST(ParallelFor, MatchesSerialReduction) {
+  ThreadPool pool(4);
+  const std::size_t count = 100000;
+  std::vector<long long> partial(count);
+  parallel_for_blocked(&pool, count, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) partial[i] = static_cast<long long>(i);
+  });
+  long long sum = std::accumulate(partial.begin(), partial.end(), 0LL);
+  EXPECT_EQ(sum, static_cast<long long>(count) * (count - 1) / 2);
+}
+
+}  // namespace
+}  // namespace covstream

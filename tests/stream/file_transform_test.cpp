@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "stream/arrival_order.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/file_stream.hpp"
+#include "stream/transforms.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<Edge> drain(EdgeStream& stream) {
+  std::vector<Edge> edges;
+  run_pass(stream, [&](const Edge& edge) { edges.push_back(edge); });
+  return edges;
+}
+
+TEST(TextFile, RoundTrip) {
+  const std::vector<Edge> edges{{0, 5}, {7, 123456789012345ULL}, {2, 0}};
+  const std::string path = temp_path("roundtrip.txt");
+  EXPECT_EQ(write_text_edges(path, edges), 3u);
+  TextFileStream stream(path);
+  EXPECT_EQ(drain(stream), edges);
+  EXPECT_EQ(stream.malformed_lines(), 0u);
+}
+
+TEST(TextFile, SkipsCommentsAndMalformedLines) {
+  const std::string path = temp_path("messy.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "# header\n\n1 10\nnot an edge\n  # indented comment\n2 20\n");
+  std::fclose(f);
+  TextFileStream stream(path);
+  const auto edges = drain(stream);
+  EXPECT_EQ(edges, (std::vector<Edge>{{1, 10}, {2, 20}}));
+  EXPECT_EQ(stream.malformed_lines(), 1u);
+}
+
+TEST(TextFile, MultiplePassesReread) {
+  const std::vector<Edge> edges{{1, 2}, {3, 4}};
+  const std::string path = temp_path("multipass.txt");
+  write_text_edges(path, edges);
+  TextFileStream stream(path);
+  EXPECT_EQ(drain(stream), edges);
+  EXPECT_EQ(drain(stream), edges);
+  EXPECT_EQ(stream.passes_started(), 2u);
+}
+
+TEST(BinaryFile, RoundTripAndCount) {
+  const GeneratedInstance gen = make_uniform(20, 100, 8, 5);
+  const std::vector<Edge> edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 1);
+  const std::string path = temp_path("roundtrip.bin");
+  write_binary_edges(path, edges);
+  BinaryFileStream stream(path);
+  EXPECT_EQ(stream.edges_per_pass(), edges.size());
+  EXPECT_EQ(drain(stream), edges);
+}
+
+TEST(BinaryFile, EmptyFileHasZeroEdges) {
+  const std::string path = temp_path("empty.bin");
+  write_binary_edges(path, {});
+  BinaryFileStream stream(path);
+  EXPECT_EQ(stream.edges_per_pass(), 0u);
+  Edge edge;
+  stream.reset();
+  EXPECT_FALSE(stream.next(edge));
+}
+
+TEST(FilterStream, KeepsMatchingOnly) {
+  VectorStream base({{0, 1}, {1, 2}, {0, 3}, {2, 4}});
+  FilterStream filtered(&base, [](const Edge& e) { return e.set == 0; });
+  EXPECT_EQ(drain(filtered), (std::vector<Edge>{{0, 1}, {0, 3}}));
+}
+
+TEST(FilterStream, PassPropagates) {
+  VectorStream base({{0, 1}});
+  FilterStream filtered(&base, [](const Edge&) { return true; });
+  drain(filtered);
+  drain(filtered);
+  EXPECT_EQ(base.passes_started(), 2u);
+}
+
+TEST(SampleStream, RateZeroAndOne) {
+  const GeneratedInstance gen = make_uniform(10, 100, 10, 6);
+  VectorStream base(ordered_edges(gen.graph, ArrivalOrder::kRandom, 2));
+  SampleStream none(&base, 0.0, 1);
+  EXPECT_TRUE(drain(none).empty());
+  SampleStream all(&base, 1.0, 1);
+  EXPECT_EQ(drain(all).size(), gen.graph.num_edges());
+}
+
+TEST(SampleStream, ApproximatesRate) {
+  const GeneratedInstance gen = make_uniform(50, 5000, 100, 7);
+  VectorStream base(ordered_edges(gen.graph, ArrivalOrder::kRandom, 3));
+  SampleStream sampled(&base, 0.3, 9);
+  const double kept = static_cast<double>(drain(sampled).size());
+  EXPECT_NEAR(kept / static_cast<double>(gen.graph.num_edges()), 0.3, 0.03);
+}
+
+TEST(SampleStream, StableAcrossPasses) {
+  const GeneratedInstance gen = make_uniform(20, 500, 20, 8);
+  VectorStream base(ordered_edges(gen.graph, ArrivalOrder::kRandom, 4));
+  SampleStream sampled(&base, 0.5, 11);
+  EXPECT_EQ(drain(sampled), drain(sampled))
+      << "the same edge must get the same verdict on every pass";
+}
+
+TEST(LimitStream, TruncatesEachPass) {
+  VectorStream base({{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  LimitStream limited(&base, 2);
+  EXPECT_EQ(drain(limited).size(), 2u);
+  EXPECT_EQ(drain(limited).size(), 2u);  // fresh limit per pass
+}
+
+TEST(LimitStream, LimitBeyondLengthIsHarmless) {
+  VectorStream base({{0, 1}});
+  LimitStream limited(&base, 100);
+  EXPECT_EQ(drain(limited).size(), 1u);
+}
+
+TEST(ConcatStream, OrderedConcatenation) {
+  VectorStream a({{0, 1}, {0, 2}});
+  VectorStream b({{1, 3}});
+  ConcatStream both({&a, &b});
+  EXPECT_EQ(drain(both), (std::vector<Edge>{{0, 1}, {0, 2}, {1, 3}}));
+  EXPECT_EQ(both.edges_per_pass(), 3u);
+  // Second pass resets all parts.
+  EXPECT_EQ(drain(both).size(), 3u);
+}
+
+TEST(DuplicateStream, RepeatsEachEdge) {
+  VectorStream base({{0, 1}, {1, 2}});
+  DuplicateStream doubled(&base, 3);
+  EXPECT_EQ(drain(doubled),
+            (std::vector<Edge>{{0, 1}, {0, 1}, {0, 1}, {1, 2}, {1, 2}, {1, 2}}));
+  EXPECT_EQ(doubled.edges_per_pass(), 6u);
+}
+
+TEST(Transforms, ComposeIntoPipelines) {
+  const GeneratedInstance gen = make_uniform(30, 1000, 30, 9);
+  VectorStream base(ordered_edges(gen.graph, ArrivalOrder::kRandom, 5));
+  SampleStream sampled(&base, 0.5, 13);
+  FilterStream evens(&sampled, [](const Edge& e) { return e.elem % 2 == 0; });
+  LimitStream limited(&evens, 50);
+  const auto edges = drain(limited);
+  EXPECT_LE(edges.size(), 50u);
+  for (const Edge& edge : edges) EXPECT_EQ(edge.elem % 2, 0u);
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "stream/arrival_order.hpp"
+#include "stream/edge_stream.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+std::vector<Edge> drain(EdgeStream& stream) {
+  std::vector<Edge> edges;
+  run_pass(stream, [&](const Edge& edge) { edges.push_back(edge); });
+  return edges;
+}
+
+TEST(VectorStream, DeliversAllEdgesInOrder) {
+  const std::vector<Edge> edges{{0, 5}, {1, 6}, {0, 7}};
+  VectorStream stream(edges);
+  EXPECT_EQ(drain(stream), edges);
+}
+
+TEST(VectorStream, MultiplePassesIdentical) {
+  VectorStream stream({{0, 1}, {1, 2}});
+  const auto pass1 = drain(stream);
+  const auto pass2 = drain(stream);
+  EXPECT_EQ(pass1, pass2);
+  EXPECT_EQ(stream.passes_started(), 2u);
+}
+
+TEST(VectorStream, EdgesPerPass) {
+  VectorStream stream({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(stream.edges_per_pass(), 3u);
+}
+
+TEST(VectorStream, EmptyStream) {
+  VectorStream stream({});
+  Edge edge;
+  stream.reset();
+  EXPECT_FALSE(stream.next(edge));
+}
+
+class ArrivalOrderTest : public ::testing::TestWithParam<ArrivalOrder> {};
+
+TEST_P(ArrivalOrderTest, IsPermutationOfInstanceEdges) {
+  const GeneratedInstance gen = make_uniform(20, 100, 8, 77);
+  std::vector<Edge> reference = gen.graph.edge_list();
+  std::vector<Edge> ordered = ordered_edges(gen.graph, GetParam(), 123);
+  auto key = [](const Edge& e) {
+    return std::pair<SetId, ElemId>(e.set, e.elem);
+  };
+  auto cmp = [&](const Edge& a, const Edge& b) { return key(a) < key(b); };
+  std::sort(reference.begin(), reference.end(), cmp);
+  std::sort(ordered.begin(), ordered.end(), cmp);
+  EXPECT_EQ(reference, ordered);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, ArrivalOrderTest,
+                         ::testing::Values(ArrivalOrder::kSetMajor,
+                                           ArrivalOrder::kSetMajorShuffled,
+                                           ArrivalOrder::kRandom,
+                                           ArrivalOrder::kElementMajor,
+                                           ArrivalOrder::kRoundRobin),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+TEST(ArrivalOrder, SetMajorIsSetArrival) {
+  const GeneratedInstance gen = make_uniform(15, 60, 6, 3);
+  EXPECT_TRUE(is_set_arrival(ordered_edges(gen.graph, ArrivalOrder::kSetMajor, 0)));
+  EXPECT_TRUE(is_set_arrival(
+      ordered_edges(gen.graph, ArrivalOrder::kSetMajorShuffled, 11)));
+}
+
+TEST(ArrivalOrder, RoundRobinIsNotSetArrival) {
+  const GeneratedInstance gen = make_uniform(10, 50, 5, 4);
+  EXPECT_FALSE(is_set_arrival(ordered_edges(gen.graph, ArrivalOrder::kRoundRobin, 0)));
+}
+
+TEST(ArrivalOrder, RandomShuffleDependsOnSeed) {
+  const GeneratedInstance gen = make_uniform(10, 50, 5, 4);
+  const auto a = ordered_edges(gen.graph, ArrivalOrder::kRandom, 1);
+  const auto b = ordered_edges(gen.graph, ArrivalOrder::kRandom, 2);
+  EXPECT_NE(a, b);
+  const auto a2 = ordered_edges(gen.graph, ArrivalOrder::kRandom, 1);
+  EXPECT_EQ(a, a2) << "same seed must reproduce the order";
+}
+
+TEST(ArrivalOrder, ElementMajorGroupsElements) {
+  const GeneratedInstance gen = make_uniform(10, 30, 5, 9);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kElementMajor, 0);
+  // Each element's edges must be contiguous.
+  std::map<ElemId, int> state;  // 0 unseen, 1 open, 2 closed
+  ElemId current = kInvalidElem;
+  for (const Edge& edge : edges) {
+    if (edge.elem == current) continue;
+    EXPECT_EQ(state[edge.elem], 0) << "element resumed after closing";
+    if (current != kInvalidElem) state[current] = 2;
+    state[edge.elem] = 1;
+    current = edge.elem;
+  }
+}
+
+TEST(IsSetArrival, DetectsFragmentation) {
+  EXPECT_TRUE(is_set_arrival({{0, 1}, {0, 2}, {1, 3}}));
+  EXPECT_FALSE(is_set_arrival({{0, 1}, {1, 3}, {0, 2}}));
+  EXPECT_TRUE(is_set_arrival({}));
+}
+
+}  // namespace
+}  // namespace covstream

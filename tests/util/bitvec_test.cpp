@@ -1,0 +1,136 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace covstream {
+namespace {
+
+TEST(BitVec, StartsEmpty) {
+  BitVec bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(bits.test(i));
+}
+
+TEST(BitVec, SetAndTest) {
+  BitVec bits(130);
+  bits.set(0);
+  bits.set(63);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_FALSE(bits.test(128));
+  EXPECT_EQ(bits.count(), 4u);
+}
+
+TEST(BitVec, SetIfClearReportsTransition) {
+  BitVec bits(10);
+  EXPECT_TRUE(bits.set_if_clear(3));
+  EXPECT_FALSE(bits.set_if_clear(3));
+  EXPECT_EQ(bits.count(), 1u);
+}
+
+TEST(BitVec, Reset) {
+  BitVec bits(70);
+  bits.set(65);
+  bits.reset(65);
+  EXPECT_FALSE(bits.test(65));
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(BitVec, Clear) {
+  BitVec bits(200);
+  for (std::size_t i = 0; i < 200; i += 3) bits.set(i);
+  bits.clear();
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(BitVec, OrWith) {
+  BitVec a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  a.or_with(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(50));
+  EXPECT_TRUE(a.test(99));
+}
+
+TEST(BitVec, CountAndNot) {
+  BitVec covered(100), candidate(100);
+  covered.set(1);
+  covered.set(2);
+  candidate.set(2);
+  candidate.set(3);
+  candidate.set(4);
+  // Gain of candidate over covered = |{3, 4}|.
+  EXPECT_EQ(covered.count_and_not(candidate), 2u);
+}
+
+TEST(BitVec, CountOr) {
+  BitVec a(100), b(100);
+  a.set(1);
+  b.set(1);
+  b.set(2);
+  EXPECT_EQ(a.count_or(b), 2u);
+  EXPECT_EQ(a.count(), 1u) << "count_or must not mutate";
+}
+
+TEST(BitVec, ZeroSize) {
+  BitVec bits(0);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_EQ(bits.size(), 0u);
+}
+
+TEST(BitVec, ResizeResets) {
+  BitVec bits(10);
+  bits.set(5);
+  bits.resize(20);
+  EXPECT_EQ(bits.count(), 0u);
+  EXPECT_EQ(bits.size(), 20u);
+}
+
+TEST(BitVec, EqualityIsValueBased) {
+  BitVec a(64), b(64);
+  a.set(13);
+  b.set(13);
+  EXPECT_EQ(a, b);
+  b.set(14);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitVec, SpaceWordsMatchesSize) {
+  EXPECT_EQ(BitVec(64).space_words(), 1u);
+  EXPECT_EQ(BitVec(65).space_words(), 2u);
+  EXPECT_EQ(BitVec(6400).space_words(), 100u);
+}
+
+TEST(BitVec, CountMatchesReferenceOnRandomPattern) {
+  Rng rng(7);
+  BitVec bits(1000);
+  std::vector<bool> reference(1000, false);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t pos = rng.next_below(std::uint64_t{1000});
+    bits.set(pos);
+    reference[pos] = true;
+  }
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(bits.test(i), reference[i]);
+    expected += reference[i] ? 1 : 0;
+  }
+  EXPECT_EQ(bits.count(), expected);
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,60 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace covstream {
+namespace {
+
+CliArgs make_args(std::vector<std::string> argv) {
+  static std::vector<std::string> storage;
+  storage = std::move(argv);
+  static std::vector<char*> pointers;
+  pointers.clear();
+  for (auto& arg : storage) pointers.push_back(arg.data());
+  return CliArgs(static_cast<int>(pointers.size()), pointers.data());
+}
+
+TEST(CliArgs, ParsesKeyValue) {
+  CliArgs args = make_args({"prog", "--n=100", "--eps=0.25", "--name=zipf"});
+  EXPECT_EQ(args.get_size("n", 0), 100u);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.0), 0.25);
+  EXPECT_EQ(args.get_string("name", ""), "zipf");
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  CliArgs args = make_args({"prog"});
+  EXPECT_EQ(args.get_size("n", 7), 7u);
+  EXPECT_DOUBLE_EQ(args.get_double("eps", 0.5), 0.5);
+  EXPECT_EQ(args.get_string("name", "default"), "default");
+  EXPECT_TRUE(args.get_bool("flag", true));
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  CliArgs args = make_args({"prog", "--verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgs, BoolValues) {
+  CliArgs args = make_args({"prog", "--a=true", "--b=0", "--c=yes", "--d=no"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(CliArgs, HasReportsPresence) {
+  CliArgs args = make_args({"prog", "--x=1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_FALSE(args.has("y"));
+}
+
+TEST(CliArgs, FinishPassesWhenAllConsumed) {
+  CliArgs args = make_args({"prog", "--x=1"});
+  args.get_size("x", 0);
+  args.finish();  // must not abort
+}
+
+}  // namespace
+}  // namespace covstream

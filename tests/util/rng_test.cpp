@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace covstream {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(std::uint64_t{17}), 17u);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(std::uint64_t{1}), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> buckets(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++buckets[rng.next_below(std::uint64_t{10})];
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UnitMeanNearHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) sum += rng.next_unit();
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(7);
+  int yes = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) yes += rng.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(yes) / draws, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(8);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[i] = i;
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items) << "astronomically unlikely to be identity";
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, PermutationCoversRange) {
+  Rng rng(9);
+  const auto perm = rng.permutation(257);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 256u);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(10);
+  const auto sample = rng.sample_without_replacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<std::uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 100u);
+  for (const std::uint32_t value : sample) EXPECT_LT(value, 1000u);
+}
+
+TEST(Rng, SampleWholeUniverse) {
+  Rng rng(11);
+  const auto sample = rng.sample_without_replacement(50, 50);
+  std::set<std::uint32_t> seen(sample.begin(), sample.end());
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(Rng, SplitProducesIndependentSeeds) {
+  Rng rng(12);
+  const auto seeds = rng.split(10);
+  std::set<std::uint64_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SplitMix, DeterministicSequence) {
+  std::uint64_t s1 = 99, s2 = 99;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,57 @@
+#include "util/space_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace covstream {
+namespace {
+
+TEST(SpaceMeter, TracksPeak) {
+  SpaceMeter meter;
+  meter.allocate(100);
+  meter.allocate(50);
+  meter.release(120);
+  EXPECT_EQ(meter.current_words(), 30u);
+  EXPECT_EQ(meter.peak_words(), 150u);
+}
+
+TEST(SpaceMeter, ReleaseClampsAtZero) {
+  SpaceMeter meter;
+  meter.allocate(10);
+  meter.release(100);
+  EXPECT_EQ(meter.current_words(), 0u);
+}
+
+TEST(SpaceMeter, SetCurrentUpdatesPeak) {
+  SpaceMeter meter;
+  meter.set_current(500);
+  meter.set_current(100);
+  EXPECT_EQ(meter.current_words(), 100u);
+  EXPECT_EQ(meter.peak_words(), 500u);
+}
+
+TEST(SpaceMeter, Reset) {
+  SpaceMeter meter;
+  meter.allocate(7);
+  meter.reset();
+  EXPECT_EQ(meter.current_words(), 0u);
+  EXPECT_EQ(meter.peak_words(), 0u);
+}
+
+TEST(SpaceMeter, AbsorbConcurrentAddsPeaks) {
+  SpaceMeter a, b;
+  a.allocate(100);
+  b.allocate(300);
+  b.release(200);
+  a.absorb_concurrent(b);
+  EXPECT_EQ(a.current_words(), 200u);
+  EXPECT_EQ(a.peak_words(), 400u);
+}
+
+TEST(FormatWords, UsesScaledUnits) {
+  EXPECT_EQ(format_words(12), "12 w");
+  EXPECT_EQ(format_words(12'000), "12.0 Kw");
+  EXPECT_EQ(format_words(12'000'000), "12.0 Mw");
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace covstream {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat stat;
+  stat.add(5.0);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(x);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(RunningStat, StderrShrinksWithN) {
+  RunningStat small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.stderror(), large.stderror());
+}
+
+TEST(RunningStat, SummaryFormatsMeanAndError) {
+  RunningStat stat;
+  stat.add(1.0);
+  stat.add(3.0);
+  // stddev = sqrt(2), stderr = sqrt(2)/sqrt(2) = 1.
+  EXPECT_EQ(stat.summary(1), "2.0 ± 1.0");
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<double> values{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 9.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Correlation, PerfectPositive) {
+  EXPECT_NEAR(correlation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  EXPECT_NEAR(correlation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  EXPECT_EQ(correlation({1, 1, 1}, {2, 3, 4}), 0.0);
+}
+
+TEST(LogLogSlope, RecoversPowerLawExponent) {
+  std::vector<double> xs, ys;
+  for (const double x : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 1.7));
+  }
+  EXPECT_NEAR(loglog_slope(xs, ys), 1.7, 1e-9);
+}
+
+TEST(LogLogSlope, FlatSeriesIsZero) {
+  EXPECT_NEAR(loglog_slope({1.0, 2.0, 4.0}, {5.0, 5.0, 5.0}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace covstream

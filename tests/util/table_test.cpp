@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace covstream {
+namespace {
+
+TEST(Table, TextAlignsColumns) {
+  Table table({"name", "value"});
+  table.row().cell("alpha").cell(std::size_t{42});
+  table.row().cell("b").cell(std::size_t{7});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::size_t expected = text.find('\n');
+  for (std::size_t pos = 0; pos < text.size();) {
+    const std::size_t next = text.find('\n', pos);
+    EXPECT_EQ(next - pos, expected);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, DoubleCellRespectsPrecision) {
+  Table table({"x"});
+  table.row().cell(3.14159, 2);
+  EXPECT_NE(table.to_text().find("3.14"), std::string::npos);
+  EXPECT_EQ(table.to_text().find("3.142"), std::string::npos);
+}
+
+TEST(Table, MarkdownHasHeaderSeparator) {
+  Table table({"a", "b"});
+  table.row().cell("1").cell("2");
+  const std::string md = table.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table table({"x"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.row().cell("1");
+  table.row().cell("2");
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, IntCellTypes) {
+  Table table({"a", "b", "c"});
+  table.row().cell(1).cell(static_cast<long long>(-5)).cell(std::size_t{9});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("-5"), std::string::npos);
+  EXPECT_NE(text.find("9"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace covstream

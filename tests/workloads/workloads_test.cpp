@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/offline_greedy.hpp"
+#include "graph/instance_stats.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace covstream {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, HeadIsHeavierThanTail) {
+  const ZipfSampler zipf(1000, 1.2);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(100));
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchPmf) {
+  const ZipfSampler zipf(50, 1.0);
+  Rng rng(5);
+  std::vector<int> histogram(50, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++histogram[zipf.sample(rng)];
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(static_cast<double>(histogram[i]) / draws, zipf.pmf(i),
+                0.05 * zipf.pmf(i) + 0.002);
+  }
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(zipf.pmf(i), 0.1, 1e-9);
+}
+
+TEST(Uniform, ShapeAndDeterminism) {
+  const GeneratedInstance a = make_uniform(50, 500, 20, 42);
+  EXPECT_EQ(a.graph.num_sets(), 50u);
+  EXPECT_EQ(a.graph.num_elems(), 500u);
+  EXPECT_LE(a.graph.num_edges(), 50u * 20u);
+  EXPECT_GT(a.graph.num_edges(), 50u * 20u / 2);
+  const GeneratedInstance b = make_uniform(50, 500, 20, 42);
+  EXPECT_EQ(a.graph.edge_list(), b.graph.edge_list());
+  const GeneratedInstance c = make_uniform(50, 500, 20, 43);
+  EXPECT_NE(a.graph.edge_list(), c.graph.edge_list());
+}
+
+TEST(ZipfInstance, ProducesSkewedElementDegrees) {
+  const GeneratedInstance gen = make_zipf(200, 2000, 5, 50, 0.8, 1.2, 7);
+  const InstanceStats stats = compute_stats(gen.graph);
+  // The most popular element should be far above the average degree.
+  EXPECT_GT(static_cast<double>(stats.max_elem_degree), 8.0 * stats.avg_elem_degree);
+}
+
+TEST(PlantedKCover, OptIsExactlyPlantedCoverage) {
+  const GeneratedInstance gen = make_planted_kcover(60, 5, 40, 0.4, 11);
+  ASSERT_TRUE(gen.opt_kcover.has_value());
+  EXPECT_EQ(*gen.opt_kcover, 200u);
+  ASSERT_EQ(gen.opt_kcover_solution.size(), 5u);
+  EXPECT_EQ(gen.graph.coverage(gen.opt_kcover_solution), 200u);
+}
+
+TEST(PlantedKCover, NoOtherFamilyBeatsPlanted) {
+  const GeneratedInstance gen = make_planted_kcover(14, 3, 12, 0.4, 13);
+  const std::size_t brute = brute_force_kcover(gen.graph, 3);
+  EXPECT_EQ(brute, *gen.opt_kcover);
+}
+
+TEST(PlantedKCover, DecoysAreStrictSubsetsOfBlocks) {
+  const GeneratedInstance gen = make_planted_kcover(40, 4, 30, 0.5, 17);
+  // Every non-planted set must be smaller than half a block + 1.
+  std::vector<bool> planted(gen.graph.num_sets(), false);
+  for (const SetId s : gen.opt_kcover_solution) planted[s] = true;
+  for (SetId s = 0; s < gen.graph.num_sets(); ++s) {
+    if (planted[s]) {
+      EXPECT_EQ(gen.graph.set_size(s), 30u);
+    } else {
+      EXPECT_LE(gen.graph.set_size(s), 15u);
+    }
+  }
+}
+
+TEST(PlantedSetCover, OptMatchesBruteForce) {
+  const GeneratedInstance gen = make_planted_setcover(12, 3, 10, 0.5, 19);
+  ASSERT_TRUE(gen.opt_setcover.has_value());
+  EXPECT_EQ(*gen.opt_setcover, 3u);
+  EXPECT_EQ(brute_force_setcover_size(gen.graph), 3u);
+}
+
+TEST(PlantedSetCover, GreedyFindsOptimumOnPlanted) {
+  // Planted sets dominate their blocks, so greedy picks exactly them.
+  const GeneratedInstance gen = make_planted_setcover(100, 8, 50, 0.5, 23);
+  const OfflineGreedyResult greedy = greedy_setcover(gen.graph);
+  EXPECT_EQ(greedy.solution.size(), 8u);
+  EXPECT_EQ(greedy.covered, gen.graph.num_covered_by_all());
+}
+
+TEST(PlantedSetCover, EveryElementCoverable) {
+  const GeneratedInstance gen = make_planted_setcover(30, 5, 20, 0.4, 29);
+  EXPECT_EQ(gen.graph.num_covered_by_all(), gen.graph.num_elems());
+}
+
+TEST(Communities, RespectsShape) {
+  const GeneratedInstance gen = make_communities(80, 800, 8, 15, 0.1, 31);
+  EXPECT_EQ(gen.graph.num_sets(), 80u);
+  EXPECT_EQ(gen.graph.num_elems(), 800u);
+  EXPECT_GT(gen.graph.num_edges(), 0u);
+  EXPECT_EQ(gen.family, "communities");
+}
+
+TEST(Disjointness, IntersectingHasOpt2) {
+  const DisjointnessInstance inst = make_disjointness(64, true, 0.4, 37);
+  EXPECT_TRUE(inst.intersecting);
+  // Some set covers both elements.
+  bool found = false;
+  for (SetId s = 0; s < inst.graph.num_sets() && !found; ++s) {
+    const auto elems = inst.graph.elements_of(s);
+    found = elems.size() == 2;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Disjointness, DisjointHasOpt1) {
+  const DisjointnessInstance inst = make_disjointness(64, false, 0.4, 41);
+  EXPECT_FALSE(inst.intersecting);
+  for (SetId s = 0; s < inst.graph.num_sets(); ++s) {
+    EXPECT_LE(inst.graph.set_size(s), 1u);
+  }
+}
+
+TEST(Disjointness, StreamIsAliceThenBob) {
+  const DisjointnessInstance inst = make_disjointness(32, true, 0.5, 43);
+  bool seen_bob = false;
+  for (const Edge& edge : inst.alice_then_bob_stream) {
+    if (edge.elem == 1) seen_bob = true;
+    if (seen_bob) EXPECT_EQ(edge.elem, 1u) << "Alice edge after Bob started";
+  }
+}
+
+class PlantedSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::size_t>> {};
+
+TEST_P(PlantedSweep, OptScalesWithKAndBlockSize) {
+  const auto [k, block] = GetParam();
+  const GeneratedInstance gen = make_planted_kcover(5 * k, k, block, 0.4, 47);
+  EXPECT_EQ(*gen.opt_kcover, static_cast<std::size_t>(k) * block);
+  EXPECT_EQ(gen.graph.coverage(gen.opt_kcover_solution), *gen.opt_kcover);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PlantedSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                                            ::testing::Values(10u, 25u, 60u)));
+
+}  // namespace
+}  // namespace covstream

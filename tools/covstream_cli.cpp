@@ -1,0 +1,231 @@
+// covstream command-line driver: generate workloads, inspect edge files, and
+// run every streaming algorithm in the library against files on disk.
+//
+//   covstream_cli --cmd=generate --family=zipf --n=500 --m=100000 --out=g.bin
+//   covstream_cli --cmd=stats    --input=g.bin
+//   covstream_cli --cmd=kcover   --input=g.bin --n=500 --k=20 --eps=0.15
+//   covstream_cli --cmd=outliers --input=g.bin --n=500 --lambda=0.1
+//   covstream_cli --cmd=setcover --input=g.bin --n=500 --m=100000 --rounds=3
+//   covstream_cli --cmd=convert  --input=g.bin --out=g.txt
+//
+// Input files ending in .bin use the binary format of stream/file_stream.hpp;
+// anything else is treated as text ("<set> <elem>" per line).
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/setcover_multipass.hpp"
+#include "core/setcover_outliers.hpp"
+#include "core/streaming_kcover.hpp"
+#include "stream/arrival_order.hpp"
+#include "stream/file_stream.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::unique_ptr<EdgeStream> open_stream(const std::string& path) {
+  if (ends_with(path, ".bin")) {
+    return std::make_unique<BinaryFileStream>(path);
+  }
+  return std::make_unique<TextFileStream>(path);
+}
+
+void write_edges(const std::string& path, const std::vector<Edge>& edges) {
+  if (ends_with(path, ".bin")) {
+    write_binary_edges(path, edges);
+  } else {
+    write_text_edges(path, edges);
+  }
+  std::printf("wrote %zu edges to %s\n", edges.size(), path.c_str());
+}
+
+int cmd_generate(CliArgs& args) {
+  const std::string family = args.get_string("family", "uniform");
+  const SetId n = static_cast<SetId>(args.get_size("n", 200));
+  const ElemId m = args.get_size("m", 20000);
+  const std::uint64_t seed = args.get_size("seed", 1);
+  const std::string out = args.get_string("out", "instance.txt");
+  const std::string order_name = args.get_string("order", "random");
+
+  GeneratedInstance gen;
+  if (family == "uniform") {
+    gen = make_uniform(n, m, args.get_size("set_size", 50), seed);
+  } else if (family == "zipf") {
+    gen = make_zipf(n, m, args.get_size("min_size", 10),
+                    args.get_size("max_size", 500),
+                    args.get_double("alpha_sets", 0.8),
+                    args.get_double("alpha_elems", 1.1), seed);
+  } else if (family == "planted-kcover") {
+    gen = make_planted_kcover(n, static_cast<std::uint32_t>(args.get_size("k", 8)),
+                              args.get_size("block", 200),
+                              args.get_double("decoy", 0.4), seed);
+  } else if (family == "planted-setcover") {
+    gen = make_planted_setcover(
+        n, static_cast<std::uint32_t>(args.get_size("kstar", 8)),
+        args.get_size("block", 200), args.get_double("decoy", 0.4), seed);
+  } else if (family == "communities") {
+    gen = make_communities(n, m,
+                           static_cast<std::uint32_t>(args.get_size("groups", 10)),
+                           args.get_size("set_size", 50),
+                           args.get_double("cross", 0.1), seed);
+  } else {
+    std::fprintf(stderr, "unknown --family=%s\n", family.c_str());
+    return 2;
+  }
+  args.finish();
+
+  ArrivalOrder order = ArrivalOrder::kRandom;
+  if (order_name == "set") order = ArrivalOrder::kSetMajorShuffled;
+  if (order_name == "round-robin") order = ArrivalOrder::kRoundRobin;
+  if (order_name == "elem") order = ArrivalOrder::kElementMajor;
+  write_edges(out, ordered_edges(gen.graph, order, seed + 1));
+  if (gen.opt_kcover) std::printf("planted Opt_k = %zu\n", *gen.opt_kcover);
+  if (gen.opt_setcover) std::printf("planted k* = %u\n", *gen.opt_setcover);
+  return 0;
+}
+
+int cmd_stats(CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  args.finish();
+  COVSTREAM_CHECK(!input.empty());
+  auto stream = open_stream(input);
+  SetId max_set = 0;
+  ElemId max_elem = 0;
+  std::size_t edges = 0;
+  Edge edge;
+  stream->reset();
+  while (stream->next(edge)) {
+    max_set = std::max(max_set, edge.set);
+    max_elem = std::max(max_elem, edge.elem);
+    ++edges;
+  }
+  std::printf("%s: %zu edges, max set id %u, max elem id %llu\n", input.c_str(),
+              edges, max_set, static_cast<unsigned long long>(max_elem));
+  return 0;
+}
+
+int cmd_convert(CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  const std::string out = args.get_string("out", "");
+  args.finish();
+  COVSTREAM_CHECK(!input.empty() && !out.empty());
+  auto stream = open_stream(input);
+  std::vector<Edge> edges;
+  Edge edge;
+  stream->reset();
+  while (stream->next(edge)) edges.push_back(edge);
+  write_edges(out, edges);
+  return 0;
+}
+
+int cmd_kcover(CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  const SetId n = static_cast<SetId>(args.get_size("n", 0));
+  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 10));
+  StreamingOptions options;
+  options.eps = args.get_double("eps", 0.15);
+  options.seed = args.get_size("seed", 1);
+  args.finish();
+  COVSTREAM_CHECK(!input.empty() && n > 0);
+
+  auto stream = open_stream(input);
+  Timer timer;
+  const KCoverResult result = streaming_kcover(*stream, n, k, options);
+  std::printf("k-cover (k=%u, eps=%.3f): estimated coverage %.0f\n", k,
+              options.eps, result.estimated_coverage);
+  std::printf("  solution   :");
+  for (const SetId s : result.solution) std::printf(" %u", s);
+  std::printf("\n  sketch     : %zu elements / %zu edges, p*=%.5f\n",
+              result.sketch_retained, result.sketch_edges, result.p_star);
+  std::printf("  space      : %zu words peak, %zu final\n", result.space_words,
+              result.final_space_words);
+  std::printf("  passes     : %zu, wall %.2fs\n", result.passes, timer.seconds());
+  return 0;
+}
+
+int cmd_outliers(CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  const SetId n = static_cast<SetId>(args.get_size("n", 0));
+  OutliersOptions options;
+  options.stream.eps = args.get_double("eps", 0.5);
+  options.stream.seed = args.get_size("seed", 1);
+  options.lambda = args.get_double("lambda", 0.1);
+  args.finish();
+  COVSTREAM_CHECK(!input.empty() && n > 0);
+
+  auto stream = open_stream(input);
+  Timer timer;
+  const OutliersResult result = streaming_setcover_outliers(*stream, n, options);
+  if (!result.feasible) {
+    std::printf("no guess accepted (instance may be uncoverable)\n");
+    return 1;
+  }
+  std::printf("set cover with lambda=%.3f outliers: %zu sets (accepted guess "
+              "k'=%u)\n",
+              options.lambda, result.solution.size(), result.accepted_k_prime);
+  std::printf("  sketch coverage: %.4f (target >= %.4f)\n",
+              result.sketch_cover_fraction, 1.0 - options.lambda);
+  std::printf("  ladder     : %zu rungs, %zu words total\n", result.ladder_rungs,
+              result.space_words);
+  std::printf("  passes     : %zu, wall %.2fs\n", result.passes, timer.seconds());
+  return 0;
+}
+
+int cmd_setcover(CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  const SetId n = static_cast<SetId>(args.get_size("n", 0));
+  const ElemId m = args.get_size("m", 0);
+  MultipassOptions options;
+  options.stream.eps = args.get_double("eps", 0.5);
+  options.stream.seed = args.get_size("seed", 1);
+  options.rounds = args.get_size("rounds", 3);
+  options.merge_mark_pass = args.get_bool("merge_mark", true);
+  args.finish();
+  COVSTREAM_CHECK(!input.empty() && n > 0 && m > 0);
+
+  auto stream = open_stream(input);
+  Timer timer;
+  const MultipassResult result =
+      streaming_setcover_multipass(*stream, n, m, options);
+  std::printf("set cover (r=%zu): %zu sets, covered everything: %s\n",
+              options.rounds, result.solution.size(),
+              result.covered_everything ? "yes" : "no");
+  std::printf("  residual   : %zu edges stored for the final stage\n",
+              result.residual_edges);
+  std::printf("  space      : %zu words (sketch %zu + bitmap %zu + residual "
+              "%zu)\n",
+              result.space_words, result.sketch_words, result.bitmap_words,
+              result.residual_words);
+  std::printf("  passes     : %zu, wall %.2fs\n", result.passes, timer.seconds());
+  return result.covered_everything ? 0 : 1;
+}
+
+int dispatch(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string cmd = args.get_string("cmd", "help");
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "convert") return cmd_convert(args);
+  if (cmd == "kcover") return cmd_kcover(args);
+  if (cmd == "outliers") return cmd_outliers(args);
+  if (cmd == "setcover") return cmd_setcover(args);
+  std::printf(
+      "usage: covstream_cli --cmd=<generate|stats|convert|kcover|outliers|"
+      "setcover> [options]\nsee the header comment of tools/covstream_cli.cpp "
+      "for examples\n");
+  return cmd == "help" ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace covstream
+
+int main(int argc, char** argv) { return covstream::dispatch(argc, argv); }
