@@ -8,9 +8,11 @@
 
 #include "core/greedy_on_sketch.hpp"
 #include "core/subsample_sketch.hpp"
+#include "core/weighted_sketch.hpp"
 #include "hash/hash64.hpp"
 #include "hash/tabulation.hpp"
 #include "sketch/kmv.hpp"
+#include "sketch/substrate/flat_table.hpp"
 #include "stream/arrival_order.hpp"
 #include "workloads/generators.hpp"
 
@@ -128,6 +130,48 @@ void BM_SketchViewBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SketchViewBuild);
+
+// Weighted sketch shares the substrate; its per-edge cost must track the
+// unweighted sketch's (one extra log per new element).
+void BM_WeightedSketchUpdate(benchmark::State& state) {
+  const SetId n = 200;
+  const GeneratedInstance gen = make_uniform(n, 50000, 64, 25);
+  const std::vector<Edge> stream = ordered_edges(gen.graph, ArrivalOrder::kRandom, 5);
+
+  SketchParams params;
+  params.num_sets = n;
+  params.k = 8;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = static_cast<std::size_t>(state.range(0));
+  params.hash_seed = 27;
+
+  for (auto _ : state) {
+    WeightedSubsampleSketch sketch(params);
+    for (const Edge& edge : stream) {
+      sketch.update({edge.set, edge.elem, 1.0 + static_cast<double>(edge.elem % 7)});
+    }
+    benchmark::DoNotOptimize(sketch.stored_edges());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * stream.size()));
+}
+BENCHMARK(BM_WeightedSketchUpdate)->Arg(10000)->Arg(100000);
+
+// The substrate's open-addressing element index vs. the per-edge lookup cost
+// it replaced (std::unordered_map::find on the hot path).
+void BM_FlatTableFindHit(benchmark::State& state) {
+  FlatElemTable table;
+  constexpr std::uint32_t kElems = 1 << 16;
+  for (std::uint32_t i = 0; i < kElems; ++i) table.insert(i * 2654435761u, i);
+  std::uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.find(static_cast<std::uint32_t>(probe++ % kElems) * 2654435761u));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatTableFindHit);
 
 void BM_KmvAdd(benchmark::State& state) {
   KmvSketch sketch(1024, 31);

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "core/greedy_on_sketch.hpp"
 #include "core/sketch_ladder.hpp"
+#include "sketch/substrate/flat_table.hpp"
 #include "util/bitvec.hpp"
 #include "util/log.hpp"
 
@@ -18,10 +18,10 @@ SketchView view_from_edges(SetId num_sets, const std::vector<Edge>& edges) {
   SketchView view;
   view.num_sets = num_sets;
   view.p_star = 1.0;
-  std::unordered_map<ElemId, std::uint32_t> slot_of;
+  FlatElemTable slot_of;
   slot_of.reserve(edges.size());
   for (const Edge& edge : edges) {
-    slot_of.emplace(edge.elem, static_cast<std::uint32_t>(slot_of.size()));
+    slot_of.find_or_insert(edge.elem, static_cast<std::uint32_t>(slot_of.size()));
   }
   view.num_retained = slot_of.size();
   view.set_offsets.assign(num_sets + 1, 0);
@@ -30,7 +30,7 @@ SketchView view_from_edges(SetId num_sets, const std::vector<Edge>& edges) {
   view.set_slots.resize(edges.size());
   std::vector<std::size_t> cursor(view.set_offsets.begin(), view.set_offsets.end() - 1);
   for (const Edge& edge : edges) {
-    view.set_slots[cursor[edge.set]++] = slot_of.find(edge.elem)->second;
+    view.set_slots[cursor[edge.set]++] = slot_of.find(edge.elem);
   }
   return view;
 }

@@ -21,70 +21,21 @@ double SketchView::estimate_coverage(std::span<const SetId> family) const {
 }
 
 SubsampleSketch::SubsampleSketch(SketchParams params)
-    : params_(params), hash_(params.hash_seed) {
-  params_.validate();
-  degree_cap_ = params_.degree_cap();
-  edge_budget_ = params_.edge_budget();
-}
+    : params_((params.validate(), params)),
+      hash_(params_.hash_seed),
+      degree_cap_(params_.degree_cap()),
+      edge_budget_(params_.edge_budget()),
+      core_(degree_cap_, edge_budget_, ~0ULL) {}
 
 void SubsampleSketch::update(const Edge& edge) {
   COVSTREAM_CHECK(edge.set < params_.num_sets);
-  const std::uint64_t h = hash_(edge.elem);
-  if (h >= cutoff_hash_) return;  // element evicted earlier (or would be)
-
-  auto it = slot_of_.find(edge.elem);
-  std::uint32_t slot_index;
-  if (it == slot_of_.end()) {
-    if (free_slots_.empty()) {
-      slot_index = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
-    } else {
-      slot_index = free_slots_.back();
-      free_slots_.pop_back();
-    }
-    Slot& slot = slots_[slot_index];
-    slot.elem = edge.elem;
-    slot.hash = h;
-    slot.alive = true;
-    slot.sets.clear();
-    slot_of_.emplace(edge.elem, slot_index);
-    by_hash_.emplace(h, slot_index);
-    ++live_elements_;
-  } else {
-    slot_index = it->second;
-  }
-
-  Slot& slot = slots_[slot_index];
-  if (slot.sets.size() >= degree_cap_) return;  // H'p degree cap
-  if (params_.dedupe_edges) {
-    const auto pos = std::lower_bound(slot.sets.begin(), slot.sets.end(), edge.set);
-    if (pos != slot.sets.end() && *pos == edge.set) return;  // duplicate edge
-    slot.sets.insert(pos, edge.set);
-  } else {
-    slot.sets.push_back(edge.set);
-  }
-  ++stored_edges_;
-
-  while (stored_edges_ > edge_budget_ && live_elements_ > 1) {
-    evict_max();
+  bool created = false;
+  const std::uint32_t slot = core_.admit(edge.elem, hash_(edge.elem), created);
+  if (slot == MinHashCore<std::uint64_t>::kNoSlot) return;  // evicted earlier
+  if (core_.add_edge(slot, edge.set, params_.dedupe_edges)) {
+    core_.enforce_budget();
   }
   note_space();
-}
-
-void SubsampleSketch::evict_max() {
-  COVSTREAM_CHECK(!by_hash_.empty());
-  const auto [hash, slot_index] = by_hash_.top();
-  by_hash_.pop();
-  Slot& slot = slots_[slot_index];
-  COVSTREAM_CHECK(slot.alive && slot.hash == hash);
-  cutoff_hash_ = std::min(cutoff_hash_, hash);
-  stored_edges_ -= slot.sets.size();
-  slot_of_.erase(slot.elem);
-  slot.alive = false;
-  slot.sets.clear();
-  slot.sets.shrink_to_fit();
-  free_slots_.push_back(slot_index);
-  --live_elements_;
 }
 
 void SubsampleSketch::note_space() {
@@ -108,26 +59,19 @@ SubsampleSketch SubsampleSketch::build_offline(const CoverageInstance& instance,
     if (instance.elem_degree(e) > 0) order.emplace_back(hash(e), e);
   }
   std::sort(order.begin(), order.end());
+  std::vector<SetId> capped;
   for (const auto& [h, elem] : order) {
     const auto sets = instance.sets_of(elem);
     const std::size_t take = std::min(sets.size(), sketch.degree_cap_);
-    if (sketch.stored_edges_ + take > sketch.edge_budget_ &&
-        sketch.live_elements_ >= 1) {
-      sketch.cutoff_hash_ = h;
+    if (sketch.core_.stored_edges() + take > sketch.edge_budget_ &&
+        sketch.core_.live_elements() >= 1) {
+      sketch.core_.set_cutoff(h);
       break;
     }
-    const std::uint32_t slot_index = static_cast<std::uint32_t>(sketch.slots_.size());
-    Slot slot;
-    slot.elem = elem;
-    slot.hash = h;
-    slot.alive = true;
-    slot.sets.assign(sets.begin(), sets.begin() + take);
-    std::sort(slot.sets.begin(), slot.sets.end());
-    sketch.slots_.push_back(std::move(slot));
-    sketch.slot_of_.emplace(elem, slot_index);
-    sketch.by_hash_.emplace(h, slot_index);
-    sketch.stored_edges_ += take;
-    ++sketch.live_elements_;
+    capped.assign(sets.begin(), sets.begin() + take);
+    std::sort(capped.begin(), capped.end());
+    const std::uint32_t slot = sketch.core_.create_slot(elem, h);
+    sketch.core_.assign_edges(slot, capped);
   }
   sketch.note_space();
   return sketch;
@@ -135,19 +79,20 @@ SubsampleSketch SubsampleSketch::build_offline(const CoverageInstance& instance,
 
 double SubsampleSketch::p_star() const {
   if (!saturated()) return 1.0;
-  // Largest retained hash (heap top is live by construction).
-  if (by_hash_.empty()) return hash_to_unit(cutoff_hash_);
-  return hash_to_unit(by_hash_.top().first);
+  // Largest retained hash; an emptied (fully evicted) sketch reports the
+  // cutoff itself.
+  if (core_.live_elements() == 0) return hash_to_unit(core_.cutoff());
+  return hash_to_unit(core_.max_live_key());
 }
 
 std::span<const SetId> SubsampleSketch::sets_of(ElemId elem) const {
-  const auto it = slot_of_.find(elem);
-  if (it == slot_of_.end()) return {};
-  return slots_[it->second].sets;
+  const std::uint32_t slot = core_.find(elem);
+  if (slot == MinHashCore<std::uint64_t>::kNoSlot) return {};
+  return core_.edges_of(slot);
 }
 
 bool SubsampleSketch::is_retained(ElemId elem) const {
-  return slot_of_.count(elem) > 0;
+  return core_.find(elem) != MinHashCore<std::uint64_t>::kNoSlot;
 }
 
 void SubsampleSketch::merge_from(const SubsampleSketch& other) {
@@ -157,103 +102,21 @@ void SubsampleSketch::merge_from(const SubsampleSketch& other) {
   COVSTREAM_CHECK(edge_budget_ == other.edge_budget_);
   COVSTREAM_CHECK(params_.dedupe_edges && other.params_.dedupe_edges);
 
-  // An element evicted by either shard cannot belong to the combined prefix:
-  // the prefix below its hash already overflowed the budget using one
-  // shard's edges alone.
-  cutoff_hash_ = std::min(cutoff_hash_, other.cutoff_hash_);
-  purge([this](ElemId elem) {
-    auto it = slot_of_.find(elem);
-    return slots_[it->second].hash >= cutoff_hash_;
-  });
-
-  for (const Slot& incoming : other.slots_) {
-    if (!incoming.alive || incoming.hash >= cutoff_hash_) continue;
-    auto it = slot_of_.find(incoming.elem);
-    if (it == slot_of_.end()) {
-      std::uint32_t slot_index;
-      if (free_slots_.empty()) {
-        slot_index = static_cast<std::uint32_t>(slots_.size());
-        slots_.emplace_back();
-      } else {
-        slot_index = free_slots_.back();
-        free_slots_.pop_back();
-      }
-      Slot& slot = slots_[slot_index];
-      slot.elem = incoming.elem;
-      slot.hash = incoming.hash;
-      slot.alive = true;
-      slot.sets = incoming.sets;
-      slot_of_.emplace(incoming.elem, slot_index);
-      by_hash_.emplace(incoming.hash, slot_index);
-      stored_edges_ += slot.sets.size();
-      ++live_elements_;
-    } else {
-      Slot& slot = slots_[it->second];
-      stored_edges_ -= slot.sets.size();
-      std::vector<SetId> merged;
-      merged.reserve(slot.sets.size() + incoming.sets.size());
-      std::set_union(slot.sets.begin(), slot.sets.end(), incoming.sets.begin(),
-                     incoming.sets.end(), std::back_inserter(merged));
-      if (merged.size() > degree_cap_) merged.resize(degree_cap_);
-      slot.sets = std::move(merged);
-      stored_edges_ += slot.sets.size();
-    }
-  }
-  while (stored_edges_ > edge_budget_ && live_elements_ > 1) {
-    evict_max();
-  }
+  core_.merge_from(other.core_);
+  core_.enforce_budget();
   note_space();
 }
 
 void SubsampleSketch::purge(const std::function<bool(ElemId)>& pred) {
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-    Slot& slot = slots_[i];
-    if (!slot.alive || !pred(slot.elem)) continue;
-    stored_edges_ -= slot.sets.size();
-    slot_of_.erase(slot.elem);
-    slot.alive = false;
-    slot.sets.clear();
-    slot.sets.shrink_to_fit();
-    free_slots_.push_back(i);
-    --live_elements_;
-  }
-  // Rebuild the hash heap over survivors (priority_queue has no erase).
-  by_hash_ = {};
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].alive) by_hash_.emplace(slots_[i].hash, i);
-  }
+  core_.purge(pred);
 }
 
 SketchView SubsampleSketch::view() const {
   SketchView view;
   view.num_sets = params_.num_sets;
   view.p_star = p_star();
-  view.set_offsets.assign(params_.num_sets + 1, 0);
-
-  // Compact live slots into [0, num_retained).
-  std::vector<std::uint32_t> compact(slots_.size(), 0);
-  std::uint32_t next = 0;
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].alive) compact[i] = next++;
-  }
-  view.num_retained = next;
-
-  for (const Slot& slot : slots_) {
-    if (!slot.alive) continue;
-    for (const SetId set : slot.sets) ++view.set_offsets[set + 1];
-  }
-  for (SetId s = 0; s < params_.num_sets; ++s) {
-    view.set_offsets[s + 1] += view.set_offsets[s];
-  }
-  view.set_slots.resize(stored_edges_);
-  std::vector<std::size_t> cursor(view.set_offsets.begin(), view.set_offsets.end() - 1);
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-    const Slot& slot = slots_[i];
-    if (!slot.alive) continue;
-    for (const SetId set : slot.sets) {
-      view.set_slots[cursor[set]++] = compact[i];
-    }
-  }
+  view.num_retained = core_.build_csr(params_.num_sets, view.set_offsets,
+                                      view.set_slots, [](std::uint32_t) {});
   return view;
 }
 
@@ -262,9 +125,9 @@ double SubsampleSketch::estimate_coverage(std::span<const SetId> family) const {
   std::vector<bool> in_family(params_.num_sets, false);
   for (const SetId set : family) in_family[set] = true;
   std::size_t covered = 0;
-  for (const Slot& slot : slots_) {
-    if (!slot.alive) continue;
-    for (const SetId set : slot.sets) {
+  for (std::uint32_t slot = 0; slot < core_.slot_count(); ++slot) {
+    if (!core_.alive(slot)) continue;
+    for (const SetId set : core_.edges_of(slot)) {
       if (in_family[set]) {
         ++covered;
         break;
@@ -274,12 +137,6 @@ double SubsampleSketch::estimate_coverage(std::span<const SetId> family) const {
   const double p = p_star();
   COVSTREAM_CHECK(p > 0.0);
   return static_cast<double>(covered) / p;
-}
-
-std::size_t SubsampleSketch::space_words() const {
-  // Per retained element: id (1) + hash (1) + heap entry (1) + map entry (~2)
-  // + vector header (~2). Per stored edge: one 4-byte SetId, 2 per word.
-  return 8 + live_elements_ * 7 + (stored_edges_ + 1) / 2;
 }
 
 }  // namespace covstream

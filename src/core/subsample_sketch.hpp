@@ -17,18 +17,21 @@
 //
 // Update cost is O(1) amortized plus O(log R) per eviction (R = retained
 // elements) — the O~(1) update time claimed in Section 3.
+//
+// Storage and eviction live in the shared flat substrate (MinHashCore,
+// DESIGN.md §5.6); this class is the unweighted policy over it: the
+// admission key is the raw 64-bit element hash.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/params.hpp"
 #include "graph/coverage_instance.hpp"
 #include "hash/hash64.hpp"
+#include "sketch/substrate/minhash_core.hpp"
 #include "stream/edge_stream.hpp"
 #include "util/bitvec.hpp"
 #include "util/common.hpp"
@@ -77,15 +80,15 @@ class SubsampleSketch {
 
   const SketchParams& params() const { return params_; }
 
-  std::size_t retained_elements() const { return live_elements_; }
-  std::size_t stored_edges() const { return stored_edges_; }
+  std::size_t retained_elements() const { return core_.live_elements(); }
+  std::size_t stored_edges() const { return core_.stored_edges(); }
 
   /// Realized threshold p*: the largest retained unit hash (1.0 while nothing
   /// has been evicted — then the sketch is the whole capped graph H'_1).
   double p_star() const;
 
   /// True if any element was ever evicted (i.e. p* < 1 meaningfully).
-  bool saturated() const { return cutoff_hash_ != ~0ULL; }
+  bool saturated() const { return core_.saturated(); }
 
   /// Sorted set ids stored for a retained element (empty span if the element
   /// is not retained). Mainly for tests.
@@ -93,10 +96,11 @@ class SubsampleSketch {
 
   bool is_retained(ElemId elem) const;
 
-  /// Removes retained elements matching `pred` (with their edges) and
-  /// rebuilds the internal indexes. The result is still a valid hash-prefix
-  /// sketch of the surviving subgraph (used by Algorithm 6's merged marking
-  /// pass to drop just-covered elements at end of pass).
+  /// Removes retained elements matching `pred` (with their edges); slot and
+  /// arena storage goes back on the substrate free lists. The result is
+  /// still a valid hash-prefix sketch of the surviving subgraph (used by
+  /// Algorithm 6's merged marking pass to drop just-covered elements at end
+  /// of pass).
   void purge(const std::function<bool(ElemId)>& pred);
 
   /// Union-merges `other` into *this (both must share params and hash seed,
@@ -115,24 +119,15 @@ class SubsampleSketch {
   /// tests and small families).
   double estimate_coverage(std::span<const SetId> family) const;
 
-  /// Analytic space in 8-byte words (DESIGN.md §5.2): per retained element
-  /// (hash + id + bookkeeping) and per stored edge (one SetId, packed 2 per
-  /// word), plus heap and map overhead.
-  std::size_t space_words() const;
+  /// Analytic space in 8-byte words (DESIGN.md §5.2): the substrate's flat
+  /// table + slot arrays + heap + edge slab, measured, not modeled.
+  std::size_t space_words() const { return 8 + core_.space_words(); }
 
   /// Peak space over the run (eviction shrinks the sketch; peak is what a
   /// space bound must pay for).
   std::size_t peak_space_words() const { return peak_space_words_; }
 
  private:
-  struct Slot {
-    ElemId elem = kInvalidElem;
-    std::uint64_t hash = 0;
-    bool alive = false;
-    std::vector<SetId> sets;  // sorted, capped at degree_cap
-  };
-
-  void evict_max();
   void note_space();
 
   SketchParams params_;
@@ -140,14 +135,7 @@ class SubsampleSketch {
   std::size_t degree_cap_ = 0;
   std::size_t edge_budget_ = 0;
 
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<ElemId, std::uint32_t> slot_of_;
-  // Max-heap of (hash, slot); one live entry per retained element.
-  std::priority_queue<std::pair<std::uint64_t, std::uint32_t>> by_hash_;
-  std::uint64_t cutoff_hash_ = ~0ULL;  // min hash ever evicted; admit below only
-  std::size_t stored_edges_ = 0;
-  std::size_t live_elements_ = 0;
+  MinHashCore<std::uint64_t> core_;
   std::size_t peak_space_words_ = 0;
 };
 

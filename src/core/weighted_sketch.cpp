@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 
 #include "util/bitvec.hpp"
 
@@ -55,11 +56,11 @@ WeightedGreedyResult weighted_greedy_max_cover(const WeightedSketchView& view,
 }
 
 WeightedSubsampleSketch::WeightedSubsampleSketch(SketchParams params)
-    : params_(params), hash_(params.hash_seed) {
-  params_.validate();
-  degree_cap_ = params_.degree_cap();
-  edge_budget_ = params_.edge_budget();
-}
+    : params_((params.validate(), params)),
+      hash_(params_.hash_seed),
+      degree_cap_(params_.degree_cap()),
+      edge_budget_(params_.edge_budget()),
+      core_(degree_cap_, edge_budget_, kInfiniteKey) {}
 
 double WeightedSubsampleSketch::key_of(ElemId elem, double weight) const {
   COVSTREAM_CHECK(weight > 0.0);
@@ -72,110 +73,50 @@ double WeightedSubsampleSketch::key_of(ElemId elem, double weight) const {
 
 void WeightedSubsampleSketch::update(const WeightedEdge& edge) {
   COVSTREAM_CHECK(edge.set < params_.num_sets);
-  const double key = key_of(edge.elem, edge.weight);
-  if (key >= cutoff_key_) return;
-
-  auto it = slot_of_.find(edge.elem);
-  std::uint32_t slot_index;
-  if (it == slot_of_.end()) {
-    if (free_slots_.empty()) {
-      slot_index = static_cast<std::uint32_t>(slots_.size());
-      slots_.emplace_back();
-    } else {
-      slot_index = free_slots_.back();
-      free_slots_.pop_back();
-    }
-    Slot& slot = slots_[slot_index];
-    slot.elem = edge.elem;
-    slot.key = key;
-    slot.weight = edge.weight;
-    slot.alive = true;
-    slot.sets.clear();
-    slot_of_.emplace(edge.elem, slot_index);
-    by_key_.emplace(key, slot_index);
-    ++live_elements_;
+  bool created = false;
+  const std::uint32_t slot =
+      core_.admit(edge.elem, key_of(edge.elem, edge.weight), created);
+  if (slot == MinHashCore<double>::kNoSlot) return;
+  if (created) {
+    if (slot >= weight_of_slot_.size()) weight_of_slot_.resize(slot + 1, 1.0);
+    weight_of_slot_[slot] = edge.weight;
   } else {
-    slot_index = it->second;
     // Weights must be a function of the element, not of the arrival.
-    COVSTREAM_CHECK(std::abs(slots_[slot_index].weight - edge.weight) <
+    COVSTREAM_CHECK(std::abs(weight_of_slot_[slot] - edge.weight) <
                     1e-9 * (1.0 + std::abs(edge.weight)));
   }
 
-  Slot& slot = slots_[slot_index];
-  if (slot.sets.size() >= degree_cap_) return;
-  const auto pos = std::lower_bound(slot.sets.begin(), slot.sets.end(), edge.set);
-  if (pos != slot.sets.end() && *pos == edge.set) return;
-  slot.sets.insert(pos, edge.set);
-  ++stored_edges_;
-
-  while (stored_edges_ > edge_budget_ && live_elements_ > 1) {
-    evict_max();
+  if (core_.add_edge(slot, edge.set, /*dedupe=*/true)) {
+    core_.enforce_budget();
   }
   const std::size_t words = space_words();
   if (words > peak_space_words_) peak_space_words_ = words;
 }
 
-void WeightedSubsampleSketch::evict_max() {
-  COVSTREAM_CHECK(!by_key_.empty());
-  const auto [key, slot_index] = by_key_.top();
-  by_key_.pop();
-  Slot& slot = slots_[slot_index];
-  COVSTREAM_CHECK(slot.alive && slot.key == key);
-  cutoff_key_ = std::min(cutoff_key_, key);
-  stored_edges_ -= slot.sets.size();
-  slot_of_.erase(slot.elem);
-  slot.alive = false;
-  slot.sets.clear();
-  slot.sets.shrink_to_fit();
-  free_slots_.push_back(slot_index);
-  --live_elements_;
-}
-
 double WeightedSubsampleSketch::tau_star() const {
   if (!saturated()) return kInfiniteKey;
-  if (by_key_.empty()) return cutoff_key_;
-  return by_key_.top().first;
+  if (core_.live_elements() == 0) return core_.cutoff();
+  return core_.max_live_key();
+}
+
+double WeightedSubsampleSketch::ht_value(std::uint32_t slot, double tau) const {
+  // Horvitz–Thompson correction. Unsaturated sketch: inclusion prob. 1.
+  const double weight = weight_of_slot_[slot];
+  if (!saturated()) return weight;
+  const double inclusion = 1.0 - std::exp(-weight * tau);
+  COVSTREAM_CHECK(inclusion > 0.0);
+  return weight / inclusion;
 }
 
 WeightedSketchView WeightedSubsampleSketch::view() const {
   WeightedSketchView view;
   view.num_sets = params_.num_sets;
   view.tau_star = tau_star();
-  view.set_offsets.assign(params_.num_sets + 1, 0);
-
-  std::vector<std::uint32_t> compact(slots_.size(), 0);
-  std::uint32_t next = 0;
-  view.slot_value.clear();
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].alive) continue;
-    compact[i] = next++;
-    // Horvitz–Thompson correction. Unsaturated sketch: inclusion prob. 1.
-    double value = slots_[i].weight;
-    if (saturated()) {
-      const double inclusion = 1.0 - std::exp(-slots_[i].weight * view.tau_star);
-      COVSTREAM_CHECK(inclusion > 0.0);
-      value = slots_[i].weight / inclusion;
-    }
-    view.slot_value.push_back(value);
-  }
-  view.num_retained = next;
-
-  for (const Slot& slot : slots_) {
-    if (!slot.alive) continue;
-    for (const SetId set : slot.sets) ++view.set_offsets[set + 1];
-  }
-  for (SetId s = 0; s < params_.num_sets; ++s) {
-    view.set_offsets[s + 1] += view.set_offsets[s];
-  }
-  view.set_slots.resize(stored_edges_);
-  std::vector<std::size_t> cursor(view.set_offsets.begin(), view.set_offsets.end() - 1);
-  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
-    const Slot& slot = slots_[i];
-    if (!slot.alive) continue;
-    for (const SetId set : slot.sets) {
-      view.set_slots[cursor[set]++] = compact[i];
-    }
-  }
+  view.num_retained = core_.build_csr(
+      params_.num_sets, view.set_offsets, view.set_slots,
+      [&](std::uint32_t slot) {
+        view.slot_value.push_back(ht_value(slot, view.tau_star));
+      });
   return view;
 }
 
@@ -185,24 +126,15 @@ double WeightedSubsampleSketch::estimate_weighted_coverage(
   for (const SetId set : family) in_family[set] = true;
   const double tau = tau_star();
   double total = 0.0;
-  for (const Slot& slot : slots_) {
-    if (!slot.alive) continue;
-    for (const SetId set : slot.sets) {
+  for (std::uint32_t slot = 0; slot < core_.slot_count(); ++slot) {
+    if (!core_.alive(slot)) continue;
+    for (const SetId set : core_.edges_of(slot)) {
       if (!in_family[set]) continue;
-      if (saturated()) {
-        total += slot.weight / (1.0 - std::exp(-slot.weight * tau));
-      } else {
-        total += slot.weight;
-      }
+      total += ht_value(slot, tau);
       break;
     }
   }
   return total;
-}
-
-std::size_t WeightedSubsampleSketch::space_words() const {
-  // Same layout as the unweighted sketch plus one weight word per element.
-  return 8 + live_elements_ * 8 + (stored_edges_ + 1) / 2;
 }
 
 WeightedKCoverResult streaming_weighted_kcover(

@@ -18,18 +18,22 @@
 // The degree cap and edge budget carry over unchanged — the cap argument
 // (Lemma 2.4) never used uniformity, only that at most eps-fraction of the
 // *sampled* mass is affected.
+//
+// Storage and eviction live in the shared flat substrate (MinHashCore,
+// DESIGN.md §5.6); this class is the weighted policy over it: the admission
+// key is the double-valued exponential clock, plus one weight per slot kept
+// in a sketch-side parallel array.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/greedy_on_sketch.hpp"
 #include "core/params.hpp"
 #include "hash/hash64.hpp"
+#include "sketch/substrate/minhash_core.hpp"
 #include "stream/edge_stream.hpp"
 #include "util/common.hpp"
 
@@ -77,50 +81,43 @@ class WeightedSubsampleSketch {
 
   void update(const WeightedEdge& edge);
 
-  std::size_t retained_elements() const { return live_elements_; }
-  std::size_t stored_edges() const { return stored_edges_; }
+  std::size_t retained_elements() const { return core_.live_elements(); }
+  std::size_t stored_edges() const { return core_.stored_edges(); }
 
   /// Realized key threshold tau* (infinite — i.e. "keep everything" — until
   /// the first eviction; reported as the max retained key then).
   double tau_star() const;
-  bool saturated() const { return cutoff_key_ != kInfiniteKey; }
+  bool saturated() const { return core_.saturated(); }
 
-  bool is_retained(ElemId elem) const { return slot_of_.count(elem) > 0; }
+  bool is_retained(ElemId elem) const {
+    return core_.find(elem) != MinHashCore<double>::kNoSlot;
+  }
 
   WeightedSketchView view() const;
 
   /// HT estimate of the weighted coverage of a family (linear scan).
   double estimate_weighted_coverage(std::span<const SetId> family) const;
 
-  std::size_t space_words() const;
+  /// Analytic space in 8-byte words (DESIGN.md §5.2): the shared substrate
+  /// plus one weight word per slot.
+  std::size_t space_words() const {
+    return 8 + core_.space_words() + weight_of_slot_.size();
+  }
   std::size_t peak_space_words() const { return peak_space_words_; }
 
  private:
   static constexpr double kInfiniteKey = 1e300;
 
-  struct Slot {
-    ElemId elem = kInvalidElem;
-    double key = 0.0;
-    double weight = 1.0;
-    bool alive = false;
-    std::vector<SetId> sets;
-  };
-
   double key_of(ElemId elem, double weight) const;
-  void evict_max();
+  double ht_value(std::uint32_t slot, double tau) const;
 
   SketchParams params_;
   Mix64Hash hash_;
   std::size_t degree_cap_ = 0;
   std::size_t edge_budget_ = 0;
 
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<ElemId, std::uint32_t> slot_of_;
-  std::priority_queue<std::pair<double, std::uint32_t>> by_key_;
-  double cutoff_key_ = kInfiniteKey;
-  std::size_t stored_edges_ = 0;
-  std::size_t live_elements_ = 0;
+  MinHashCore<double> core_;
+  std::vector<double> weight_of_slot_;  // parallel to substrate slots
   std::size_t peak_space_words_ = 0;
 };
 

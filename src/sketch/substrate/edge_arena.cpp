@@ -1,0 +1,91 @@
+#include "sketch/substrate/edge_arena.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace covstream {
+
+EdgeArena::EdgeArena() {
+  std::fill(std::begin(free_head_), std::end(free_head_), kNullOffset);
+}
+
+std::uint32_t EdgeArena::allocate(std::uint32_t cap_log2) {
+  COVSTREAM_CHECK(cap_log2 <= kMaxClass);
+  if (free_head_[cap_log2] != kNullOffset) {
+    const std::uint32_t offset = free_head_[cap_log2];
+    free_head_[cap_log2] = data_[offset];
+    return offset;
+  }
+  const std::size_t offset = data_.size();
+  COVSTREAM_CHECK(offset + (1ull << cap_log2) < kNullOffset);
+  data_.resize(offset + (1ull << cap_log2));
+  return static_cast<std::uint32_t>(offset);
+}
+
+void EdgeArena::grow(Span& span) {
+  const std::uint32_t new_log2 = span.offset == kNullOffset
+                                     ? 0
+                                     : static_cast<std::uint32_t>(span.cap_log2) + 1;
+  const std::uint32_t new_offset = allocate(new_log2);
+  if (span.offset != kNullOffset) {
+    std::memcpy(data_.data() + new_offset, data_.data() + span.offset,
+                span.size * sizeof(std::uint32_t));
+    data_[span.offset] = free_head_[span.cap_log2];
+    free_head_[span.cap_log2] = span.offset;
+  }
+  span.offset = new_offset;
+  span.cap_log2 = static_cast<std::uint8_t>(new_log2);
+}
+
+void EdgeArena::append(Span& span, SetId value) {
+  if (span.size == span.capacity()) grow(span);
+  data_[span.offset + span.size] = value;
+  ++span.size;
+}
+
+bool EdgeArena::insert_sorted(Span& span, SetId value) {
+  std::uint32_t* const begin = data_.data() + (span.offset == kNullOffset ? 0 : span.offset);
+  std::uint32_t* const end = begin + span.size;
+  std::uint32_t* const pos = std::lower_bound(begin, end, value);
+  if (pos != end && *pos == value) return false;
+  const std::size_t tail = static_cast<std::size_t>(end - pos);
+  if (span.size == span.capacity()) {
+    const std::size_t at = static_cast<std::size_t>(pos - begin);
+    grow(span);
+    std::uint32_t* const moved = data_.data() + span.offset;
+    std::memmove(moved + at + 1, moved + at, tail * sizeof(std::uint32_t));
+    moved[at] = value;
+  } else {
+    std::memmove(pos + 1, pos, tail * sizeof(std::uint32_t));
+    *pos = value;
+  }
+  ++span.size;
+  return true;
+}
+
+void EdgeArena::assign(Span& span, std::span<const SetId> values) {
+  if (values.size() > span.capacity()) {
+    // Covers the un-backed case too: a kNullOffset span has capacity 0.
+    release(span);
+    const std::uint32_t log2 = static_cast<std::uint32_t>(
+        std::bit_width(values.size() - 1));
+    span.offset = allocate(log2);
+    span.cap_log2 = static_cast<std::uint8_t>(log2);
+  }
+  if (!values.empty()) {
+    std::memcpy(data_.data() + span.offset, values.data(),
+                values.size() * sizeof(std::uint32_t));
+  }
+  span.size = static_cast<std::uint32_t>(values.size());
+}
+
+void EdgeArena::release(Span& span) {
+  if (span.offset != kNullOffset) {
+    data_[span.offset] = free_head_[span.cap_log2];
+    free_head_[span.cap_log2] = span.offset;
+  }
+  span = Span{};
+}
+
+}  // namespace covstream

@@ -1,0 +1,77 @@
+// Pooled SoA edge storage for the sketch substrate (DESIGN.md §5.6).
+//
+// All per-element edge lists live in ONE uint32_t slab; each element holds a
+// Span {offset, size, log2 capacity} into it. This replaces the per-slot
+// std::vector<SetId> of the old sketches: no per-element heap allocation, no
+// 3-pointer vector header, and a full-sketch scan (view building, coverage
+// estimation) walks one contiguous buffer.
+//
+// Blocks come in power-of-two size classes. Freed blocks (eviction, purge)
+// go on an intrusive per-class free list — the first word of a free block
+// stores the offset of the next free block — so eviction churn at a steady
+// budget recycles memory instead of growing the slab.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/space_meter.hpp"
+
+namespace covstream {
+
+class EdgeArena {
+ public:
+  static constexpr std::uint32_t kNullOffset = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kMaxClass = 31;
+
+  /// Handle to one element's edge list. Value-type, owned by the caller;
+  /// a default Span is an empty list with no storage.
+  struct Span {
+    std::uint32_t offset = kNullOffset;
+    std::uint32_t size = 0;
+    std::uint8_t cap_log2 = 0;
+
+    std::uint32_t capacity() const {
+      return offset == kNullOffset ? 0 : (1u << cap_log2);
+    }
+  };
+
+  EdgeArena();
+
+  std::span<const SetId> view(const Span& span) const {
+    return {data_.data() + (span.offset == kNullOffset ? 0 : span.offset),
+            span.size};
+  }
+
+  /// Appends `value` (grows the block as needed). No dedupe/ordering.
+  void append(Span& span, SetId value);
+
+  /// Inserts `value` keeping the list sorted; returns false on duplicate.
+  bool insert_sorted(Span& span, SetId value);
+
+  /// Replaces the contents with `values` (caller guarantees any required
+  /// ordering/dedupe). `values` must NOT alias this arena's own slab: a
+  /// growing assign may reallocate the slab and invalidate such a span
+  /// before the copy. Copy into a temporary first (as merge_from does).
+  void assign(Span& span, std::span<const SetId> values);
+
+  /// Returns the block to its size-class free list and empties the span.
+  void release(Span& span);
+
+  /// 8-byte words held by the slab (uint32 slots, 2 per word).
+  std::size_t space_words() const { return words_for_u32(data_.size()); }
+
+  std::size_t slab_size() const { return data_.size(); }
+
+ private:
+  std::uint32_t allocate(std::uint32_t cap_log2);
+  void grow(Span& span);
+
+  std::vector<std::uint32_t> data_;
+  // Head of the intrusive free list per size class, kNullOffset if empty.
+  std::uint32_t free_head_[kMaxClass + 1];
+};
+
+}  // namespace covstream

@@ -1,0 +1,101 @@
+#include "sketch/substrate/flat_table.hpp"
+
+namespace covstream {
+namespace {
+constexpr std::size_t kInitialBuckets = 16;  // power of two
+}
+
+FlatElemTable::FlatElemTable()
+    : keys_(kInitialBuckets, 0),
+      slots_(kInitialBuckets, kNoSlot),
+      mask_(kInitialBuckets - 1) {}
+
+std::uint32_t FlatElemTable::find(ElemId key) const {
+  std::size_t i = index_of(key);
+  while (slots_[i] != kNoSlot) {
+    if (keys_[i] == key) return slots_[i];
+    i = (i + 1) & mask_;
+  }
+  return kNoSlot;
+}
+
+std::pair<std::uint32_t, bool> FlatElemTable::find_or_insert(
+    ElemId key, std::uint32_t slot_if_new) {
+  COVSTREAM_CHECK(slot_if_new != kNoSlot);
+  std::size_t i = index_of(key);
+  while (slots_[i] != kNoSlot) {
+    if (keys_[i] == key) return {slots_[i], false};
+    i = (i + 1) & mask_;
+  }
+  // Grow only on the insert path — a lookup hit must never rehash. The
+  // probe position is stale after a grow, so re-probe.
+  if ((size_ + 1) * 4 > slots_.size() * 3) {
+    grow();
+    i = index_of(key);
+    while (slots_[i] != kNoSlot) i = (i + 1) & mask_;
+  }
+  keys_[i] = key;
+  slots_[i] = slot_if_new;
+  ++size_;
+  return {slot_if_new, true};
+}
+
+void FlatElemTable::insert(ElemId key, std::uint32_t slot) {
+  COVSTREAM_CHECK(slot != kNoSlot);
+  maybe_grow();
+  std::size_t i = index_of(key);
+  while (slots_[i] != kNoSlot) {
+    COVSTREAM_CHECK(keys_[i] != key);
+    i = (i + 1) & mask_;
+  }
+  keys_[i] = key;
+  slots_[i] = slot;
+  ++size_;
+}
+
+bool FlatElemTable::erase(ElemId key) {
+  std::size_t i = index_of(key);
+  while (true) {
+    if (slots_[i] == kNoSlot) return false;
+    if (keys_[i] == key) break;
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift: pull every displaced follower over the hole so that no
+  // probe chain is broken (the classic tombstone-free linear-probing erase).
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & mask_;
+    if (slots_[j] == kNoSlot) break;
+    const std::size_t ideal = index_of(keys_[j]);
+    // Movable iff the hole lies within [ideal, j) cyclically.
+    if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
+      keys_[i] = keys_[j];
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+  slots_[i] = kNoSlot;
+  --size_;
+  return true;
+}
+
+void FlatElemTable::reserve(std::size_t expected) {
+  while ((expected + 1) * 4 > slots_.size() * 3) grow();
+}
+
+void FlatElemTable::grow() {
+  std::vector<ElemId> old_keys = std::move(keys_);
+  std::vector<std::uint32_t> old_slots = std::move(slots_);
+  keys_.assign(old_keys.size() * 2, 0);
+  slots_.assign(old_slots.size() * 2, kNoSlot);
+  mask_ = slots_.size() - 1;
+  for (std::size_t b = 0; b < old_slots.size(); ++b) {
+    if (old_slots[b] == kNoSlot) continue;
+    std::size_t i = index_of(old_keys[b]);
+    while (slots_[i] != kNoSlot) i = (i + 1) & mask_;
+    keys_[i] = old_keys[b];
+    slots_[i] = old_slots[b];
+  }
+}
+
+}  // namespace covstream

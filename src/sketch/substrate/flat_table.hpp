@@ -1,0 +1,70 @@
+// Flat open-addressing element index (DESIGN.md §5.6).
+//
+// Maps ElemId -> slot index for the sketch substrate. Linear probing over
+// power-of-two parallel key/slot arrays with backward-shift deletion: no
+// tombstones, no per-node allocation, and lookups touch one or two cache
+// lines in the common case — the std::unordered_map it replaces chased a
+// pointer per find on the per-edge hot path. The SoA split (8-byte keys,
+// 4-byte slots) keeps the footprint at a true 12 bytes per bucket; a single
+// {ElemId, uint32} struct would pad to 16.
+//
+// Element ids may be arbitrary 64-bit values (the streaming model's universe
+// is unknown), so no key is reserved as an empty marker; emptiness is
+// recorded in the 32-bit slot field instead (kNoSlot).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hash/hash64.hpp"
+#include "util/common.hpp"
+#include "util/space_meter.hpp"
+
+namespace covstream {
+
+class FlatElemTable {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  FlatElemTable();
+
+  /// Slot stored for `key`, or kNoSlot.
+  std::uint32_t find(ElemId key) const;
+
+  /// One-probe upsert: returns the existing slot for `key`, or stores and
+  /// returns `slot_if_new`. The bool reports whether an insert happened.
+  std::pair<std::uint32_t, bool> find_or_insert(ElemId key,
+                                                std::uint32_t slot_if_new);
+
+  /// Inserts a mapping; `key` must not already be present.
+  void insert(ElemId key, std::uint32_t slot);
+
+  /// Removes `key` (backward-shift, so probe chains stay dense). Returns
+  /// whether the key was present.
+  bool erase(ElemId key);
+
+  /// Pre-sizes the bucket arrays for `expected` keys (avoids rehash chains
+  /// when the population is known up front).
+  void reserve(std::size_t expected);
+
+  std::size_t size() const { return size_; }
+
+  /// 8-byte words held: one ElemId + one uint32 per bucket (12 bytes, and
+  /// the parallel-array layout really occupies 12 — no struct padding).
+  std::size_t space_words() const { return words_for_buckets(slots_.size()); }
+
+ private:
+  std::size_t index_of(ElemId key) const { return mix64(key) & mask_; }
+  void grow();
+  void maybe_grow() {
+    if ((size_ + 1) * 4 > slots_.size() * 3) grow();  // max load 3/4
+  }
+
+  std::vector<ElemId> keys_;
+  std::vector<std::uint32_t> slots_;  // kNoSlot == empty bucket
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace covstream

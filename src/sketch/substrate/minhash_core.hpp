@@ -1,0 +1,270 @@
+// The shared min-hash sketch substrate (DESIGN.md §5.6).
+//
+// One flat-storage engine implements the streaming realization of the
+// paper's H<=n sketch (Algorithm 2 recast as max-key eviction, §5.1): admit
+// an edge if its element's key is below the running cutoff, cap per-element
+// degree, and evict the max-key element while over the edge budget. Eviction
+// is final, so the retained set is always the maximal key prefix that fits —
+// which is exactly what makes shards mergeable and the streamed sketch equal
+// to the offline Algorithm 1 construction.
+//
+// The substrate is a policy-free template over the admission key:
+//   * SubsampleSketch         — Key = std::uint64_t raw element hash;
+//   * WeightedSubsampleSketch — Key = double exponential clock -ln(u)/w.
+// Both sketches are thin wrappers that translate edges into (elem, key)
+// pairs; all storage, eviction, purge, and merge logic lives here, once.
+//
+// Storage (all SoA, no per-element allocation):
+//   * FlatElemTable — open-addressing elem -> slot index;
+//   * elem_/key_/span_ — parallel slot arrays, free-list slot reuse;
+//   * EdgeArena — one uint32 slab holding every edge list;
+//   * SlotHeap — indexed max-heap; heap membership IS slot liveness.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sketch/substrate/edge_arena.hpp"
+#include "sketch/substrate/flat_table.hpp"
+#include "sketch/substrate/slot_heap.hpp"
+#include "util/common.hpp"
+#include "util/space_meter.hpp"
+
+namespace covstream {
+
+template <typename Key>
+class MinHashCore {
+ public:
+  static constexpr std::uint32_t kNoSlot = FlatElemTable::kNoSlot;
+
+  MinHashCore(std::size_t degree_cap, std::size_t edge_budget, Key infinite_key)
+      : degree_cap_(degree_cap),
+        edge_budget_(edge_budget),
+        infinite_key_(infinite_key),
+        cutoff_(infinite_key) {}
+
+  // ------------------------------------------------------------ hot path --
+  /// Admits `elem` with admission key `key`: returns its slot (creating one
+  /// if needed, `created` reports which), or kNoSlot if the key is at or
+  /// above the cutoff — the element was evicted before, or would be evicted
+  /// immediately.
+  std::uint32_t admit(ElemId elem, Key key, bool& created) {
+    if (key >= cutoff_) return kNoSlot;
+    const auto [slot, inserted] = table_.find_or_insert(elem, next_slot_id());
+    created = inserted;
+    if (inserted) commit_slot(slot, elem, key);
+    return slot;
+  }
+
+  /// Appends `set` to the slot's edge list, honoring the degree cap and
+  /// (optionally) sorted-dedupe. Returns whether an edge was stored; the
+  /// caller should then enforce_budget().
+  bool add_edge(std::uint32_t slot, SetId set, bool dedupe) {
+    EdgeArena::Span& span = span_[slot];
+    if (span.size >= degree_cap_) return false;
+    if (dedupe) {
+      if (!arena_.insert_sorted(span, set)) return false;
+    } else {
+      arena_.append(span, set);
+    }
+    ++stored_edges_;
+    return true;
+  }
+
+  /// Evicts max-key elements while over budget (never below one element:
+  /// a single element's capped degree may alone exceed the budget).
+  void enforce_budget() {
+    while (stored_edges_ > edge_budget_ && heap_.size() > 1) evict_max();
+  }
+
+  // ---------------------------------------------------- bulk construction --
+  /// Unconditionally creates a live slot (offline builder / merge path).
+  std::uint32_t create_slot(ElemId elem, Key key) {
+    const std::uint32_t slot = next_slot_id();
+    table_.insert(elem, slot);
+    commit_slot(slot, elem, key);
+    return slot;
+  }
+
+  /// Replaces a slot's edge list wholesale (caller supplies the required
+  /// ordering; the degree cap must already be applied).
+  void assign_edges(std::uint32_t slot, std::span<const SetId> sets) {
+    COVSTREAM_CHECK(sets.size() <= degree_cap_);
+    stored_edges_ -= span_[slot].size;
+    arena_.assign(span_[slot], sets);
+    stored_edges_ += sets.size();
+  }
+
+  void set_cutoff(Key cutoff) { cutoff_ = cutoff; }
+  void lower_cutoff(Key cutoff) { cutoff_ = std::min(cutoff_, cutoff); }
+
+  // --------------------------------------------------------------- queries --
+  bool saturated() const { return cutoff_ != infinite_key_; }
+  Key cutoff() const { return cutoff_; }
+
+  /// Largest retained key (heap top); requires a nonempty sketch.
+  Key max_live_key() const { return heap_.top().key; }
+
+  std::size_t live_elements() const { return heap_.size(); }
+  std::size_t stored_edges() const { return stored_edges_; }
+
+  std::uint32_t find(ElemId elem) const { return table_.find(elem); }
+
+  /// Upper bound (exclusive) on slot indices; iterate with alive().
+  std::uint32_t slot_count() const {
+    return static_cast<std::uint32_t>(elem_.size());
+  }
+
+  bool alive(std::uint32_t slot) const { return heap_.contains(slot); }
+
+  /// Key of a live slot (keys live only in the heap entries).
+  Key key_of(std::uint32_t slot) const { return heap_.key_of(slot); }
+
+  std::span<const SetId> edges_of(std::uint32_t slot) const {
+    return arena_.view(span_[slot]);
+  }
+
+  /// Builds the solver CSR (set -> compact live-slot index) shared by both
+  /// sketch views: compacts live slots into [0, num_retained), histograms
+  /// per-set degrees, prefix-sums offsets, and fills the slot column.
+  /// `on_live(slot)` fires once per live slot in compaction order so the
+  /// caller can emit per-slot policy values (HT weights, etc.). Returns the
+  /// number of retained elements.
+  template <typename OnLive>
+  std::uint32_t build_csr(SetId num_sets, std::vector<std::size_t>& set_offsets,
+                          std::vector<std::uint32_t>& set_slots,
+                          OnLive&& on_live) const {
+    set_offsets.assign(num_sets + 1, 0);
+    const std::uint32_t count = slot_count();
+    std::vector<std::uint32_t> compact(count, 0);
+    std::uint32_t next = 0;
+    for (std::uint32_t slot = 0; slot < count; ++slot) {
+      if (!alive(slot)) continue;
+      compact[slot] = next++;
+      on_live(slot);
+    }
+    for (std::uint32_t slot = 0; slot < count; ++slot) {
+      if (!alive(slot)) continue;
+      for (const SetId set : edges_of(slot)) ++set_offsets[set + 1];
+    }
+    for (SetId s = 0; s < num_sets; ++s) set_offsets[s + 1] += set_offsets[s];
+    set_slots.resize(stored_edges_);
+    std::vector<std::size_t> cursor(set_offsets.begin(), set_offsets.end() - 1);
+    for (std::uint32_t slot = 0; slot < count; ++slot) {
+      if (!alive(slot)) continue;
+      for (const SetId set : edges_of(slot)) {
+        set_slots[cursor[set]++] = compact[slot];
+      }
+    }
+    return next;
+  }
+
+  // ------------------------------------------------------- reorganization --
+  /// Removes live slots whose element matches `pred`. The result is still a
+  /// valid key-prefix sketch of the surviving subgraph (the cutoff is
+  /// untouched, so purged elements may be re-admitted later).
+  void purge(const std::function<bool(ElemId)>& pred) {
+    for (std::uint32_t slot = 0; slot < slot_count(); ++slot) {
+      if (alive(slot) && pred(elem_[slot])) destroy_slot(slot);
+    }
+  }
+
+  /// Drops every live slot whose key reached the cutoff (merge housekeeping).
+  void purge_at_or_above_cutoff() {
+    for (std::uint32_t slot = 0; slot < slot_count(); ++slot) {
+      if (alive(slot) && key_of(slot) >= cutoff_) destroy_slot(slot);
+    }
+  }
+
+  /// Union-merge of two prefix sketches sharing key function, cap, and
+  /// budget, with sorted-deduped edge lists. An element evicted by either
+  /// side is outside the combined prefix (its key prefix already overflowed
+  /// the budget with one side's edges alone), hence the mutual cutoff purge.
+  /// The caller enforces the budget afterwards.
+  void merge_from(const MinHashCore& other) {
+    lower_cutoff(other.cutoff_);
+    purge_at_or_above_cutoff();
+    for (std::uint32_t theirs = 0; theirs < other.slot_count(); ++theirs) {
+      if (!other.alive(theirs) || other.key_of(theirs) >= cutoff_) continue;
+      const std::span<const SetId> incoming = other.edges_of(theirs);
+      const std::uint32_t mine = table_.find(other.elem_[theirs]);
+      if (mine == kNoSlot) {
+        const std::uint32_t slot =
+            create_slot(other.elem_[theirs], other.key_of(theirs));
+        assign_edges(slot, incoming);
+      } else {
+        const std::span<const SetId> existing = edges_of(mine);
+        std::vector<SetId> merged;
+        merged.reserve(existing.size() + incoming.size());
+        std::set_union(existing.begin(), existing.end(), incoming.begin(),
+                       incoming.end(), std::back_inserter(merged));
+        if (merged.size() > degree_cap_) merged.resize(degree_cap_);
+        assign_edges(mine, merged);
+      }
+    }
+  }
+
+  /// Analytic space in 8-byte words (DESIGN.md §5.2): actual footprint of
+  /// the table buckets, slot arrays, heap (sole key store), and edge slab.
+  std::size_t space_words() const {
+    return table_.space_words() + elem_.size()              // element ids
+           + (elem_.size() * sizeof(EdgeArena::Span) + 7) / 8
+           + heap_.space_words() + arena_.space_words()
+           + words_for_u32(free_slots_.size());
+  }
+
+ private:
+  /// The slot id the next creation will use (free list first, else append).
+  std::uint32_t next_slot_id() const {
+    return free_slots_.empty() ? static_cast<std::uint32_t>(elem_.size())
+                               : free_slots_.back();
+  }
+
+  /// Claims next_slot_id() and makes it live for `elem`/`key`; the table
+  /// entry must already exist (find_or_insert or insert stored it).
+  void commit_slot(std::uint32_t slot, ElemId elem, Key key) {
+    if (free_slots_.empty()) {
+      elem_.push_back(elem);
+      span_.emplace_back();
+    } else {
+      free_slots_.pop_back();
+      elem_[slot] = elem;
+      span_[slot] = EdgeArena::Span{};
+    }
+    heap_.push(key, slot);
+  }
+
+  void evict_max() {
+    const auto [key, slot] = heap_.pop_max();
+    lower_cutoff(key);
+    stored_edges_ -= span_[slot].size;
+    table_.erase(elem_[slot]);
+    arena_.release(span_[slot]);
+    free_slots_.push_back(slot);
+  }
+
+  void destroy_slot(std::uint32_t slot) {
+    heap_.remove(slot);
+    stored_edges_ -= span_[slot].size;
+    table_.erase(elem_[slot]);
+    arena_.release(span_[slot]);
+    free_slots_.push_back(slot);
+  }
+
+  std::size_t degree_cap_;
+  std::size_t edge_budget_;
+  Key infinite_key_;
+  Key cutoff_;  // min key ever evicted; admit strictly below only
+
+  FlatElemTable table_;
+  EdgeArena arena_;
+  SlotHeap<Key> heap_;  // (key, slot) entries; keys are stored here only
+  std::vector<ElemId> elem_;
+  std::vector<EdgeArena::Span> span_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t stored_edges_ = 0;
+};
+
+}  // namespace covstream

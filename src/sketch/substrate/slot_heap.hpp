@@ -1,0 +1,127 @@
+// Indexed max-heap over sketch slots (DESIGN.md §5.6).
+//
+// The old sketches used a lazily-compacted std::priority_queue: purge had to
+// rebuild the whole queue (no erase), and merge paths re-pushed entries and
+// relied on invariants to skip stale ones. This heap keeps a back-pointer
+// per slot (slot -> heap position), so removal and key maintenance are
+// in-place O(log R) with no stale entries, and `contains` doubles as the
+// substrate's liveness test: a slot is alive iff it sits in the heap.
+//
+// Ordering is lexicographic on (key, slot), matching the pair ordering of
+// the priority_queue it replaces bit-for-bit on ties.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/space_meter.hpp"
+
+namespace covstream {
+
+template <typename Key>
+class SlotHeap {
+ public:
+  static constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+
+  struct Entry {
+    Key key{};
+    std::uint32_t slot = 0;
+
+    friend bool operator<(const Entry& a, const Entry& b) {
+      return a.key < b.key || (a.key == b.key && a.slot < b.slot);
+    }
+  };
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool contains(std::uint32_t slot) const {
+    return slot < pos_.size() && pos_[slot] != kNoPos;
+  }
+
+  const Entry& top() const {
+    COVSTREAM_CHECK(!heap_.empty());
+    return heap_.front();
+  }
+
+  /// Key of a present slot (O(1) via the back pointer). The heap is the only
+  /// key store in the substrate — slots hold no duplicate copy.
+  Key key_of(std::uint32_t slot) const {
+    COVSTREAM_CHECK(contains(slot));
+    return heap_[pos_[slot]].key;
+  }
+
+  void push(Key key, std::uint32_t slot) {
+    if (slot >= pos_.size()) pos_.resize(slot + 1, kNoPos);
+    COVSTREAM_CHECK(pos_[slot] == kNoPos);
+    heap_.push_back({key, slot});
+    pos_[slot] = static_cast<std::uint32_t>(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+  }
+
+  Entry pop_max() {
+    COVSTREAM_CHECK(!heap_.empty());
+    const Entry max = heap_.front();
+    remove_at(0);
+    return max;
+  }
+
+  /// In-place removal of a slot's entry (O(log R)); the slot must be present.
+  void remove(std::uint32_t slot) {
+    COVSTREAM_CHECK(contains(slot));
+    remove_at(pos_[slot]);
+  }
+
+  /// 8-byte words held: one (Key, uint32) entry (2 words) plus one back
+  /// pointer (half a word) per tracked slot.
+  std::size_t space_words() const {
+    return heap_.size() * 2 + words_for_u32(pos_.size());
+  }
+
+ private:
+  void place(std::size_t i, const Entry& entry) {
+    heap_[i] = entry;
+    pos_[entry.slot] = static_cast<std::uint32_t>(i);
+  }
+
+  void sift_up(std::size_t i) {
+    const Entry entry = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(heap_[parent] < entry)) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, entry);
+  }
+
+  void sift_down(std::size_t i) {
+    const Entry entry = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child] < heap_[child + 1]) ++child;
+      if (!(entry < heap_[child])) break;
+      place(i, heap_[child]);
+      i = child;
+    }
+    place(i, entry);
+  }
+
+  void remove_at(std::size_t i) {
+    pos_[heap_[i].slot] = kNoPos;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (i == heap_.size()) return;
+    place(i, last);
+    sift_down(i);
+    sift_up(i);
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> pos_;  // slot -> heap position
+};
+
+}  // namespace covstream

@@ -4,12 +4,23 @@
 // tracks the running and peak totals. This is what reproduces the "Space"
 // column of Table 1: RSS would be dominated by the workload generator rather
 // than by algorithm state.
+//
+// Since the flat-substrate refactor (DESIGN.md §5.6), sketches measure their
+// actual container footprints rather than a per-entry model; the helpers
+// below define the word costs of the substrate's packed layouts so every
+// space_words() implementation agrees on the arithmetic.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
 namespace covstream {
+
+/// Words for `n` 4-byte values (SetId slabs, slot indices) packed 2 per word.
+constexpr std::size_t words_for_u32(std::size_t n) { return (n + 1) / 2; }
+
+/// Words for `n` open-addressing buckets (8-byte ElemId + 4-byte slot).
+constexpr std::size_t words_for_buckets(std::size_t n) { return (n * 3 + 1) / 2; }
 
 class SpaceMeter {
  public:
