@@ -36,4 +36,65 @@ std::string pm(const RunningStat& stat, int precision) {
   return stat.summary(precision);
 }
 
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(CliArgs& args, std::string experiment_id)
+    : experiment_id_(std::move(experiment_id)) {
+  enabled_ = args.get_bool("json", false);
+  path_ = args.get_string("json_out", "BENCH_" + experiment_id_ + ".json");
+}
+
+void JsonReport::add(std::string row_name,
+                     std::vector<std::pair<std::string, double>> fields) {
+  if (!enabled_) return;
+  rows_.push_back({std::move(row_name), std::move(fields)});
+}
+
+JsonReport::~JsonReport() {
+  if (!enabled_) return;
+  std::FILE* file = std::fopen(path_.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot open %s\n", path_.c_str());
+    return;
+  }
+  std::fprintf(file, "{\"experiment\": \"%s\", \"rows\": [",
+               json_escape(experiment_id_).c_str());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::fprintf(file, "%s\n  {\"name\": \"%s\"", r == 0 ? "" : ",",
+                 json_escape(rows_[r].name).c_str());
+    for (const auto& [key, value] : rows_[r].fields) {
+      std::fprintf(file, ", \"%s\": %.17g", json_escape(key).c_str(), value);
+    }
+    std::fprintf(file, "}");
+  }
+  std::fprintf(file, "\n]}\n");
+  std::fclose(file);
+  std::printf("json: wrote %zu rows to %s\n", rows_.size(), path_.c_str());
+}
+
 }  // namespace covstream::bench

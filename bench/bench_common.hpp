@@ -4,15 +4,20 @@
 //   * the workload description,
 //   * an aligned table of measured rows (mean ± stderr over seeds),
 //   * a one-line VERDICT comparing the measured shape to the claim.
+// Pass --json to any bench that constructs a JsonReport and it also writes
+// BENCH_<experiment_id>.json (machine-readable rows) next to the binary, so
+// the perf/accuracy trajectory can be tracked across PRs.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/coverage_instance.hpp"
 #include "stream/arrival_order.hpp"
 #include "stream/edge_stream.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -34,5 +39,36 @@ VectorStream make_stream(const CoverageInstance& graph, ArrivalOrder order,
 
 /// Formats "x.xxx ± y.yyy" from a RunningStat.
 std::string pm(const RunningStat& stat, int precision = 3);
+
+/// Machine-readable bench output, enabled by --json (optionally
+/// --json_out=PATH; default BENCH_<experiment_id>.json). Each add() records
+/// one row of numeric fields; the file is written on destruction:
+///   {"experiment": "...", "rows": [{"name": "...", "field": value, ...}]}
+/// When --json is absent every call is a no-op, so benches can record rows
+/// unconditionally.
+class JsonReport {
+ public:
+  JsonReport(CliArgs& args, std::string experiment_id);
+  ~JsonReport();
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  void add(std::string row_name,
+           std::vector<std::pair<std::string, double>> fields);
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  bool enabled_ = false;
+  std::string experiment_id_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace covstream::bench

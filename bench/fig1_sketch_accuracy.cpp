@@ -29,6 +29,7 @@ int run(int argc, char** argv) {
   const SetId n = static_cast<SetId>(args.get_size("n", 120));
   const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 6));
   const std::size_t seeds = args.get_size("seeds", 6);
+  bench::JsonReport json(args, "F1-sketch");
   args.finish();
 
   bench::preamble("F1-sketch", "Sketch estimation accuracy (Fig. 1 / Lemmas 2.2-2.4, "
@@ -84,6 +85,13 @@ int run(int argc, char** argv) {
         .cell(bench::pm(err, 4))
         .cell(bench::pm(greedy_ratio, 3))
         .cell(bench::pm(space, 0));
+    json.add("budget=" + std::to_string(budget),
+             {{"budget", static_cast<double>(budget)},
+              {"p_star", p_star.mean()},
+              {"retained", retained.mean()},
+              {"est_err_over_opt", err.mean()},
+              {"greedy_ratio", greedy_ratio.mean()},
+              {"space_words", space.mean()}});
     budgets.push_back(static_cast<double>(budget));
     errors.push_back(std::max(err.mean(), 1e-6));
     if (budget >= 8000 && greedy_ratio.mean() < 0.9) quality_ok = false;

@@ -1,19 +1,31 @@
 // [U-time] Section 3's "the update times of all our algorithms are O~(1)":
 // google-benchmark microbenchmarks of the per-edge update cost, hashing
-// throughput, and sketch solving, across budgets and stream lengths. The
-// ns/edge figure must stay flat as the stream grows.
+// throughput, file-backed ingest, and sketch solving, across budgets and
+// stream lengths. The ns/edge figure must stay flat as the stream grows.
+//
+// Results are also written to BENCH_update_time.json (google-benchmark's
+// JSON format) unless --benchmark_out is given explicitly, so the perf
+// trajectory is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/greedy_on_sketch.hpp"
+#include "core/sketch_ladder.hpp"
 #include "core/subsample_sketch.hpp"
 #include "core/weighted_sketch.hpp"
 #include "hash/hash64.hpp"
 #include "hash/tabulation.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sketch/kmv.hpp"
 #include "sketch/substrate/flat_table.hpp"
 #include "stream/arrival_order.hpp"
+#include "stream/file_stream.hpp"
+#include "stream/stream_engine.hpp"
 #include "workloads/generators.hpp"
 
 namespace covstream {
@@ -184,5 +196,194 @@ void BM_KmvAdd(benchmark::State& state) {
 }
 BENCHMARK(BM_KmvAdd);
 
+// ----------------------------------------------------------- file ingest ----
+// The batched pipeline's reason to exist: ns/edge off disk. The *Legacy
+// variants reproduce the pre-engine loops verbatim (fgets+sscanf per line /
+// two freads per record) as the in-tree baseline to beat.
+
+struct IngestFixture {
+  std::string text_path;
+  std::string bin_path;
+  std::vector<Edge> edges;
+};
+
+const IngestFixture& ingest_fixture() {
+  static const IngestFixture fixture = [] {
+    IngestFixture f;
+    const GeneratedInstance gen = make_uniform(500, 200000, 600, 33);
+    f.edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 6);
+    const char* tmp = std::getenv("TMPDIR");
+    const std::string dir = tmp != nullptr ? tmp : "/tmp";
+    f.text_path = dir + "/covstream_ingest_bench.txt";
+    f.bin_path = dir + "/covstream_ingest_bench.bin";
+    write_text_edges(f.text_path, f.edges);
+    write_binary_edges(f.bin_path, f.edges);
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_TextFileIngestLegacy(benchmark::State& state) {
+  const IngestFixture& fx = ingest_fixture();
+  for (auto _ : state) {
+    std::FILE* file = std::fopen(fx.text_path.c_str(), "r");
+    char line[256];
+    std::size_t edges = 0;
+    while (std::fgets(line, sizeof line, file) != nullptr) {
+      const char* cursor = line;
+      while (*cursor == ' ' || *cursor == '\t') ++cursor;
+      if (*cursor == '#' || *cursor == '\n' || *cursor == '\0') continue;
+      unsigned long long set = 0, elem = 0;
+      if (std::sscanf(cursor, "%llu %llu", &set, &elem) == 2) ++edges;
+    }
+    std::fclose(file);
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+}
+BENCHMARK(BM_TextFileIngestLegacy);
+
+void BM_TextFileIngestPerEdge(benchmark::State& state) {
+  const IngestFixture& fx = ingest_fixture();
+  TextFileStream stream(fx.text_path);
+  for (auto _ : state) {
+    stream.reset();
+    Edge edge;
+    std::size_t edges = 0;
+    while (stream.next(edge)) ++edges;
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+}
+BENCHMARK(BM_TextFileIngestPerEdge);
+
+void BM_TextFileIngestBatched(benchmark::State& state) {
+  const IngestFixture& fx = ingest_fixture();
+  TextFileStream stream(fx.text_path);
+  std::vector<Edge> block(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    stream.reset();
+    std::size_t edges = 0, got = 0;
+    while ((got = stream.next_batch(block.data(), block.size())) > 0) edges += got;
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+}
+BENCHMARK(BM_TextFileIngestBatched)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_BinaryFileIngestLegacy(benchmark::State& state) {
+  const IngestFixture& fx = ingest_fixture();
+  for (auto _ : state) {
+    std::FILE* file = std::fopen(fx.bin_path.c_str(), "rb");
+    std::fseek(file, 16, SEEK_SET);
+    std::size_t edges = 0;
+    for (;;) {
+      std::uint32_t set = 0;
+      std::uint64_t elem = 0;
+      if (std::fread(&set, sizeof set, 1, file) != 1) break;
+      if (std::fread(&elem, sizeof elem, 1, file) != 1) break;
+      ++edges;
+    }
+    std::fclose(file);
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+}
+BENCHMARK(BM_BinaryFileIngestLegacy);
+
+void BM_BinaryFileIngestBatched(benchmark::State& state) {
+  const IngestFixture& fx = ingest_fixture();
+  BinaryFileStream stream(fx.bin_path);
+  std::vector<Edge> block(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    stream.reset();
+    std::size_t edges = 0, got = 0;
+    while ((got = stream.next_batch(block.data(), block.size())) > 0) edges += got;
+    benchmark::DoNotOptimize(edges);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+}
+BENCHMARK(BM_BinaryFileIngestBatched)->Arg(1 << 12)->Arg(1 << 15);
+
+// End-to-end: binary file -> engine -> sketch, the path covstream_cli runs.
+void BM_EngineSketchFromBinaryFile(benchmark::State& state) {
+  const IngestFixture& fx = ingest_fixture();
+  BinaryFileStream stream(fx.bin_path);
+  SketchParams params;
+  params.num_sets = 500;
+  params.k = 8;
+  params.eps = 0.2;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 30000;
+  params.hash_seed = 11;
+  const StreamEngine engine({static_cast<std::size_t>(state.range(0)), nullptr});
+  for (auto _ : state) {
+    SubsampleSketch sketch(params);
+    engine.run(stream, {}, [&](std::span<const Edge> chunk) {
+      for (const Edge& edge : chunk) sketch.update(edge);
+    });
+    benchmark::DoNotOptimize(sketch.stored_edges());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+}
+BENCHMARK(BM_EngineSketchFromBinaryFile)->Arg(1 << 12)->Arg(1 << 15);
+
+// Ladder fan-out through the engine: serial vs pooled rung updates.
+void BM_EngineLadderConsume(benchmark::State& state) {
+  const IngestFixture& fx = ingest_fixture();
+  VectorStream stream(fx.edges);
+  std::vector<SketchParams> rungs;
+  for (int r = 0; r < 4; ++r) {
+    SketchParams params;
+    params.num_sets = 500;
+    params.k = static_cast<std::uint32_t>(4 << r);
+    params.eps = 0.2;
+    params.budget_mode = BudgetMode::kExplicit;
+    params.explicit_budget = 20000;
+    params.hash_seed = 17;
+    rungs.push_back(params);
+  }
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads == 0 ? 1 : threads);
+  ThreadPool* pool_ptr = threads == 0 ? nullptr : &pool;
+  for (auto _ : state) {
+    SketchLadder ladder(rungs, pool_ptr);
+    ladder.consume(stream);
+    benchmark::DoNotOptimize(ladder.peak_space_words());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+}
+BENCHMARK(BM_EngineLadderConsume)->Arg(0)->Arg(4);
+
 }  // namespace
 }  // namespace covstream
+
+int main(int argc, char** argv) {
+  // Emit machine-readable results by default (BENCH_update_time.json) so the
+  // perf trajectory is tracked PR over PR; explicit --benchmark_out wins.
+  std::vector<char*> args(argv, argv + argc);
+  char out_flag[] = "--benchmark_out=BENCH_update_time.json";
+  char fmt_flag[] = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Note "--benchmark_out_format" alone must NOT suppress the default path.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stream/stream_engine.hpp"
 #include "util/bitvec.hpp"
 
 namespace covstream {
@@ -48,16 +49,17 @@ ProgressiveResult progressive_setcover(EdgeStream& stream, SetId num_sets,
       }
     };
 
-    stream.reset();
-    Edge edge;
-    while (stream.next(edge)) {
-      if (edge.set != current) {
-        consider();
-        buffer.clear();
-        current = edge.set;
+    const StreamEngine engine;
+    engine.run(stream, {}, [&](std::span<const Edge> chunk) {
+      for (const Edge& edge : chunk) {
+        if (edge.set != current) {
+          consider();
+          buffer.clear();
+          current = edge.set;
+        }
+        buffer.push_back(edge.elem);
       }
-      buffer.push_back(edge.elem);
-    }
+    });
     consider();
   }
 

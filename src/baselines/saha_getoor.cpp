@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "stream/stream_engine.hpp"
+
 namespace covstream {
 namespace {
 
@@ -120,18 +122,19 @@ SwapKCoverResult saha_getoor_kcover(EdgeStream& stream, SetId num_sets,
     peak_words = std::max(peak_words, state.space_words());
   };
 
-  stream.reset();
-  Edge edge;
-  while (stream.next(edge)) {
-    COVSTREAM_CHECK(edge.set < num_sets);
-    if (edge.set != current) {
-      flush();
-      if (closed.count(edge.set)) result.fragmented = true;
-      current = edge.set;
+  const StreamEngine engine;
+  engine.run(stream, {}, [&](std::span<const Edge> chunk) {
+    for (const Edge& edge : chunk) {
+      COVSTREAM_CHECK(edge.set < num_sets);
+      if (edge.set != current) {
+        flush();
+        if (closed.count(edge.set)) result.fragmented = true;
+        current = edge.set;
+      }
+      buffer.push_back(edge.elem);
+      peak_words = std::max(peak_words, state.space_words() + buffer.size());
     }
-    buffer.push_back(edge.elem);
-    peak_words = std::max(peak_words, state.space_words() + buffer.size());
-  }
+  });
   flush();
 
   for (const auto& kept : state.kept()) result.solution.push_back(kept.id);

@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "stream/stream_engine.hpp"
 #include "util/bitvec.hpp"
 
 namespace covstream {
@@ -81,20 +82,21 @@ SieveResult sieve_streaming_kcover(EdgeStream& stream, SetId num_sets,
     peak_words = std::max(peak_words, words);
   };
 
-  stream.reset();
-  Edge edge;
-  while (stream.next(edge)) {
-    if (edge.set != current) {
-      if (current != kInvalidSet) {
-        offer(current, buffer);
-        closed.insert(current);
-        buffer.clear();
+  const StreamEngine engine;
+  engine.run(stream, {}, [&](std::span<const Edge> chunk) {
+    for (const Edge& edge : chunk) {
+      if (edge.set != current) {
+        if (current != kInvalidSet) {
+          offer(current, buffer);
+          closed.insert(current);
+          buffer.clear();
+        }
+        if (closed.count(edge.set)) result.fragmented = true;
+        current = edge.set;
       }
-      if (closed.count(edge.set)) result.fragmented = true;
-      current = edge.set;
+      buffer.push_back(edge.elem);
     }
-    buffer.push_back(edge.elem);
-  }
+  });
   if (current != kInvalidSet) offer(current, buffer);
 
   const Guess* best = nullptr;

@@ -2,8 +2,6 @@
 
 #include <utility>
 
-#include "parallel/parallel_for.hpp"
-
 namespace covstream {
 
 ShardedSketchBuilder::ShardedSketchBuilder(SketchParams params, std::size_t shards,
@@ -22,30 +20,21 @@ void ShardedSketchBuilder::update(std::size_t shard, const Edge& edge) {
   shards_[shard].update(edge);
 }
 
-void ShardedSketchBuilder::consume(EdgeStream& stream) {
-  // Deal edges into per-shard buffers, then flush the buffers to their
-  // shards (one task per shard: shard state is never shared across tasks).
-  constexpr std::size_t kChunk = 1 << 15;
-  std::vector<std::vector<Edge>> buffers(shards_.size());
-  std::size_t dealt = 0;
-  auto flush = [&] {
-    parallel_for_blocked(
-        pool_, shards_.size(),
-        [this, &buffers](std::size_t begin, std::size_t end) {
-          for (std::size_t s = begin; s < end; ++s) {
-            for (const Edge& edge : buffers[s]) shards_[s].update(edge);
-            buffers[s].clear();
-          }
-        },
-        /*grain=*/1);
-  };
-  stream.reset();
-  Edge edge;
-  while (stream.next(edge)) {
-    buffers[dealt % shards_.size()].push_back(edge);
-    if (++dealt % (kChunk * shards_.size()) == 0) flush();
-  }
-  flush();
+void ShardedSketchBuilder::consume(EdgeStream& stream, ShardRouting routing,
+                                   std::size_t batch_edges) {
+  const StreamEngine engine({batch_edges, pool_});
+  // The partition seed rides on the sketch hash seed so a routing choice is
+  // reproducible per run but independent of the element-admission hash.
+  const StreamEngine::Router router =
+      routing == ShardRouting::kRoundRobin
+          ? StreamEngine::round_robin(shards_.size())
+          : StreamEngine::by_element_hash(shards_.size(),
+                                          shards_.front().params().hash_seed ^
+                                              0x5eedfeedULL);
+  engine.run_partitioned(stream, {}, shards_.size(), router,
+                         [this](std::size_t s, std::span<const Edge> chunk) {
+                           for (const Edge& edge : chunk) shards_[s].update(edge);
+                         });
 }
 
 std::size_t ShardedSketchBuilder::max_shard_space_words() const {

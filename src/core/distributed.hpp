@@ -4,10 +4,10 @@
 // is identical to the one a single pass over the whole stream would build,
 // so every Section 3 algorithm runs unchanged on it.
 //
-// ShardedSketchBuilder simulates the MapReduce round locally: updates are
-// routed to shards (round-robin or caller-directed), shards can be updated
-// concurrently via the ThreadPool, and finalize() performs the reduction
-// tree.
+// ShardedSketchBuilder simulates the MapReduce round locally: the batched
+// stream engine deals edges to shards (round-robin or element-hash
+// partitioned), shards are updated concurrently via the ThreadPool, and
+// finalize() performs the reduction tree.
 #pragma once
 
 #include <cstdint>
@@ -15,9 +15,15 @@
 
 #include "core/subsample_sketch.hpp"
 #include "parallel/thread_pool.hpp"
-#include "stream/edge_stream.hpp"
+#include "stream/stream_engine.hpp"
 
 namespace covstream {
+
+/// How consume() assigns stream edges to shards.
+enum class ShardRouting {
+  kRoundRobin,     // deal by arrival index (the distributed default)
+  kByElementHash,  // all edges of an element land on one shard
+};
 
 class ShardedSketchBuilder {
  public:
@@ -31,9 +37,11 @@ class ShardedSketchBuilder {
   /// worker owns that part of the input).
   void update(std::size_t shard, const Edge& edge);
 
-  /// Consumes a whole stream, dealing edges round-robin across shards
-  /// (chunked, and shard updates parallelized when a pool is given).
-  void consume(EdgeStream& stream);
+  /// Consumes a whole stream through the engine's partitioned fan-out
+  /// (shard updates parallelized when a pool is given). `batch_edges` = 0
+  /// picks the engine default.
+  void consume(EdgeStream& stream, ShardRouting routing = ShardRouting::kRoundRobin,
+               std::size_t batch_edges = 0);
 
   /// Per-worker peak space (what each machine pays before the reduce).
   std::size_t max_shard_space_words() const;

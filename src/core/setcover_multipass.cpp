@@ -6,6 +6,7 @@
 #include "core/greedy_on_sketch.hpp"
 #include "core/sketch_ladder.hpp"
 #include "sketch/substrate/flat_table.hpp"
+#include "stream/stream_engine.hpp"
 #include "util/bitvec.hpp"
 #include "util/log.hpp"
 
@@ -72,12 +73,15 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
   iter_options.pool = options.pool;
 
   std::size_t sketch_words_peak = 0;
+  const StreamEngine engine({options.stream.batch_edges, nullptr});
 
   for (std::size_t iteration = 1; iteration < r; ++iteration) {
     if (!options.merge_mark_pass && !last_iteration.empty()) {
       // Dedicated marking pass for S_{i-1}.
-      run_pass(stream, [&](const Edge& edge) {
-        if (in_last[edge.set]) covered.set(edge.elem);
+      engine.run(stream, {}, [&](std::span<const Edge> chunk) {
+        for (const Edge& edge : chunk) {
+          if (in_last[edge.set]) covered.set(edge.elem);
+        }
       });
       set_last({});
     }
@@ -92,23 +96,28 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
     SketchLadder ladder(std::move(rung_params), options.pool);
 
     if (options.merge_mark_pass) {
-      // Mark S_{i-1} and feed uncovered edges in the same pass; purge
+      // Mark S_{i-1} and feed uncovered edges in the same pass; the engine
+      // evaluates this mask once per chunk, before any rung runs. Purge
       // just-covered retained elements afterwards.
-      ladder.consume(stream, [&](const Edge& edge) {
-        if (covered.test(edge.elem)) return false;
-        if (in_last[edge.set]) {
-          covered.set(edge.elem);
-          return false;
-        }
-        return true;
-      });
+      ladder.consume(
+          stream,
+          [&](const Edge& edge) {
+            if (covered.test(edge.elem)) return false;
+            if (in_last[edge.set]) {
+              covered.set(edge.elem);
+              return false;
+            }
+            return true;
+          },
+          options.stream.batch_edges);
       for (std::size_t rung = 0; rung < ladder.size(); ++rung) {
         ladder.rung(rung).purge([&](ElemId elem) { return covered.test(elem); });
       }
       set_last({});
     } else {
-      ladder.consume(stream,
-                     [&](const Edge& edge) { return !covered.test(edge.elem); });
+      ladder.consume(
+          stream, [&](const Edge& edge) { return !covered.test(edge.elem); },
+          options.stream.batch_edges);
     }
     sketch_words_peak = std::max(sketch_words_peak, ladder.peak_space_words());
 
@@ -129,13 +138,15 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
 
   // Final stage: mark S_{r-1}, store G_r's residual edges, cover exactly.
   std::vector<Edge> residual;
-  run_pass(stream, [&](const Edge& edge) {
-    if (covered.test(edge.elem)) return;
-    if (in_last[edge.set]) {
-      covered.set(edge.elem);
-      return;
+  engine.run(stream, {}, [&](std::span<const Edge> chunk) {
+    for (const Edge& edge : chunk) {
+      if (covered.test(edge.elem)) continue;
+      if (in_last[edge.set]) {
+        covered.set(edge.elem);
+        continue;
+      }
+      residual.push_back(edge);
     }
-    residual.push_back(edge);
   });
   // Purge edges whose element got covered later in the pass.
   std::erase_if(residual, [&](const Edge& edge) { return covered.test(edge.elem); });

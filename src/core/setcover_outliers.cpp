@@ -56,7 +56,8 @@ OutliersResult streaming_setcover_outliers(EdgeStream& stream, SetId num_sets,
         submodule_sketch_params(num_sets, sub, options.stream, plan.delta_pp));
   }
   SketchLadder ladder(std::move(rung_params), options.pool);
-  ladder.consume(stream);  // the single shared pass
+  // The single shared pass, batched through the engine.
+  ladder.consume(stream, {}, options.stream.batch_edges);
 
   OutliersResult result;
   result.ladder_rungs = plan.guesses.size();

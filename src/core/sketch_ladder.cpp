@@ -3,9 +3,6 @@
 #include "parallel/parallel_for.hpp"
 
 namespace covstream {
-namespace {
-constexpr std::size_t kChunkEdges = 1 << 15;
-}
 
 SketchLadder::SketchLadder(std::vector<SketchParams> rung_params, ThreadPool* pool)
     : pool_(pool) {
@@ -30,21 +27,13 @@ void SketchLadder::update_chunk(const std::vector<Edge>& edges) {
       /*grain=*/1);
 }
 
-void SketchLadder::consume(EdgeStream& stream,
-                           const std::function<bool(const Edge&)>& filter) {
-  std::vector<Edge> chunk;
-  chunk.reserve(kChunkEdges);
-  stream.reset();
-  Edge edge;
-  while (stream.next(edge)) {
-    if (filter && !filter(edge)) continue;
-    chunk.push_back(edge);
-    if (chunk.size() >= kChunkEdges) {
-      update_chunk(chunk);
-      chunk.clear();
-    }
-  }
-  if (!chunk.empty()) update_chunk(chunk);
+void SketchLadder::consume(EdgeStream& stream, const EdgeFilter& filter,
+                           std::size_t batch_edges) {
+  const StreamEngine engine({batch_edges, pool_});
+  engine.run_replicated(stream, filter, rungs_.size(),
+                        [this](std::size_t r, std::span<const Edge> chunk) {
+                          for (const Edge& edge : chunk) rungs_[r].update(edge);
+                        });
 }
 
 std::size_t SketchLadder::peak_space_words() const {

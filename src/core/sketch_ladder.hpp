@@ -2,18 +2,18 @@
 //
 // Algorithm 5 guesses the set-cover size k' over a geometric grid and "runs
 // these in parallel": every guess needs its own sketch (the degree cap
-// depends on k). SketchLadder feeds one pass of edges to all rungs — serially
-// edge-by-edge, or chunk-parallel across rungs with a ThreadPool (rungs are
-// independent, so parallel == serial bit-for-bit, DESIGN.md §5.5).
+// depends on k). SketchLadder feeds one pass of edges to all rungs through
+// the batched stream engine's replicated mode — serially, or chunk-parallel
+// across rungs with a ThreadPool (rungs are independent, so parallel ==
+// serial bit-for-bit, DESIGN.md §5.5/§5.7).
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <vector>
 
 #include "core/subsample_sketch.hpp"
 #include "parallel/thread_pool.hpp"
-#include "stream/edge_stream.hpp"
+#include "stream/stream_engine.hpp"
 
 namespace covstream {
 
@@ -32,11 +32,13 @@ class SketchLadder {
   /// Feeds a buffered chunk of edges to every rung, one task per rung.
   void update_chunk(const std::vector<Edge>& edges);
 
-  /// Runs one full pass of the stream through all rungs, chunk-buffered.
-  /// `filter` may be empty; otherwise edges failing it are skipped (used by
-  /// Algorithm 6 to hide covered elements).
-  void consume(EdgeStream& stream,
-               const std::function<bool(const Edge&)>& filter = {});
+  /// Runs one full pass of the stream through all rungs via the engine's
+  /// replicated fan-out. `filter` may be empty; otherwise edges failing it
+  /// are dropped once per chunk, before any rung sees them (used by
+  /// Algorithm 6 to hide covered elements). `batch_edges` = 0 picks the
+  /// engine default.
+  void consume(EdgeStream& stream, const EdgeFilter& filter = {},
+               std::size_t batch_edges = 0);
 
   /// Sum of rung peak spaces (they coexist during the pass).
   std::size_t peak_space_words() const;

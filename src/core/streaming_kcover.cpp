@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/distributed.hpp"
+
 namespace covstream {
 
 SketchParams StreamingOptions::sketch_params(SetId num_sets, std::uint32_t k,
@@ -45,11 +47,25 @@ KCoverResult kcover_on_sketch(const SubsampleSketch& sketch, std::uint32_t k) {
 }
 
 KCoverResult streaming_kcover(EdgeStream& stream, SetId num_sets, std::uint32_t k,
-                              const StreamingOptions& options) {
+                              const StreamingOptions& options, ThreadPool* pool) {
   // Algorithm 3: eps' = eps / 12 drives the sketch; greedy runs on the view.
   SketchParams params = options.sketch_params(num_sets, k, options.eps / 12.0);
+  if (pool != nullptr && pool->thread_count() > 1) {
+    // Pool path: one shard per thread fed by the engine's partitioned deal,
+    // reduced by merging. Merge == single-stream sketch (DESIGN.md §5.5), so
+    // everything downstream of the sketch is unchanged.
+    ShardedSketchBuilder builder(params, pool->thread_count(), pool);
+    builder.consume(stream, ShardRouting::kRoundRobin, options.batch_edges);
+    const std::size_t shard_peak = builder.max_shard_space_words();
+    const SubsampleSketch sketch = builder.finalize();
+    KCoverResult result = kcover_on_sketch(sketch, k);
+    result.space_words = std::max(result.space_words,
+                                  shard_peak * pool->thread_count());
+    result.passes = stream.passes_started();
+    return result;
+  }
   SubsampleSketch sketch(params);
-  sketch.consume(stream);
+  sketch.consume(stream, options.batch_edges);
   KCoverResult result = kcover_on_sketch(sketch, k);
   result.passes = stream.passes_started();
   return result;

@@ -12,6 +12,7 @@
 #include "core/greedy_on_sketch.hpp"
 #include "core/params.hpp"
 #include "core/subsample_sketch.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stream/edge_stream.hpp"
 #include "util/common.hpp"
 
@@ -29,6 +30,9 @@ struct StreamingOptions {
   std::uint64_t seed = 0xc0ffee5eedULL;  // overridden by callers in practice
   bool enforce_degree_cap = true;
   std::uint64_t elems_hint = 1u << 20;
+  /// Stream-engine chunk size for every pass (0 = engine default); a pure
+  /// buffering knob, never observable in results.
+  std::size_t batch_edges = 0;
 
   /// Assembles SketchParams for a sketch tuned to solution size `k`.
   SketchParams sketch_params(SetId num_sets, std::uint32_t k,
@@ -48,9 +52,15 @@ struct KCoverResult {
 };
 
 /// Runs Algorithm 3 over one pass of `stream`. `num_sets` is n (known up
-/// front, as in the paper); `k` is the cover size.
+/// front, as in the paper); `k` is the cover size. With a pool, the sketch is
+/// built as one engine-dealt shard per pool thread and reduced by merging —
+/// content-identical to the single-threaded sketch (same retained elements,
+/// edges, and p*; DESIGN.md §5.5), so the solution and estimates are
+/// identical. Space accounting differs by construction: `space_words`
+/// reports the distributed peak (shards coexist during the pass).
 KCoverResult streaming_kcover(EdgeStream& stream, SetId num_sets, std::uint32_t k,
-                              const StreamingOptions& options);
+                              const StreamingOptions& options,
+                              ThreadPool* pool = nullptr);
 
 /// The same algorithm when the sketch has already been built (lets callers
 /// reuse one sketch for several k <= sketch k; used by tests and benches).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stream/stream_engine.hpp"
+
 namespace covstream {
 
 std::size_t SketchView::neighborhood_size(std::span<const SetId> family) const {
@@ -43,8 +45,11 @@ void SubsampleSketch::note_space() {
   if (words > peak_space_words_) peak_space_words_ = words;
 }
 
-void SubsampleSketch::consume(EdgeStream& stream) {
-  run_pass(stream, [this](const Edge& edge) { update(edge); });
+void SubsampleSketch::consume(EdgeStream& stream, std::size_t batch_edges) {
+  const StreamEngine engine({batch_edges, nullptr});
+  engine.run(stream, {}, [this](std::span<const Edge> chunk) {
+    for (const Edge& edge : chunk) update(edge);
+  });
 }
 
 SubsampleSketch SubsampleSketch::build_offline(const CoverageInstance& instance,

@@ -69,8 +69,9 @@ class SubsampleSketch {
   /// Streaming update with one edge (O~(1)).
   void update(const Edge& edge);
 
-  /// Convenience: runs one full pass of `stream` through update().
-  void consume(EdgeStream& stream);
+  /// Convenience: runs one full pass of `stream` through update(), pulled in
+  /// engine-sized batches. `batch_edges` = 0 picks the engine default.
+  void consume(EdgeStream& stream, std::size_t batch_edges = 0);
 
   /// Algorithm 1: offline construction (hash-sort elements, take the maximal
   /// prefix fitting the budget). Used by tests to validate the streaming

@@ -26,8 +26,27 @@ void L0KCover::update(const Edge& edge) {
   per_set_[edge.set].add(edge.elem);
 }
 
-void L0KCover::consume(EdgeStream& stream) {
-  run_pass(stream, [this](const Edge& edge) { update(edge); });
+void L0KCover::consume(EdgeStream& stream, ThreadPool* pool,
+                       std::size_t batch_edges) {
+  const StreamEngine engine({batch_edges, pool});
+  if (pool == nullptr || pool->thread_count() <= 1) {
+    engine.run(stream, {}, [this](std::span<const Edge> chunk) {
+      for (const Edge& edge : chunk) update(edge);
+    });
+    return;
+  }
+  // Partition the per-set sketch bank: shard s owns every set ≡ s (mod
+  // shards), so shard states are disjoint and each set's sketch sees its
+  // edges in arrival order.
+  const std::size_t shards = pool->thread_count();
+  engine.run_partitioned(
+      stream, {}, shards,
+      [shards](const Edge& edge, std::size_t) {
+        return static_cast<std::size_t>(edge.set) % shards;
+      },
+      [this](std::size_t, std::span<const Edge> chunk) {
+        for (const Edge& edge : chunk) update(edge);
+      });
 }
 
 double L0KCover::estimate_coverage(std::span<const SetId> family) const {

@@ -15,8 +15,9 @@
 #include <span>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "sketch/kmv.hpp"
-#include "stream/edge_stream.hpp"
+#include "stream/stream_engine.hpp"
 #include "util/common.hpp"
 
 namespace covstream {
@@ -32,7 +33,13 @@ class L0KCover {
   static std::size_t capacity_for(SetId num_sets, std::uint32_t k, double eps);
 
   void update(const Edge& edge);
-  void consume(EdgeStream& stream);
+
+  /// One engine pass. With a pool, consumers shard by `set % threads` (each
+  /// shard owns a disjoint slice of the per-set sketches, and a set's edges
+  /// arrive in stream order regardless of sharding — so output is bit-for-bit
+  /// independent of the pool). `batch_edges` = 0 picks the engine default.
+  void consume(EdgeStream& stream, ThreadPool* pool = nullptr,
+               std::size_t batch_edges = 0);
 
   /// (1 +- eps)-style oracle: estimated coverage of a family.
   double estimate_coverage(std::span<const SetId> family) const;

@@ -9,11 +9,15 @@
 //            runs over large inputs.
 //
 // Both are true streams: multi-pass algorithms reopen/rewind per pass and
-// never hold the file in memory.
+// never hold the file in memory. Both read the file through a block buffer
+// (one fread per ~64 KiB, not per edge); next() and next_batch() share the
+// same parser, so per-edge and block-mode delivery are equivalent by
+// construction — including malformed-line accounting for the text format.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "stream/edge_stream.hpp"
 #include "util/common.hpp"
@@ -30,14 +34,26 @@ class TextFileStream final : public EdgeStream {
 
   void reset() override;
   bool next(Edge& edge) override;
+  std::size_t next_batch(Edge* out, std::size_t cap) override;
   std::size_t edges_per_pass() const override { return 0; }  // unknown
 
   /// Lines that failed to parse during the current pass (reported, skipped).
   std::size_t malformed_lines() const { return malformed_; }
 
  private:
+  /// Parses lines from the buffer until one yields an edge; refills the
+  /// buffer from the file as lines are exhausted. False at end of pass.
+  bool parse_next(Edge& edge);
+  /// Slides the unconsumed tail to the buffer front and freads more bytes.
+  /// Returns false once the file is drained and the tail holds no newline.
+  bool refill();
+
   std::string path_;
   std::FILE* file_ = nullptr;
+  std::vector<char> buffer_;
+  std::size_t pos_ = 0;     // next unconsumed byte
+  std::size_t filled_ = 0;  // valid bytes in buffer_
+  bool eof_ = false;
   std::size_t malformed_ = 0;
 };
 
@@ -51,12 +67,19 @@ class BinaryFileStream final : public EdgeStream {
 
   void reset() override;
   bool next(Edge& edge) override;
+  std::size_t next_batch(Edge* out, std::size_t cap) override;
   std::size_t edges_per_pass() const override { return edges_; }
 
  private:
+  /// Refills the record buffer with one block fread. Returns records read.
+  std::size_t refill();
+
   std::string path_;
   std::FILE* file_ = nullptr;
   std::size_t edges_ = 0;
+  std::vector<unsigned char> buffer_;  // whole 12-byte records only
+  std::size_t pos_ = 0;                // next unconsumed byte
+  std::size_t filled_ = 0;             // valid bytes in buffer_
 };
 
 /// Writes edges to the text format. Returns edges written.

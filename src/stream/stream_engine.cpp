@@ -1,0 +1,114 @@
+#include "stream/stream_engine.hpp"
+
+#include <memory>
+
+#include "hash/hash64.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace covstream {
+
+StreamEngine::StreamEngine(EngineOptions options)
+    : batch_(options.batch_edges == 0 ? kDefaultBatchEdges : options.batch_edges),
+      pool_(options.pool) {}
+
+StreamEngine::PassStats StreamEngine::run(EdgeStream& stream,
+                                          const EdgeFilter& filter,
+                                          const ChunkSink& sink) const {
+  stream.reset();
+  PassStats stats;
+  // One fixed buffer for the whole pass (2x batch: a filtered tail below one
+  // batch plus a fresh full read); `len` tracks the logical fill so no
+  // per-chunk resize/value-initialization lands on the hot path.
+  const std::size_t cap = 2 * batch_;
+  const std::unique_ptr<Edge[]> buffer(new Edge[cap]);
+  std::size_t len = 0;
+  for (;;) {
+    // len < batch_ here (a full chunk is always delivered below), so a whole
+    // batch fits.
+    const std::size_t got = stream.next_batch(buffer.get() + len, batch_);
+    stats.edges_read += got;
+    if (filter && got > 0) {
+      std::size_t kept = len;
+      for (std::size_t i = len; i < len + got; ++i) {
+        if (filter(buffer[i])) buffer[kept++] = buffer[i];
+      }
+      len = kept;
+    } else {
+      len += got;
+    }
+    const bool end_of_pass = got == 0;
+    // Deliver once the chunk is full (filters can leave it short of one
+    // batch) or the pass ended.
+    if (len >= batch_ || (end_of_pass && len > 0)) {
+      stats.edges_kept += len;
+      sink(std::span<const Edge>(buffer.get(), len));
+      len = 0;
+    }
+    if (end_of_pass) break;
+  }
+  return stats;
+}
+
+StreamEngine::PassStats StreamEngine::run_replicated(EdgeStream& stream,
+                                                     const EdgeFilter& filter,
+                                                     std::size_t shards,
+                                                     const ShardSink& sink) const {
+  COVSTREAM_CHECK(shards >= 1);
+  return run(stream, filter, [&](std::span<const Edge> chunk) {
+    parallel_for_blocked(
+        pool_, shards,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) sink(s, chunk);
+        },
+        /*grain=*/1);
+  });
+}
+
+StreamEngine::PassStats StreamEngine::run_partitioned(EdgeStream& stream,
+                                                      const EdgeFilter& filter,
+                                                      std::size_t shards,
+                                                      const Router& router,
+                                                      const ShardSink& sink) const {
+  COVSTREAM_CHECK(shards >= 1);
+  std::vector<std::vector<Edge>> buffers(shards);
+  std::size_t routed = 0;       // kept edges dealt so far (router index)
+  std::size_t buffered = 0;     // edges awaiting a flush
+  auto flush = [&] {
+    parallel_for_blocked(
+        pool_, shards,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            if (!buffers[s].empty()) sink(s, buffers[s]);
+            buffers[s].clear();
+          }
+        },
+        /*grain=*/1);
+    buffered = 0;
+  };
+  PassStats stats = run(stream, filter, [&](std::span<const Edge> chunk) {
+    for (const Edge& edge : chunk) {
+      const std::size_t shard = router(edge, routed++);
+      COVSTREAM_CHECK(shard < shards);
+      buffers[shard].push_back(edge);
+    }
+    buffered += chunk.size();
+    if (buffered >= shards * batch_) flush();
+  });
+  flush();
+  return stats;
+}
+
+StreamEngine::Router StreamEngine::round_robin(std::size_t shards) {
+  COVSTREAM_CHECK(shards >= 1);
+  return [shards](const Edge&, std::size_t index) { return index % shards; };
+}
+
+StreamEngine::Router StreamEngine::by_element_hash(std::size_t shards,
+                                                   std::uint64_t seed) {
+  COVSTREAM_CHECK(shards >= 1);
+  return [shards, hash = Mix64Hash(seed)](const Edge& edge, std::size_t) {
+    return static_cast<std::size_t>(hash(edge.elem) % shards);
+  };
+}
+
+}  // namespace covstream

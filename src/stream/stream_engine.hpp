@@ -1,0 +1,97 @@
+// The batched ingestion pipeline: one engine drives every single- and
+// multi-pass stream consumer in the library (DESIGN.md §5.7).
+//
+// A pass runs chunk-at-a-time: the engine pulls blocks off the stream via
+// EdgeStream::next_batch (one virtual call per block, buffered I/O for file
+// streams), applies an optional per-edge filter ONCE per chunk (Algorithm 6's
+// covered-element mask used to be re-evaluated inside every consumer), and
+// hands the surviving edges to consumer shards:
+//
+//  * run            — one consumer, whole chunks in arrival order;
+//  * run_replicated — every shard sees every chunk (the Algorithm 5 ladder:
+//                     one rung per guess, all fed the same pass);
+//  * run_partitioned— a router owns each edge to exactly one shard (the
+//                     distributed builder's round-robin deal, or hash
+//                     partitioning by element).
+//
+// With a ThreadPool, shards are updated concurrently — one task per shard
+// per chunk, barrier between chunks. Shards own disjoint state and each
+// shard's edge sequence is the serial arrival order (restricted to its own
+// edges), so pool-parallel output is bit-for-bit equal to serial execution —
+// the same guarantee DESIGN.md §5.5 gives for the ladder and sharded
+// builder, now enforced in one place.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "stream/edge_stream.hpp"
+
+namespace covstream {
+
+/// Per-edge admission predicate; an empty function keeps everything.
+using EdgeFilter = std::function<bool(const Edge&)>;
+
+struct EngineOptions {
+  /// Edges per chunk (0 = kDefaultBatchEdges). Chunk size affects only
+  /// buffering granularity, never consumer-visible edge order.
+  std::size_t batch_edges = 0;
+  /// Pool for fanning chunks out across shards (nullptr = serial).
+  ThreadPool* pool = nullptr;
+};
+
+class StreamEngine {
+ public:
+  static constexpr std::size_t kDefaultBatchEdges = 1 << 15;
+
+  explicit StreamEngine(EngineOptions options = {});
+
+  struct PassStats {
+    std::size_t edges_read = 0;  // pulled off the stream
+    std::size_t edges_kept = 0;  // survived the filter
+  };
+
+  /// Consumer shard: receives (shard index, chunk of edges in arrival order).
+  using ShardSink = std::function<void(std::size_t, std::span<const Edge>)>;
+  /// Single-consumer sink: receives whole chunks in arrival order.
+  using ChunkSink = std::function<void(std::span<const Edge>)>;
+  /// Maps (edge, index of the edge among kept edges) to its owning shard.
+  using Router = std::function<std::size_t(const Edge&, std::size_t)>;
+
+  /// One pass, one consumer, batched delivery (resets the stream first, as
+  /// all run* calls do).
+  PassStats run(EdgeStream& stream, const EdgeFilter& filter,
+                const ChunkSink& sink) const;
+
+  /// One pass fanned out to `shards` replicated consumers: each shard sees
+  /// every surviving edge, in arrival order. One pool task per shard per
+  /// chunk.
+  PassStats run_replicated(EdgeStream& stream, const EdgeFilter& filter,
+                           std::size_t shards, const ShardSink& sink) const;
+
+  /// One pass dealt across `shards` partitioned consumers: the router assigns
+  /// each surviving edge to exactly one shard; a shard sees its own edges in
+  /// arrival order. Shard buffers are flushed together (one pool task per
+  /// shard) every `shards * batch_edges` routed edges.
+  PassStats run_partitioned(EdgeStream& stream, const EdgeFilter& filter,
+                            std::size_t shards, const Router& router,
+                            const ShardSink& sink) const;
+
+  std::size_t batch_edges() const { return batch_; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// Round-robin router (the distributed builder's default deal).
+  static Router round_robin(std::size_t shards);
+  /// Routes all edges of an element to one shard (hash partition); requires
+  /// no dedupe across shards since an element never splits.
+  static Router by_element_hash(std::size_t shards, std::uint64_t seed);
+
+ private:
+  std::size_t batch_;
+  ThreadPool* pool_;
+};
+
+}  // namespace covstream

@@ -142,7 +142,9 @@ TEST(Disjointness, StreamIsAliceThenBob) {
   bool seen_bob = false;
   for (const Edge& edge : inst.alice_then_bob_stream) {
     if (edge.elem == 1) seen_bob = true;
-    if (seen_bob) EXPECT_EQ(edge.elem, 1u) << "Alice edge after Bob started";
+    if (seen_bob) {
+      EXPECT_EQ(edge.elem, 1u) << "Alice edge after Bob started";
+    }
   }
 }
 

@@ -10,15 +10,25 @@
 //
 // Input files ending in .bin use the binary format of stream/file_stream.hpp;
 // anything else is treated as text ("<set> <elem>" per line).
+//
+// Every algorithm command accepts:
+//   --threads=N  fan consumer shards out over an N-thread pool (N=0, the
+//                default, runs serially; solutions and estimates are
+//                identical either way — DESIGN.md §5.7. kcover's space
+//                figures reflect the sharded build when threaded.)
+//   --batch=B    stream-engine chunk size in edges (0 = default, 32768)
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/setcover_multipass.hpp"
 #include "core/setcover_outliers.hpp"
 #include "core/streaming_kcover.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stream/arrival_order.hpp"
 #include "stream/file_stream.hpp"
+#include "stream/stream_engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -38,6 +48,20 @@ std::unique_ptr<EdgeStream> open_stream(const std::string& path) {
   }
   return std::make_unique<TextFileStream>(path);
 }
+
+/// Reads --threads (pool size; 0 = serial) and --batch (engine chunk size).
+struct EngineFlags {
+  explicit EngineFlags(CliArgs& args)
+      : batch_edges(args.get_size("batch", 0)) {
+    const std::size_t threads = args.get_size("threads", 0);
+    if (threads > 0) pool.emplace(threads);
+  }
+
+  ThreadPool* pool_ptr() { return pool.has_value() ? &*pool : nullptr; }
+
+  std::optional<ThreadPool> pool;
+  std::size_t batch_edges;
+};
 
 void write_edges(const std::string& path, const std::vector<Edge>& edges) {
   if (ends_with(path, ".bin")) {
@@ -100,14 +124,10 @@ int cmd_stats(CliArgs& args) {
   auto stream = open_stream(input);
   SetId max_set = 0;
   ElemId max_elem = 0;
-  std::size_t edges = 0;
-  Edge edge;
-  stream->reset();
-  while (stream->next(edge)) {
+  const std::size_t edges = run_pass(*stream, [&](const Edge& edge) {
     max_set = std::max(max_set, edge.set);
     max_elem = std::max(max_elem, edge.elem);
-    ++edges;
-  }
+  });
   std::printf("%s: %zu edges, max set id %u, max elem id %llu\n", input.c_str(),
               edges, max_set, static_cast<unsigned long long>(max_elem));
   return 0;
@@ -120,9 +140,7 @@ int cmd_convert(CliArgs& args) {
   COVSTREAM_CHECK(!input.empty() && !out.empty());
   auto stream = open_stream(input);
   std::vector<Edge> edges;
-  Edge edge;
-  stream->reset();
-  while (stream->next(edge)) edges.push_back(edge);
+  run_pass(*stream, [&](const Edge& edge) { edges.push_back(edge); });
   write_edges(out, edges);
   return 0;
 }
@@ -134,12 +152,15 @@ int cmd_kcover(CliArgs& args) {
   StreamingOptions options;
   options.eps = args.get_double("eps", 0.15);
   options.seed = args.get_size("seed", 1);
+  EngineFlags engine(args);
+  options.batch_edges = engine.batch_edges;
   args.finish();
   COVSTREAM_CHECK(!input.empty() && n > 0);
 
   auto stream = open_stream(input);
   Timer timer;
-  const KCoverResult result = streaming_kcover(*stream, n, k, options);
+  const KCoverResult result =
+      streaming_kcover(*stream, n, k, options, engine.pool_ptr());
   std::printf("k-cover (k=%u, eps=%.3f): estimated coverage %.0f\n", k,
               options.eps, result.estimated_coverage);
   std::printf("  solution   :");
@@ -159,6 +180,9 @@ int cmd_outliers(CliArgs& args) {
   options.stream.eps = args.get_double("eps", 0.5);
   options.stream.seed = args.get_size("seed", 1);
   options.lambda = args.get_double("lambda", 0.1);
+  EngineFlags engine(args);
+  options.pool = engine.pool_ptr();
+  options.stream.batch_edges = engine.batch_edges;
   args.finish();
   COVSTREAM_CHECK(!input.empty() && n > 0);
 
@@ -189,6 +213,9 @@ int cmd_setcover(CliArgs& args) {
   options.stream.seed = args.get_size("seed", 1);
   options.rounds = args.get_size("rounds", 3);
   options.merge_mark_pass = args.get_bool("merge_mark", true);
+  EngineFlags engine(args);
+  options.pool = engine.pool_ptr();
+  options.stream.batch_edges = engine.batch_edges;
   args.finish();
   COVSTREAM_CHECK(!input.empty() && n > 0 && m > 0);
 
