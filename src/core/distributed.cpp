@@ -33,7 +33,7 @@ void ShardedSketchBuilder::consume(EdgeStream& stream, ShardRouting routing,
                                               0x5eedfeedULL);
   engine.run_partitioned(stream, {}, shards_.size(), router,
                          [this](std::size_t s, std::span<const Edge> chunk) {
-                           for (const Edge& edge : chunk) shards_[s].update(edge);
+                           shards_[s].update_chunk(chunk);
                          });
 }
 

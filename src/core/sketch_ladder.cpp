@@ -1,5 +1,7 @@
 #include "core/sketch_ladder.hpp"
 
+#include <algorithm>
+
 #include "parallel/parallel_for.hpp"
 
 namespace covstream {
@@ -10,30 +12,108 @@ SketchLadder::SketchLadder(std::vector<SketchParams> rung_params, ThreadPool* po
   for (SketchParams& params : rung_params) {
     rungs_.emplace_back(params);
   }
+  // Keys can be shared iff every rung hashes elements identically AND agrees
+  // on the set universe (the chunk-level bounds check runs once, against the
+  // shared num_sets).
+  shared_keys_ =
+      !rungs_.empty() &&
+      std::all_of(rungs_.begin(), rungs_.end(), [&](const SubsampleSketch& r) {
+        return r.params().hash_seed == rungs_.front().params().hash_seed &&
+               r.params().num_sets == rungs_.front().params().num_sets;
+      });
 }
 
 void SketchLadder::update(const Edge& edge) {
   for (SubsampleSketch& rung : rungs_) rung.update(edge);
 }
 
-void SketchLadder::update_chunk(const std::vector<Edge>& edges) {
+void SketchLadder::update_chunk(std::span<const Edge> edges) {
+  if (edges.empty() || rungs_.empty()) return;
+  if (shared_keys_) {
+    // One hash sweep for the whole ladder; rungs admit off the shared spans
+    // (they differ only in cap/budget/cutoff, DESIGN.md §5.8). Serially the
+    // sweep runs in L1-sized blocks so every rung re-reads hot keys; with a
+    // pool the chunk stays whole (one task per rung per chunk — block-level
+    // barriers would dominate), each task streaming the spans on its own
+    // core. Block size never changes results (chunk-size independence).
+    const Mix64Hash hash(rungs_.front().params().hash_seed);
+    const SetId num_sets = rungs_.front().params().num_sets;
+    constexpr std::size_t kSharedSweepBlock = 4096;
+    const std::size_t block =
+        pool_ == nullptr ? kSharedSweepBlock : edges.size();
+    elem_scratch_.resize(std::min(edges.size(), block));
+    key_scratch_.resize(std::min(edges.size(), block));
+    for (std::size_t at = 0; at < edges.size(); at += block) {
+      const std::size_t len = std::min(block, edges.size() - at);
+      const std::span<const Edge> part = edges.subspan(at, len);
+      for (std::size_t i = 0; i < len; ++i) {
+        COVSTREAM_CHECK(part[i].set < num_sets);
+        elem_scratch_[i] = part[i].elem;
+        key_scratch_[i] = hash(elem_scratch_[i]);
+      }
+      const std::span<const ElemId> elems(elem_scratch_.data(), len);
+      const std::span<const std::uint64_t> keys(key_scratch_.data(), len);
+      // Once EVERY rung is saturated, pre-filter the block ONCE against the
+      // max cutoff across rungs: a key at or above it is at or above every
+      // rung's cutoff, so the (typical) all-rejected block costs one sweep
+      // instead of H. Candidates are re-checked against each rung's live
+      // cutoff inside admit_selected, so the shared over-approximation is
+      // exact. Cutoffs only fall, so re-reading them per block is safe.
+      std::uint64_t max_cutoff = 0;
+      for (const SubsampleSketch& rung : rungs_) {
+        max_cutoff = std::max(max_cutoff, rung.admission_cutoff());
+      }
+      if (max_cutoff != ~0ULL) {
+        candidate_scratch_.clear();
+        for (std::size_t i = 0; i < len; ++i) {
+          if (key_scratch_[i] < max_cutoff) {
+            candidate_scratch_.push_back(static_cast<std::uint32_t>(i));
+          }
+        }
+        // Fully rejected block — the dominant case once saturated. Nothing
+        // can mutate any rung (and every saturated rung's peak was already
+        // recorded at its evictions), so skip the per-rung fan-out.
+        if (candidate_scratch_.empty()) continue;
+        const std::span<const std::uint32_t> candidates(candidate_scratch_);
+        parallel_for_blocked(
+            pool_, rungs_.size(),
+            [this, part, elems, keys, candidates](std::size_t begin,
+                                                  std::size_t end) {
+              for (std::size_t r = begin; r < end; ++r) {
+                rungs_[r].update_candidates_with_keys(part, elems, keys,
+                                                      candidates);
+              }
+            },
+            /*grain=*/1);
+        continue;
+      }
+      parallel_for_blocked(
+          pool_, rungs_.size(),
+          [this, part, elems, keys](std::size_t begin, std::size_t end) {
+            for (std::size_t r = begin; r < end; ++r) {
+              rungs_[r].update_chunk_with_keys(part, elems, keys);
+            }
+          },
+          /*grain=*/1);
+    }
+    return;
+  }
   parallel_for_blocked(
       pool_, rungs_.size(),
-      [this, &edges](std::size_t begin, std::size_t end) {
-        for (std::size_t r = begin; r < end; ++r) {
-          for (const Edge& edge : edges) rungs_[r].update(edge);
-        }
+      [this, edges](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) rungs_[r].update_chunk(edges);
       },
       /*grain=*/1);
 }
 
 void SketchLadder::consume(EdgeStream& stream, const EdgeFilter& filter,
                            std::size_t batch_edges) {
-  const StreamEngine engine({batch_edges, pool_});
-  engine.run_replicated(stream, filter, rungs_.size(),
-                        [this](std::size_t r, std::span<const Edge> chunk) {
-                          for (const Edge& edge : chunk) rungs_[r].update(edge);
-                        });
+  // update_chunk already fans rungs out over the pool (one task per rung per
+  // chunk, barrier between chunks — the same shape run_replicated gave), so
+  // one engine chunk feed suffices and the per-chunk hash sweep runs once.
+  const StreamEngine engine({batch_edges, nullptr});
+  engine.run(stream, filter,
+             [this](std::span<const Edge> chunk) { update_chunk(chunk); });
 }
 
 std::size_t SketchLadder::peak_space_words() const {

@@ -2,13 +2,20 @@
 //
 // Algorithm 5 guesses the set-cover size k' over a geometric grid and "runs
 // these in parallel": every guess needs its own sketch (the degree cap
-// depends on k). SketchLadder feeds one pass of edges to all rungs through
-// the batched stream engine's replicated mode — serially, or chunk-parallel
-// across rungs with a ThreadPool (rungs are independent, so parallel ==
-// serial bit-for-bit, DESIGN.md §5.5/§5.7).
+// depends on k). SketchLadder feeds one pass of edges to all rungs —
+// serially, or chunk-parallel across rungs with a ThreadPool (rungs are
+// independent, so parallel == serial bit-for-bit, DESIGN.md §5.5/§5.7).
+//
+// When every rung shares the same hash seed (and the same universe of sets
+// — the Algorithm 5 grid always does; rungs differ only in degree cap,
+// budget, and realized cutoff), the ladder hashes each chunk's elements
+// ONCE into shared scratch spans and every rung admits off the same keys:
+// a ladder pass costs one hash sweep instead of H (DESIGN.md §5.8). Mixed
+// seeds fall back to per-rung hashing, bit-for-bit identical either way.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/subsample_sketch.hpp"
@@ -26,16 +33,22 @@ class SketchLadder {
   SubsampleSketch& rung(std::size_t i) { return rungs_[i]; }
   const SubsampleSketch& rung(std::size_t i) const { return rungs_[i]; }
 
+  /// True when all rungs share one hash seed (and set universe), so chunk
+  /// keys are computed once and shared across rungs.
+  bool shares_keys() const { return shared_keys_; }
+
   /// Feeds one edge to every rung (serial path).
   void update(const Edge& edge);
 
   /// Feeds a buffered chunk of edges to every rung, one task per rung.
-  void update_chunk(const std::vector<Edge>& edges);
+  /// Shared-seed ladders hash the chunk once; each rung then runs the
+  /// substrate's batched admission over the shared (elem, key) spans.
+  void update_chunk(std::span<const Edge> edges);
 
-  /// Runs one full pass of the stream through all rungs via the engine's
-  /// replicated fan-out. `filter` may be empty; otherwise edges failing it
-  /// are dropped once per chunk, before any rung sees them (used by
-  /// Algorithm 6 to hide covered elements). `batch_edges` = 0 picks the
+  /// Runs one full pass of the stream through all rungs (engine-batched
+  /// chunks into update_chunk). `filter` may be empty; otherwise edges
+  /// failing it are dropped once per chunk, before any rung sees them (used
+  /// by Algorithm 6 to hide covered elements). `batch_edges` = 0 picks the
   /// engine default.
   void consume(EdgeStream& stream, const EdgeFilter& filter = {},
                std::size_t batch_edges = 0);
@@ -46,6 +59,13 @@ class SketchLadder {
  private:
   std::vector<SubsampleSketch> rungs_;
   ThreadPool* pool_;
+  bool shared_keys_ = false;
+  // One hash sweep per chunk, shared read-only across all rung tasks; once
+  // every rung is saturated, one pre-filter sweep (against the max rung
+  // cutoff) compacts shared candidates too.
+  std::vector<ElemId> elem_scratch_;
+  std::vector<std::uint64_t> key_scratch_;
+  std::vector<std::uint32_t> candidate_scratch_;
 };
 
 }  // namespace covstream

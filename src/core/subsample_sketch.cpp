@@ -27,29 +27,71 @@ SubsampleSketch::SubsampleSketch(SketchParams params)
       hash_(params_.hash_seed),
       degree_cap_(params_.degree_cap()),
       edge_budget_(params_.edge_budget()),
-      core_(degree_cap_, edge_budget_, ~0ULL) {}
+      core_(degree_cap_, edge_budget_, ~0ULL, kBaseSpaceWords) {}
 
 void SubsampleSketch::update(const Edge& edge) {
   COVSTREAM_CHECK(edge.set < params_.num_sets);
   bool created = false;
   const std::uint32_t slot = core_.admit(edge.elem, hash_(edge.elem), created);
+  core_.note_peak();
   if (slot == MinHashCore<std::uint64_t>::kNoSlot) return;  // evicted earlier
-  if (core_.add_edge(slot, edge.set, params_.dedupe_edges)) {
-    core_.enforce_budget();
-  }
-  note_space();
+  absorb_admitted(slot, edge.set);
 }
 
-void SubsampleSketch::note_space() {
-  const std::size_t words = space_words();
-  if (words > peak_space_words_) peak_space_words_ = words;
+void SubsampleSketch::update_chunk(std::span<const Edge> edges) {
+  // Unsaturated prefix: every edge survives the (infinite) cutoff, so the
+  // scratch hash sweep would only be overhead — per-edge updates are the
+  // dense fast path. The moment the first eviction sets a finite cutoff,
+  // the remainder of the chunk flips to the batched pre-filter path.
+  std::size_t start = 0;
+  if (!core_.saturated()) {
+    while (start < edges.size()) {
+      update(edges[start]);
+      ++start;
+      if (core_.saturated()) break;
+    }
+    if (start == edges.size()) return;
+  }
+  const std::span<const Edge> rest = edges.subspan(start);
+  elem_scratch_.resize(rest.size());
+  key_scratch_.resize(rest.size());
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    COVSTREAM_CHECK(rest[i].set < params_.num_sets);
+    elem_scratch_[i] = rest[i].elem;
+    key_scratch_[i] = hash_(rest[i].elem);
+  }
+  update_chunk_with_keys(rest, elem_scratch_, key_scratch_);
+}
+
+void SubsampleSketch::update_chunk_with_keys(std::span<const Edge> edges,
+                                             std::span<const ElemId> elems,
+                                             std::span<const std::uint64_t> keys) {
+  COVSTREAM_CHECK(edges.size() == keys.size());
+  core_.admit_batch(elems, keys,
+                    [this, edges](std::size_t i, std::uint32_t slot, bool) {
+                      absorb_admitted(slot, edges[i].set);
+                    });
+  // One standing-footprint observation per chunk: rejected edges never move
+  // the counter, so this reproduces the historical after-every-edge sample.
+  core_.note_peak();
+}
+
+void SubsampleSketch::update_candidates_with_keys(
+    std::span<const Edge> edges, std::span<const ElemId> elems,
+    std::span<const std::uint64_t> keys,
+    std::span<const std::uint32_t> candidates) {
+  COVSTREAM_CHECK(edges.size() == keys.size());
+  core_.admit_selected(elems, keys, candidates,
+                       [this, edges](std::size_t i, std::uint32_t slot, bool) {
+                         absorb_admitted(slot, edges[i].set);
+                       });
+  core_.note_peak();
 }
 
 void SubsampleSketch::consume(EdgeStream& stream, std::size_t batch_edges) {
   const StreamEngine engine({batch_edges, nullptr});
-  engine.run(stream, {}, [this](std::span<const Edge> chunk) {
-    for (const Edge& edge : chunk) update(edge);
-  });
+  engine.run(stream, {},
+             [this](std::span<const Edge> chunk) { update_chunk(chunk); });
 }
 
 SubsampleSketch SubsampleSketch::build_offline(const CoverageInstance& instance,
@@ -78,7 +120,7 @@ SubsampleSketch SubsampleSketch::build_offline(const CoverageInstance& instance,
     const std::uint32_t slot = sketch.core_.create_slot(elem, h);
     sketch.core_.assign_edges(slot, capped);
   }
-  sketch.note_space();
+  sketch.core_.note_peak();
   return sketch;
 }
 
@@ -109,11 +151,7 @@ void SubsampleSketch::merge_from(const SubsampleSketch& other) {
 
   core_.merge_from(other.core_);
   core_.enforce_budget();
-  note_space();
-}
-
-void SubsampleSketch::purge(const std::function<bool(ElemId)>& pred) {
-  core_.purge(pred);
+  core_.note_peak();
 }
 
 SketchView SubsampleSketch::view() const {

@@ -69,8 +69,38 @@ class SubsampleSketch {
   /// Streaming update with one edge (O~(1)).
   void update(const Edge& edge);
 
-  /// Convenience: runs one full pass of `stream` through update(), pulled in
-  /// engine-sized batches. `batch_edges` = 0 picks the engine default.
+  /// Chunk-vectorized update: hashes the whole chunk into a reusable key
+  /// scratch, then drives the substrate's batched admission (cutoff
+  /// pre-filter, survivor compaction, table prefetch — DESIGN.md §5.8).
+  /// Bit-for-bit equal to calling update() per edge, in order.
+  void update_chunk(std::span<const Edge> edges);
+
+  /// Same, but with the element/key spans already computed by the caller
+  /// (the ladder hashes once per chunk and shares the spans across rungs).
+  /// `elems[i]`/`keys[i]` must be edges[i].elem and its hash under this
+  /// sketch's seed; the ladder guarantees this by only sharing across rungs
+  /// with equal hash_seed.
+  void update_chunk_with_keys(std::span<const Edge> edges,
+                              std::span<const ElemId> elems,
+                              std::span<const std::uint64_t> keys);
+
+  /// Same, but over a pre-compacted candidate index list (the ladder
+  /// pre-filters each chunk ONCE against the max admission cutoff across
+  /// rungs; every candidate is still re-checked against THIS sketch's live
+  /// cutoff, so over-approximate candidate lists are always safe).
+  void update_candidates_with_keys(std::span<const Edge> edges,
+                                   std::span<const ElemId> elems,
+                                   std::span<const std::uint64_t> keys,
+                                   std::span<const std::uint32_t> candidates);
+
+  /// Raw 64-bit admission cutoff (2^64-1 until the first eviction). Edges
+  /// whose element hash is at or above it are dropped; the ladder uses the
+  /// max across rungs to pre-filter shared chunks once.
+  std::uint64_t admission_cutoff() const { return core_.cutoff(); }
+
+  /// Convenience: runs one full pass of `stream` through update_chunk(),
+  /// pulled in engine-sized batches. `batch_edges` = 0 picks the engine
+  /// default.
   void consume(EdgeStream& stream, std::size_t batch_edges = 0);
 
   /// Algorithm 1: offline construction (hash-sort elements, take the maximal
@@ -101,8 +131,15 @@ class SubsampleSketch {
   /// arena storage goes back on the substrate free lists. The result is
   /// still a valid hash-prefix sketch of the surviving subgraph (used by
   /// Algorithm 6's merged marking pass to drop just-covered elements at end
-  /// of pass).
-  void purge(const std::function<bool(ElemId)>& pred);
+  /// of pass). Templated so the per-slot predicate call inlines; the
+  /// std::function overload below keeps type-erased callers working.
+  template <typename Pred>
+  void purge(Pred&& pred) {
+    core_.purge(std::forward<Pred>(pred));
+  }
+  void purge(const std::function<bool(ElemId)>& pred) {
+    core_.purge(pred);
+  }
 
   /// Union-merges `other` into *this (both must share params and hash seed,
   /// and have dedupe enabled). If the two sketches were built over two
@@ -121,15 +158,28 @@ class SubsampleSketch {
   double estimate_coverage(std::span<const SetId> family) const;
 
   /// Analytic space in 8-byte words (DESIGN.md §5.2): the substrate's flat
-  /// table + slot arrays + heap + edge slab, measured, not modeled.
-  std::size_t space_words() const { return 8 + core_.space_words(); }
+  /// table + slot arrays + heap + edge slab, measured, not modeled. This is
+  /// the audit re-sum; the substrate maintains the same value incrementally
+  /// (tracked_space_words), which is what peak tracking reads.
+  std::size_t space_words() const { return kBaseSpaceWords + core_.space_words(); }
 
   /// Peak space over the run (eviction shrinks the sketch; peak is what a
-  /// space bound must pay for).
-  std::size_t peak_space_words() const { return peak_space_words_; }
+  /// space bound must pay for). Maintained by the substrate from counter
+  /// deltas at every mutation — no per-edge re-sum (DESIGN.md §5.8).
+  std::size_t peak_space_words() const { return core_.peak_space_words(); }
 
  private:
-  void note_space();
+  /// Shared tail of every update path: append the admitted edge's set to
+  /// its slot and keep the budget enforced. All three admission shapes
+  /// (per-edge, batched, candidate list) must run exactly this.
+  void absorb_admitted(std::uint32_t slot, SetId set) {
+    if (core_.add_edge(slot, set, params_.dedupe_edges)) {
+      core_.enforce_budget();
+    }
+  }
+
+  /// Fixed sketch-header overhead counted on top of the substrate.
+  static constexpr std::size_t kBaseSpaceWords = 8;
 
   SketchParams params_;
   Mix64Hash hash_;
@@ -137,7 +187,9 @@ class SubsampleSketch {
   std::size_t edge_budget_ = 0;
 
   MinHashCore<std::uint64_t> core_;
-  std::size_t peak_space_words_ = 0;
+  // Reusable per-chunk scratch for update_chunk (elem ids + hashed keys).
+  std::vector<ElemId> elem_scratch_;
+  std::vector<std::uint64_t> key_scratch_;
 };
 
 }  // namespace covstream

@@ -60,7 +60,7 @@ WeightedSubsampleSketch::WeightedSubsampleSketch(SketchParams params)
       hash_(params_.hash_seed),
       degree_cap_(params_.degree_cap()),
       edge_budget_(params_.edge_budget()),
-      core_(degree_cap_, edge_budget_, kInfiniteKey) {}
+      core_(degree_cap_, edge_budget_, kInfiniteKey, kBaseSpaceWords) {}
 
 double WeightedSubsampleSketch::key_of(ElemId elem, double weight) const {
   COVSTREAM_CHECK(weight > 0.0);
@@ -71,14 +71,14 @@ double WeightedSubsampleSketch::key_of(ElemId elem, double weight) const {
   return -std::log1p(-u) / weight;
 }
 
-void WeightedSubsampleSketch::update(const WeightedEdge& edge) {
-  COVSTREAM_CHECK(edge.set < params_.num_sets);
-  bool created = false;
-  const std::uint32_t slot =
-      core_.admit(edge.elem, key_of(edge.elem, edge.weight), created);
-  if (slot == MinHashCore<double>::kNoSlot) return;
+void WeightedSubsampleSketch::absorb_admitted(const WeightedEdge& edge,
+                                              std::uint32_t slot, bool created) {
   if (created) {
-    if (slot >= weight_of_slot_.size()) weight_of_slot_.resize(slot + 1, 1.0);
+    if (slot >= weight_of_slot_.size()) {
+      const std::size_t grown = slot + 1 - weight_of_slot_.size();
+      weight_of_slot_.resize(slot + 1, 1.0);
+      core_.track_policy_space(grown);  // one word per double
+    }
     weight_of_slot_[slot] = edge.weight;
   } else {
     // Weights must be a function of the element, not of the arrival.
@@ -89,8 +89,45 @@ void WeightedSubsampleSketch::update(const WeightedEdge& edge) {
   if (core_.add_edge(slot, edge.set, /*dedupe=*/true)) {
     core_.enforce_budget();
   }
-  const std::size_t words = space_words();
-  if (words > peak_space_words_) peak_space_words_ = words;
+}
+
+void WeightedSubsampleSketch::update(const WeightedEdge& edge) {
+  COVSTREAM_CHECK(edge.set < params_.num_sets);
+  bool created = false;
+  const std::uint32_t slot =
+      core_.admit(edge.elem, key_of(edge.elem, edge.weight), created);
+  core_.note_peak();
+  if (slot == MinHashCore<double>::kNoSlot) return;
+  absorb_admitted(edge, slot, created);
+}
+
+void WeightedSubsampleSketch::update_chunk(std::span<const WeightedEdge> edges) {
+  // Mirrors SubsampleSketch::update_chunk: per-edge until the first
+  // eviction (everything survives an infinite cutoff), batched pre-filter
+  // for the saturated remainder.
+  std::size_t start = 0;
+  if (!core_.saturated()) {
+    while (start < edges.size()) {
+      update(edges[start]);
+      ++start;
+      if (core_.saturated()) break;
+    }
+    if (start == edges.size()) return;
+  }
+  const std::span<const WeightedEdge> rest = edges.subspan(start);
+  elem_scratch_.resize(rest.size());
+  key_scratch_.resize(rest.size());
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    COVSTREAM_CHECK(rest[i].set < params_.num_sets);
+    elem_scratch_[i] = rest[i].elem;
+    key_scratch_[i] = key_of(rest[i].elem, rest[i].weight);
+  }
+  core_.admit_batch(std::span<const ElemId>(elem_scratch_),
+                    std::span<const double>(key_scratch_),
+                    [this, rest](std::size_t i, std::uint32_t slot, bool created) {
+                      absorb_admitted(rest[i], slot, created);
+                    });
+  core_.note_peak();  // standing footprint for all-rejected chunks
 }
 
 double WeightedSubsampleSketch::tau_star() const {
@@ -142,7 +179,13 @@ WeightedKCoverResult streaming_weighted_kcover(
     const SketchParams& params) {
   COVSTREAM_CHECK(params.num_sets == num_sets);
   WeightedSubsampleSketch sketch(params);
-  for (const WeightedEdge& edge : stream) sketch.update(edge);
+  // Feed engine-sized chunks through the batched path (identical result to
+  // per-edge updates; chunk size is a buffering knob only).
+  const std::span<const WeightedEdge> all(stream);
+  constexpr std::size_t kChunk = 1 << 15;
+  for (std::size_t at = 0; at < all.size(); at += kChunk) {
+    sketch.update_chunk(all.subspan(at, std::min(kChunk, all.size() - at)));
+  }
   const WeightedGreedyResult greedy = weighted_greedy_max_cover(sketch.view(), k);
   WeightedKCoverResult result;
   result.solution = greedy.solution;

@@ -81,6 +81,11 @@ class WeightedSubsampleSketch {
 
   void update(const WeightedEdge& edge);
 
+  /// Chunk-vectorized update: computes the exponential-clock keys for the
+  /// whole chunk into reusable scratch, then drives the substrate's batched
+  /// admission (DESIGN.md §5.8). Bit-for-bit equal to per-edge update().
+  void update_chunk(std::span<const WeightedEdge> edges);
+
   std::size_t retained_elements() const { return core_.live_elements(); }
   std::size_t stored_edges() const { return core_.stored_edges(); }
 
@@ -99,17 +104,25 @@ class WeightedSubsampleSketch {
   double estimate_weighted_coverage(std::span<const SetId> family) const;
 
   /// Analytic space in 8-byte words (DESIGN.md §5.2): the shared substrate
-  /// plus one weight word per slot.
+  /// plus one weight word per slot. Audit re-sum; the substrate tracks the
+  /// same value incrementally (the weight array's growth is folded in via
+  /// track_policy_space) and maintains the peak from it.
   std::size_t space_words() const {
-    return 8 + core_.space_words() + weight_of_slot_.size();
+    return kBaseSpaceWords + core_.space_words() + weight_of_slot_.size();
   }
-  std::size_t peak_space_words() const { return peak_space_words_; }
+  std::size_t peak_space_words() const { return core_.peak_space_words(); }
 
  private:
   static constexpr double kInfiniteKey = 1e300;
+  /// Fixed sketch-header overhead counted on top of the substrate.
+  static constexpr std::size_t kBaseSpaceWords = 8;
 
   double key_of(ElemId elem, double weight) const;
   double ht_value(std::uint32_t slot, double tau) const;
+  /// Shared tail of both update paths: weight bookkeeping for an admitted
+  /// edge's slot, then the append + budget enforcement.
+  void absorb_admitted(const WeightedEdge& edge, std::uint32_t slot,
+                       bool created);
 
   SketchParams params_;
   Mix64Hash hash_;
@@ -118,7 +131,9 @@ class WeightedSubsampleSketch {
 
   MinHashCore<double> core_;
   std::vector<double> weight_of_slot_;  // parallel to substrate slots
-  std::size_t peak_space_words_ = 0;
+  // Reusable per-chunk scratch for update_chunk (elem ids + clock keys).
+  std::vector<ElemId> elem_scratch_;
+  std::vector<double> key_scratch_;
 };
 
 /// Single-pass streaming weighted k-cover: build the weighted sketch over a

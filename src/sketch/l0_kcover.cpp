@@ -26,13 +26,16 @@ void L0KCover::update(const Edge& edge) {
   per_set_[edge.set].add(edge.elem);
 }
 
+void L0KCover::update_chunk(std::span<const Edge> chunk) {
+  for (const Edge& edge : chunk) update(edge);
+}
+
 void L0KCover::consume(EdgeStream& stream, ThreadPool* pool,
                        std::size_t batch_edges) {
   const StreamEngine engine({batch_edges, pool});
   if (pool == nullptr || pool->thread_count() <= 1) {
-    engine.run(stream, {}, [this](std::span<const Edge> chunk) {
-      for (const Edge& edge : chunk) update(edge);
-    });
+    engine.run(stream, {},
+               [this](std::span<const Edge> chunk) { update_chunk(chunk); });
     return;
   }
   // Partition the per-set sketch bank: shard s owns every set ≡ s (mod
@@ -44,9 +47,7 @@ void L0KCover::consume(EdgeStream& stream, ThreadPool* pool,
       [shards](const Edge& edge, std::size_t) {
         return static_cast<std::size_t>(edge.set) % shards;
       },
-      [this](std::size_t, std::span<const Edge> chunk) {
-        for (const Edge& edge : chunk) update(edge);
-      });
+      [this](std::size_t, std::span<const Edge> chunk) { update_chunk(chunk); });
 }
 
 double L0KCover::estimate_coverage(std::span<const SetId> family) const {

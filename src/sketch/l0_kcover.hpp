@@ -34,6 +34,11 @@ class L0KCover {
 
   void update(const Edge& edge);
 
+  /// Chunk update (uniform consumer surface with the min-hash sketches; the
+  /// per-set KMV bank has no cutoff to pre-filter against, so this is a
+  /// plain loop).
+  void update_chunk(std::span<const Edge> chunk);
+
   /// One engine pass. With a pool, consumers shard by `set % threads` (each
   /// shard owns a disjoint slice of the per-set sketches, and a set's edges
   /// arrive in stream order regardless of sharding — so output is bit-for-bit

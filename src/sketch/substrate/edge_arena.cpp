@@ -5,6 +5,10 @@
 #include <cstring>
 
 namespace covstream {
+namespace {
+// First spilled size class: one step past the inline capacity.
+constexpr std::uint32_t kFirstSpillLog2 = 2;
+}  // namespace
 
 EdgeArena::EdgeArena() {
   std::fill(std::begin(free_head_), std::end(free_head_), kNullOffset);
@@ -23,37 +27,67 @@ std::uint32_t EdgeArena::allocate(std::uint32_t cap_log2) {
   return static_cast<std::uint32_t>(offset);
 }
 
+void EdgeArena::spill(Span& span) {
+  const std::uint32_t offset = allocate(kFirstSpillLog2);
+  data_[offset] = span.words[0];
+  data_[offset + 1] = span.words[1];
+  span.words[0] = offset;
+  span.spilled = 1;
+  span.cap_log2 = kFirstSpillLog2;
+}
+
 void EdgeArena::grow(Span& span) {
-  const std::uint32_t new_log2 = span.offset == kNullOffset
-                                     ? 0
-                                     : static_cast<std::uint32_t>(span.cap_log2) + 1;
+  const std::uint32_t new_log2 = static_cast<std::uint32_t>(span.cap_log2) + 1;
   const std::uint32_t new_offset = allocate(new_log2);
-  if (span.offset != kNullOffset) {
-    std::memcpy(data_.data() + new_offset, data_.data() + span.offset,
-                span.size * sizeof(std::uint32_t));
-    data_[span.offset] = free_head_[span.cap_log2];
-    free_head_[span.cap_log2] = span.offset;
-  }
-  span.offset = new_offset;
+  std::memcpy(data_.data() + new_offset, data_.data() + span.words[0],
+              span.size * sizeof(std::uint32_t));
+  data_[span.words[0]] = free_head_[span.cap_log2];
+  free_head_[span.cap_log2] = span.words[0];
+  span.words[0] = new_offset;
   span.cap_log2 = static_cast<std::uint8_t>(new_log2);
 }
 
 void EdgeArena::append(Span& span, SetId value) {
-  if (span.size == span.capacity()) grow(span);
-  data_[span.offset + span.size] = value;
+  if (!span.spilled) {
+    if (span.size < Span::kInlineCap) {
+      span.words[span.size++] = value;
+      return;
+    }
+    spill(span);
+  } else if (span.size == (1u << span.cap_log2)) {
+    grow(span);
+  }
+  data_[span.words[0] + span.size] = value;
   ++span.size;
 }
 
 bool EdgeArena::insert_sorted(Span& span, SetId value) {
-  std::uint32_t* const begin = data_.data() + (span.offset == kNullOffset ? 0 : span.offset);
+  if (!span.spilled) {
+    // Inline fast path: at most two resident sets, compared in place.
+    if (span.size == 0) {
+      span.words[0] = value;
+      span.size = 1;
+      return true;
+    }
+    if (span.size == 1) {
+      if (span.words[0] == value) return false;
+      span.words[1] = std::max(span.words[0], value);
+      span.words[0] = std::min(span.words[0], value);
+      span.size = 2;
+      return true;
+    }
+    if (span.words[0] == value || span.words[1] == value) return false;
+    spill(span);
+  }
+  std::uint32_t* const begin = data_.data() + span.words[0];
   std::uint32_t* const end = begin + span.size;
   std::uint32_t* const pos = std::lower_bound(begin, end, value);
   if (pos != end && *pos == value) return false;
   const std::size_t tail = static_cast<std::size_t>(end - pos);
-  if (span.size == span.capacity()) {
+  if (span.size == (1u << span.cap_log2)) {
     const std::size_t at = static_cast<std::size_t>(pos - begin);
     grow(span);
-    std::uint32_t* const moved = data_.data() + span.offset;
+    std::uint32_t* const moved = data_.data() + span.words[0];
     std::memmove(moved + at + 1, moved + at, tail * sizeof(std::uint32_t));
     moved[at] = value;
   } else {
@@ -65,25 +99,32 @@ bool EdgeArena::insert_sorted(Span& span, SetId value) {
 }
 
 void EdgeArena::assign(Span& span, std::span<const SetId> values) {
-  if (values.size() > span.capacity()) {
-    // Covers the un-backed case too: a kNullOffset span has capacity 0.
+  if (values.size() <= Span::kInlineCap) {
     release(span);
-    const std::uint32_t log2 = static_cast<std::uint32_t>(
-        std::bit_width(values.size() - 1));
-    span.offset = allocate(log2);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      span.words[i] = values[i];
+    }
+    span.size = static_cast<std::uint32_t>(values.size());
+    return;
+  }
+  if (values.size() > span.capacity() || !span.spilled) {
+    release(span);
+    const std::uint32_t log2 = std::max(
+        kFirstSpillLog2,
+        static_cast<std::uint32_t>(std::bit_width(values.size() - 1)));
+    span.words[0] = allocate(log2);
+    span.spilled = 1;
     span.cap_log2 = static_cast<std::uint8_t>(log2);
   }
-  if (!values.empty()) {
-    std::memcpy(data_.data() + span.offset, values.data(),
-                values.size() * sizeof(std::uint32_t));
-  }
+  std::memcpy(data_.data() + span.words[0], values.data(),
+              values.size() * sizeof(std::uint32_t));
   span.size = static_cast<std::uint32_t>(values.size());
 }
 
 void EdgeArena::release(Span& span) {
-  if (span.offset != kNullOffset) {
-    data_[span.offset] = free_head_[span.cap_log2];
-    free_head_[span.cap_log2] = span.offset;
+  if (span.spilled) {
+    data_[span.words[0]] = free_head_[span.cap_log2];
+    free_head_[span.cap_log2] = span.words[0];
   }
   span = Span{};
 }

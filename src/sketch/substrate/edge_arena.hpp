@@ -1,15 +1,22 @@
-// Pooled SoA edge storage for the sketch substrate (DESIGN.md §5.6).
+// Pooled SoA edge storage for the sketch substrate (DESIGN.md §5.6, §5.8).
 //
 // All per-element edge lists live in ONE uint32_t slab; each element holds a
-// Span {offset, size, log2 capacity} into it. This replaces the per-slot
-// std::vector<SetId> of the old sketches: no per-element heap allocation, no
-// 3-pointer vector header, and a full-sketch scan (view building, coverage
-// estimation) walks one contiguous buffer.
+// Span handle. This replaces the per-slot std::vector<SetId> of the old
+// sketches: no per-element heap allocation, no 3-pointer vector header, and
+// a full-sketch scan (view building, coverage estimation) walks one
+// contiguous buffer.
 //
-// Blocks come in power-of-two size classes. Freed blocks (eviction, purge)
-// go on an intrusive per-class free list — the first word of a free block
-// stores the offset of the next free block — so eviction churn at a steady
-// budget recycles memory instead of growing the slab.
+// Short lists live INLINE in the Span itself: up to two sets are stored in
+// the handle's own words, so the (overwhelmingly common) degree-<=2 element
+// costs zero slab traffic — the admission hot path touches one Span record
+// instead of a Span plus a random slab block. Lists spill to a slab block
+// on the third insert.
+//
+// Slab blocks come in power-of-two size classes (smallest spilled class is
+// 4). Freed blocks (eviction, purge) go on an intrusive per-class free list
+// — the first word of a free block stores the offset of the next free block
+// — so eviction churn at a steady budget recycles memory instead of growing
+// the slab.
 #pragma once
 
 #include <cstdint>
@@ -27,34 +34,45 @@ class EdgeArena {
   static constexpr std::uint32_t kMaxClass = 31;
 
   /// Handle to one element's edge list. Value-type, owned by the caller;
-  /// a default Span is an empty list with no storage.
+  /// a default Span is an empty inline list with no slab storage.
   struct Span {
-    std::uint32_t offset = kNullOffset;
+    /// Sets held in the handle itself before spilling to the slab.
+    static constexpr std::uint32_t kInlineCap = 2;
+
+    /// Inline: the resident sets. Spilled: words[0] is the slab block
+    /// offset (a real array so inline views index it well-defined).
+    std::uint32_t words[kInlineCap] = {0, 0};
     std::uint32_t size = 0;
-    std::uint8_t cap_log2 = 0;
+    std::uint8_t spilled = 0;
+    std::uint8_t cap_log2 = 0;  // spilled blocks only
 
     std::uint32_t capacity() const {
-      return offset == kNullOffset ? 0 : (1u << cap_log2);
+      return spilled ? (1u << cap_log2) : kInlineCap;
     }
   };
+  static_assert(sizeof(Span) == 16);
 
   EdgeArena();
 
+  /// The returned span aliases either the slab or the Span record itself
+  /// (inline lists), so it is invalidated by any mutation of the arena OR
+  /// by moving/reallocating the storage that holds `span`. Use immediately.
   std::span<const SetId> view(const Span& span) const {
-    return {data_.data() + (span.offset == kNullOffset ? 0 : span.offset),
+    return {span.spilled ? data_.data() + span.words[0] : span.words,
             span.size};
   }
 
-  /// Appends `value` (grows the block as needed). No dedupe/ordering.
+  /// Appends `value` (grows inline -> slab block as needed). No ordering.
   void append(Span& span, SetId value);
 
   /// Inserts `value` keeping the list sorted; returns false on duplicate.
   bool insert_sorted(Span& span, SetId value);
 
   /// Replaces the contents with `values` (caller guarantees any required
-  /// ordering/dedupe). `values` must NOT alias this arena's own slab: a
-  /// growing assign may reallocate the slab and invalidate such a span
-  /// before the copy. Copy into a temporary first (as merge_from does).
+  /// ordering/dedupe). `values` must NOT alias this arena's own slab or the
+  /// target span's inline words: a growing assign may reallocate the slab
+  /// (or overwrite the inline words) before the copy. Copy into a temporary
+  /// first (as merge_from does).
   void assign(Span& span, std::span<const SetId> values);
 
   /// Returns the block to its size-class free list and empties the span.
@@ -67,6 +85,9 @@ class EdgeArena {
 
  private:
   std::uint32_t allocate(std::uint32_t cap_log2);
+  /// Moves an inline list into its first slab block (capacity 4).
+  void spill(Span& span);
+  /// Doubles a spilled span's block.
   void grow(Span& span);
 
   std::vector<std::uint32_t> data_;

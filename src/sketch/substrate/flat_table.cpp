@@ -6,14 +6,16 @@ constexpr std::size_t kInitialBuckets = 16;  // power of two
 }
 
 FlatElemTable::FlatElemTable()
-    : keys_(kInitialBuckets, 0),
-      slots_(kInitialBuckets, kNoSlot),
-      mask_(kInitialBuckets - 1) {}
+    : bytes_(kInitialBuckets * kBucketBytes, 0xFF),
+      buckets_(kInitialBuckets),
+      mask_(kInitialBuckets - 1) {
+  // 0xFF-filled records read as slot == kNoSlot (empty) in every bucket.
+}
 
 std::uint32_t FlatElemTable::find(ElemId key) const {
   std::size_t i = index_of(key);
-  while (slots_[i] != kNoSlot) {
-    if (keys_[i] == key) return slots_[i];
+  while (slot_at(i) != kNoSlot) {
+    if (key_at(i) == key) return slot_at(i);
     i = (i + 1) & mask_;
   }
   return kNoSlot;
@@ -23,41 +25,39 @@ std::pair<std::uint32_t, bool> FlatElemTable::find_or_insert(
     ElemId key, std::uint32_t slot_if_new) {
   COVSTREAM_CHECK(slot_if_new != kNoSlot);
   std::size_t i = index_of(key);
-  while (slots_[i] != kNoSlot) {
-    if (keys_[i] == key) return {slots_[i], false};
+  while (slot_at(i) != kNoSlot) {
+    if (key_at(i) == key) return {slot_at(i), false};
     i = (i + 1) & mask_;
   }
   // Grow only on the insert path — a lookup hit must never rehash. The
   // probe position is stale after a grow, so re-probe.
-  if ((size_ + 1) * 4 > slots_.size() * 3) {
+  if ((size_ + 1) * 4 > buckets_ * 3) {
     grow();
     i = index_of(key);
-    while (slots_[i] != kNoSlot) i = (i + 1) & mask_;
+    while (slot_at(i) != kNoSlot) i = (i + 1) & mask_;
   }
-  keys_[i] = key;
-  slots_[i] = slot_if_new;
+  store(i, key, slot_if_new);
   ++size_;
   return {slot_if_new, true};
 }
 
 void FlatElemTable::insert(ElemId key, std::uint32_t slot) {
   COVSTREAM_CHECK(slot != kNoSlot);
-  maybe_grow();
+  if ((size_ + 1) * 4 > buckets_ * 3) grow();
   std::size_t i = index_of(key);
-  while (slots_[i] != kNoSlot) {
-    COVSTREAM_CHECK(keys_[i] != key);
+  while (slot_at(i) != kNoSlot) {
+    COVSTREAM_CHECK(key_at(i) != key);
     i = (i + 1) & mask_;
   }
-  keys_[i] = key;
-  slots_[i] = slot;
+  store(i, key, slot);
   ++size_;
 }
 
 bool FlatElemTable::erase(ElemId key) {
   std::size_t i = index_of(key);
   while (true) {
-    if (slots_[i] == kNoSlot) return false;
-    if (keys_[i] == key) break;
+    if (slot_at(i) == kNoSlot) return false;
+    if (key_at(i) == key) break;
     i = (i + 1) & mask_;
   }
   // Backward-shift: pull every displaced follower over the hole so that no
@@ -65,36 +65,44 @@ bool FlatElemTable::erase(ElemId key) {
   std::size_t j = i;
   while (true) {
     j = (j + 1) & mask_;
-    if (slots_[j] == kNoSlot) break;
-    const std::size_t ideal = index_of(keys_[j]);
+    if (slot_at(j) == kNoSlot) break;
+    const std::size_t ideal = index_of(key_at(j));
     // Movable iff the hole lies within [ideal, j) cyclically.
     if (((j - ideal) & mask_) >= ((j - i) & mask_)) {
-      keys_[i] = keys_[j];
-      slots_[i] = slots_[j];
+      store(i, key_at(j), slot_at(j));
       i = j;
     }
   }
-  slots_[i] = kNoSlot;
+  store_slot(i, kNoSlot);
   --size_;
   return true;
 }
 
 void FlatElemTable::reserve(std::size_t expected) {
-  while ((expected + 1) * 4 > slots_.size() * 3) grow();
+  while ((expected + 1) * 4 > buckets_ * 3) grow();
 }
 
 void FlatElemTable::grow() {
-  std::vector<ElemId> old_keys = std::move(keys_);
-  std::vector<std::uint32_t> old_slots = std::move(slots_);
-  keys_.assign(old_keys.size() * 2, 0);
-  slots_.assign(old_slots.size() * 2, kNoSlot);
-  mask_ = slots_.size() - 1;
-  for (std::size_t b = 0; b < old_slots.size(); ++b) {
-    if (old_slots[b] == kNoSlot) continue;
-    std::size_t i = index_of(old_keys[b]);
-    while (slots_[i] != kNoSlot) i = (i + 1) & mask_;
-    keys_[i] = old_keys[b];
-    slots_[i] = old_slots[b];
+  std::vector<unsigned char> old_bytes = std::move(bytes_);
+  const std::size_t old_buckets = buckets_;
+  buckets_ *= 2;
+  mask_ = buckets_ - 1;
+  bytes_.assign(buckets_ * kBucketBytes, 0xFF);
+  const auto old_key = [&](std::size_t b) {
+    ElemId key;
+    std::memcpy(&key, old_bytes.data() + b * kBucketBytes, sizeof key);
+    return key;
+  };
+  const auto old_slot = [&](std::size_t b) {
+    std::uint32_t slot;
+    std::memcpy(&slot, old_bytes.data() + b * kBucketBytes + 8, sizeof slot);
+    return slot;
+  };
+  for (std::size_t b = 0; b < old_buckets; ++b) {
+    if (old_slot(b) == kNoSlot) continue;
+    std::size_t i = index_of(old_key(b));
+    while (slot_at(i) != kNoSlot) i = (i + 1) & mask_;
+    store(i, old_key(b), old_slot(b));
   }
 }
 

@@ -1,12 +1,13 @@
 // Flat open-addressing element index (DESIGN.md §5.6).
 //
-// Maps ElemId -> slot index for the sketch substrate. Linear probing over
-// power-of-two parallel key/slot arrays with backward-shift deletion: no
-// tombstones, no per-node allocation, and lookups touch one or two cache
-// lines in the common case — the std::unordered_map it replaces chased a
-// pointer per find on the per-edge hot path. The SoA split (8-byte keys,
-// 4-byte slots) keeps the footprint at a true 12 bytes per bucket; a single
-// {ElemId, uint32} struct would pad to 16.
+// Maps ElemId -> slot index for the sketch substrate. Linear probing over a
+// power-of-two bucket array with backward-shift deletion: no tombstones, no
+// per-node allocation. Buckets are PACKED 12-byte records (8-byte ElemId +
+// 4-byte slot) in one byte slab, so the common-case probe touches a single
+// cache line — the split key/slot parallel arrays this replaces paid two
+// lines per probe, and the std::unordered_map before them chased a pointer
+// per find. The packed layout keeps the footprint at a true 12 bytes per
+// bucket; a {ElemId, uint32} struct would pad to 16.
 //
 // Element ids may be arbitrary 64-bit values (the streaming model's universe
 // is unknown), so no key is reserved as an empty marker; emptiness is
@@ -14,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <utility>
 #include <vector>
 
@@ -32,6 +34,18 @@ class FlatElemTable {
   /// Slot stored for `key`, or kNoSlot.
   std::uint32_t find(ElemId key) const;
 
+  /// Hints the cache that `key`'s probe bucket is about to be touched.
+  /// Used by the batched admission path to hide the table's dependent load
+  /// latency behind the survivors ahead of it in the chunk. Purely advisory:
+  /// a rehash between the hint and the access only wastes the hint.
+  void prefetch(ElemId key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(bytes_.data() + index_of(key) * kBucketBytes);
+#else
+    (void)key;
+#endif
+  }
+
   /// One-probe upsert: returns the existing slot for `key`, or stores and
   /// returns `slot_if_new`. The bool reports whether an insert happened.
   std::pair<std::uint32_t, bool> find_or_insert(ElemId key,
@@ -44,25 +58,45 @@ class FlatElemTable {
   /// whether the key was present.
   bool erase(ElemId key);
 
-  /// Pre-sizes the bucket arrays for `expected` keys (avoids rehash chains
+  /// Pre-sizes the bucket array for `expected` keys (avoids rehash chains
   /// when the population is known up front).
   void reserve(std::size_t expected);
 
   std::size_t size() const { return size_; }
 
   /// 8-byte words held: one ElemId + one uint32 per bucket (12 bytes, and
-  /// the parallel-array layout really occupies 12 — no struct padding).
-  std::size_t space_words() const { return words_for_buckets(slots_.size()); }
+  /// the packed record layout really occupies 12 — no struct padding).
+  std::size_t space_words() const { return words_for_buckets(buckets_); }
 
  private:
+  static constexpr std::size_t kBucketBytes = 12;  // 8B ElemId + 4B slot
+
   std::size_t index_of(ElemId key) const { return mix64(key) & mask_; }
-  void grow();
-  void maybe_grow() {
-    if ((size_ + 1) * 4 > slots_.size() * 3) grow();  // max load 3/4
+
+  // Packed-record accessors; memcpy compiles to single aligned-enough loads
+  // and stores and sidesteps strict-aliasing concerns.
+  ElemId key_at(std::size_t i) const {
+    ElemId key;
+    std::memcpy(&key, bytes_.data() + i * kBucketBytes, sizeof key);
+    return key;
+  }
+  std::uint32_t slot_at(std::size_t i) const {
+    std::uint32_t slot;
+    std::memcpy(&slot, bytes_.data() + i * kBucketBytes + 8, sizeof slot);
+    return slot;
+  }
+  void store(std::size_t i, ElemId key, std::uint32_t slot) {
+    std::memcpy(bytes_.data() + i * kBucketBytes, &key, sizeof key);
+    std::memcpy(bytes_.data() + i * kBucketBytes + 8, &slot, sizeof slot);
+  }
+  void store_slot(std::size_t i, std::uint32_t slot) {
+    std::memcpy(bytes_.data() + i * kBucketBytes + 8, &slot, sizeof slot);
   }
 
-  std::vector<ElemId> keys_;
-  std::vector<std::uint32_t> slots_;  // kNoSlot == empty bucket
+  void grow();
+
+  std::vector<unsigned char> bytes_;  // buckets_ packed 12-byte records
+  std::size_t buckets_ = 0;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
 };

@@ -19,11 +19,27 @@
 //   * elem_/key_/span_ — parallel slot arrays, free-list slot reuse;
 //   * EdgeArena — one uint32 slab holding every edge list;
 //   * SlotHeap — indexed max-heap; heap membership IS slot liveness.
+//
+// Hot paths come in two shapes (DESIGN.md §5.8): the per-edge admit() and
+// the chunk-vectorized admit_batch(), which pre-filters a whole chunk
+// against the cutoff (after saturation almost every edge dies on this one
+// compare), compacts survivors, prefetches their table buckets, and then
+// runs the same serial insert/append/evict loop — bit-for-bit equal to
+// per-edge admission by construction.
+//
+// Space accounting is incremental: space_words() is the O(1) audit re-sum
+// of the component footprints, while tracked_space_words() is a running
+// counter updated from deltas at every mutation site (slot commit, arena
+// or table growth, eviction). The peak rides on the counter, so neither
+// the per-edge nor the batched path pays a per-edge re-sum; the batch
+// equivalence tests assert counter == audit throughout.
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "sketch/substrate/edge_arena.hpp"
@@ -39,11 +55,17 @@ class MinHashCore {
  public:
   static constexpr std::uint32_t kNoSlot = FlatElemTable::kNoSlot;
 
-  MinHashCore(std::size_t degree_cap, std::size_t edge_budget, Key infinite_key)
+  /// `base_space_words` is the owning policy's fixed overhead (header
+  /// fields); it seeds the tracked counter so sketch-level space is a single
+  /// member read.
+  MinHashCore(std::size_t degree_cap, std::size_t edge_budget, Key infinite_key,
+              std::size_t base_space_words = 0)
       : degree_cap_(degree_cap),
         edge_budget_(edge_budget),
         infinite_key_(infinite_key),
-        cutoff_(infinite_key) {}
+        cutoff_(infinite_key),
+        base_space_words_(base_space_words),
+        tracked_space_words_(base_space_words + table_.space_words()) {}
 
   // ------------------------------------------------------------ hot path --
   /// Admits `elem` with admission key `key`: returns its slot (creating one
@@ -52,10 +74,108 @@ class MinHashCore {
   /// immediately.
   std::uint32_t admit(ElemId elem, Key key, bool& created) {
     if (key >= cutoff_) return kNoSlot;
+    const std::size_t table_before = table_.space_words();
     const auto [slot, inserted] = table_.find_or_insert(elem, next_slot_id());
     created = inserted;
-    if (inserted) commit_slot(slot, elem, key);
+    if (inserted) {
+      adjust_space(delta(table_before, table_.space_words()));
+      commit_slot(slot, elem, key);
+    }
     return slot;
+  }
+
+  /// Chunk-vectorized admission over parallel (elem, key) spans.
+  ///
+  /// Phase 1 sweeps the whole chunk against the chunk-entry cutoff with a
+  /// branch-light compare-and-compact (the cutoff is non-increasing during a
+  /// pass, so an edge at or above the entry cutoff is rejected by the live
+  /// cutoff too — after saturation this one compare kills almost every
+  /// edge). Phase 2 walks the survivor list, prefetching each survivor's
+  /// table buckets `kPrefetchAhead` ahead, re-checks the *live* cutoff
+  /// (evictions may lower it mid-chunk), and admits exactly as admit()
+  /// would. `on_admit(index, slot, created)` fires per admitted edge, in
+  /// chunk order, so the caller appends the edge and enforces the budget
+  /// there — making the whole batch bit-for-bit equal to per-edge updates.
+  template <typename OnAdmit>
+  void admit_batch(std::span<const ElemId> elems, std::span<const Key> keys,
+                   OnAdmit&& on_admit) {
+    COVSTREAM_CHECK(elems.size() == keys.size());
+    const std::size_t n = keys.size();
+    // Dense regime (unsaturated: the cutoff is infinite, everything
+    // survives): compaction and prefetch would only add indirection, so run
+    // the plain serial admission sweep. If the sketch saturates mid-chunk
+    // the live cutoff check inside the loop still rejects exactly.
+    if (!saturated()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const Key key = keys[i];
+        if (key >= cutoff_) continue;
+        bool created = false;
+        const std::uint32_t slot = admit(elems[i], key, created);
+        on_admit(i, slot, created);
+      }
+      return;
+    }
+    // Sparse regime (saturated: almost every edge dies on the cutoff
+    // compare): first an unrolled branch-free survivor count — the common
+    // all-rejected chunk finishes right there — then compact survivor
+    // indices against the chunk-entry cutoff (non-increasing during the
+    // pass, so entry-cutoff rejection is exact) and admit them.
+    if (count_below(keys, cutoff_) == 0) return;
+    if (survivors_.size() < n) survivors_.resize(n);
+    const Key entry_cutoff = cutoff_;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keys[i] < entry_cutoff) {
+        survivors_[kept++] = static_cast<std::uint32_t>(i);
+      }
+    }
+    admit_selected(elems, keys,
+                   std::span<const std::uint32_t>(survivors_.data(), kept),
+                   std::forward<OnAdmit>(on_admit));
+  }
+
+  /// Counts keys strictly below `bound` — the chunk pre-filter's fast
+  /// "anything to do?" reduction. Four independent accumulators break the
+  /// loop-carried dependency so the sweep runs at load+compare throughput.
+  static std::size_t count_below(std::span<const Key> keys, Key bound) {
+    std::size_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;
+    const std::size_t n = keys.size();
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      h0 += static_cast<std::size_t>(keys[i] < bound);
+      h1 += static_cast<std::size_t>(keys[i + 1] < bound);
+      h2 += static_cast<std::size_t>(keys[i + 2] < bound);
+      h3 += static_cast<std::size_t>(keys[i + 3] < bound);
+    }
+    for (; i < n; ++i) h0 += static_cast<std::size_t>(keys[i] < bound);
+    return h0 + h1 + h2 + h3;
+  }
+
+  /// Admits an externally compacted candidate list (chunk indices into the
+  /// parallel spans), prefetching each candidate's table bucket ahead and
+  /// re-checking the LIVE cutoff per candidate — evictions may lower it
+  /// between candidates. The ladder builds ONE candidate list per chunk
+  /// against the max cutoff across rungs and feeds it to every rung
+  /// (DESIGN.md §5.8): exact, because a key at or above the max is at or
+  /// above every rung's cutoff.
+  template <typename OnAdmit>
+  void admit_selected(std::span<const ElemId> elems, std::span<const Key> keys,
+                      std::span<const std::uint32_t> candidates,
+                      OnAdmit&& on_admit) {
+    constexpr std::size_t kPrefetchAhead = 8;
+    const std::size_t kept = candidates.size();
+    for (std::size_t s = 0; s < kept; ++s) {
+      if (s + kPrefetchAhead < kept) {
+        table_.prefetch(elems[candidates[s + kPrefetchAhead]]);
+      }
+      const std::size_t i = candidates[s];
+      const Key key = keys[i];
+      if (key >= cutoff_) continue;  // below another rung's cutoff, or
+                                     // an eviction lowered ours mid-chunk
+      bool created = false;
+      const std::uint32_t slot = admit(elems[i], key, created);
+      on_admit(i, slot, created);
+    }
   }
 
   /// Appends `set` to the slot's edge list, honoring the degree cap and
@@ -64,18 +184,24 @@ class MinHashCore {
   bool add_edge(std::uint32_t slot, SetId set, bool dedupe) {
     EdgeArena::Span& span = span_[slot];
     if (span.size >= degree_cap_) return false;
+    const std::size_t slab_before = arena_.space_words();
     if (dedupe) {
       if (!arena_.insert_sorted(span, set)) return false;
     } else {
       arena_.append(span, set);
     }
+    adjust_space(delta(slab_before, arena_.space_words()));
     ++stored_edges_;
     return true;
   }
 
   /// Evicts max-key elements while over budget (never below one element:
-  /// a single element's capped degree may alone exceed the budget).
+  /// a single element's capped degree may alone exceed the budget). The
+  /// first overflow materializes the eviction heap from the flat key store
+  /// (DESIGN.md §5.8); before that point admission never pays a heap push.
   void enforce_budget() {
+    if (stored_edges_ <= edge_budget_) return;
+    ensure_heap();
     while (stored_edges_ > edge_budget_ && heap_.size() > 1) evict_max();
   }
 
@@ -83,7 +209,9 @@ class MinHashCore {
   /// Unconditionally creates a live slot (offline builder / merge path).
   std::uint32_t create_slot(ElemId elem, Key key) {
     const std::uint32_t slot = next_slot_id();
+    const std::size_t table_before = table_.space_words();
     table_.insert(elem, slot);
+    adjust_space(delta(table_before, table_.space_words()));
     commit_slot(slot, elem, key);
     return slot;
   }
@@ -93,7 +221,9 @@ class MinHashCore {
   void assign_edges(std::uint32_t slot, std::span<const SetId> sets) {
     COVSTREAM_CHECK(sets.size() <= degree_cap_);
     stored_edges_ -= span_[slot].size;
+    const std::size_t slab_before = arena_.space_words();
     arena_.assign(span_[slot], sets);
+    adjust_space(delta(slab_before, arena_.space_words()));
     stored_edges_ += sets.size();
   }
 
@@ -104,10 +234,24 @@ class MinHashCore {
   bool saturated() const { return cutoff_ != infinite_key_; }
   Key cutoff() const { return cutoff_; }
 
-  /// Largest retained key (heap top); requires a nonempty sketch.
-  Key max_live_key() const { return heap_.top().key; }
+  /// Largest retained key; requires a nonempty sketch. Before the heap is
+  /// materialized this is a linear scan of the flat key store (queried once
+  /// per view/estimate, never per edge).
+  Key max_live_key() const {
+    if (heap_built_) return heap_.top().key;
+    COVSTREAM_CHECK(live_elements() > 0);
+    Key best{};
+    bool any = false;
+    for (const Key key : key_slot_) {
+      if (key != infinite_key_ && (!any || key > best)) {
+        best = key;
+        any = true;
+      }
+    }
+    return best;
+  }
 
-  std::size_t live_elements() const { return heap_.size(); }
+  std::size_t live_elements() const { return elem_.size() - free_slots_.size(); }
   std::size_t stored_edges() const { return stored_edges_; }
 
   std::uint32_t find(ElemId elem) const { return table_.find(elem); }
@@ -117,10 +261,18 @@ class MinHashCore {
     return static_cast<std::uint32_t>(elem_.size());
   }
 
-  bool alive(std::uint32_t slot) const { return heap_.contains(slot); }
+  bool alive(std::uint32_t slot) const {
+    return heap_built_ ? heap_.contains(slot)
+                       : slot < key_slot_.size() &&
+                             key_slot_[slot] != infinite_key_;
+  }
 
-  /// Key of a live slot (keys live only in the heap entries).
-  Key key_of(std::uint32_t slot) const { return heap_.key_of(slot); }
+  /// Key of a live slot (flat key store until the first eviction, then the
+  /// heap entries — a live key is always strictly below infinite_key_, so
+  /// infinite_key_ doubles as the flat store's dead-slot marker).
+  Key key_of(std::uint32_t slot) const {
+    return heap_built_ ? heap_.key_of(slot) : key_slot_[slot];
+  }
 
   std::span<const SetId> edges_of(std::uint32_t slot) const {
     return arena_.view(span_[slot]);
@@ -131,18 +283,20 @@ class MinHashCore {
   /// per-set degrees, prefix-sums offsets, and fills the slot column.
   /// `on_live(slot)` fires once per live slot in compaction order so the
   /// caller can emit per-slot policy values (HT weights, etc.). Returns the
-  /// number of retained elements.
+  /// number of retained elements. Reuses the core's CSR scratch buffers, so
+  /// concurrent build_csr calls on the SAME core are not allowed (distinct
+  /// cores — rungs, shards — remain independent as ever).
   template <typename OnLive>
   std::uint32_t build_csr(SetId num_sets, std::vector<std::size_t>& set_offsets,
                           std::vector<std::uint32_t>& set_slots,
                           OnLive&& on_live) const {
     set_offsets.assign(num_sets + 1, 0);
     const std::uint32_t count = slot_count();
-    std::vector<std::uint32_t> compact(count, 0);
+    csr_compact_.assign(count, 0);
     std::uint32_t next = 0;
     for (std::uint32_t slot = 0; slot < count; ++slot) {
       if (!alive(slot)) continue;
-      compact[slot] = next++;
+      csr_compact_[slot] = next++;
       on_live(slot);
     }
     for (std::uint32_t slot = 0; slot < count; ++slot) {
@@ -151,11 +305,11 @@ class MinHashCore {
     }
     for (SetId s = 0; s < num_sets; ++s) set_offsets[s + 1] += set_offsets[s];
     set_slots.resize(stored_edges_);
-    std::vector<std::size_t> cursor(set_offsets.begin(), set_offsets.end() - 1);
+    csr_cursor_.assign(set_offsets.begin(), set_offsets.end() - 1);
     for (std::uint32_t slot = 0; slot < count; ++slot) {
       if (!alive(slot)) continue;
       for (const SetId set : edges_of(slot)) {
-        set_slots[cursor[set]++] = compact[slot];
+        set_slots[csr_cursor_[set]++] = csr_compact_[slot];
       }
     }
     return next;
@@ -164,11 +318,20 @@ class MinHashCore {
   // ------------------------------------------------------- reorganization --
   /// Removes live slots whose element matches `pred`. The result is still a
   /// valid key-prefix sketch of the surviving subgraph (the cutoff is
-  /// untouched, so purged elements may be re-admitted later).
-  void purge(const std::function<bool(ElemId)>& pred) {
+  /// untouched, so purged elements may be re-admitted later). The predicate
+  /// is a template parameter so Algorithm 6's once-per-slot residual checks
+  /// inline instead of going through std::function's indirect call.
+  template <typename Pred>
+  void purge(Pred&& pred) {
     for (std::uint32_t slot = 0; slot < slot_count(); ++slot) {
       if (alive(slot) && pred(elem_[slot])) destroy_slot(slot);
     }
+  }
+
+  /// Thin type-erased overload for callers that already hold a
+  /// std::function (keeps the pre-template signature working).
+  void purge(const std::function<bool(ElemId)>& pred) {
+    purge<const std::function<bool(ElemId)>&>(pred);
   }
 
   /// Drops every live slot whose key reached the cutoff (merge housekeeping).
@@ -195,27 +358,74 @@ class MinHashCore {
             create_slot(other.elem_[theirs], other.key_of(theirs));
         assign_edges(slot, incoming);
       } else {
+        // merge_scratch_ doubles as the required non-aliasing staging buffer
+        // (EdgeArena::assign may reallocate the slab mid-copy) and as the
+        // reusable allocation across slots and merge calls.
         const std::span<const SetId> existing = edges_of(mine);
-        std::vector<SetId> merged;
-        merged.reserve(existing.size() + incoming.size());
+        merge_scratch_.clear();
+        merge_scratch_.reserve(existing.size() + incoming.size());
         std::set_union(existing.begin(), existing.end(), incoming.begin(),
-                       incoming.end(), std::back_inserter(merged));
-        if (merged.size() > degree_cap_) merged.resize(degree_cap_);
-        assign_edges(mine, merged);
+                       incoming.end(), std::back_inserter(merge_scratch_));
+        if (merge_scratch_.size() > degree_cap_) {
+          merge_scratch_.resize(degree_cap_);
+        }
+        assign_edges(mine, merge_scratch_);
       }
     }
   }
 
+  // ------------------------------------------------------ space accounting --
   /// Analytic space in 8-byte words (DESIGN.md §5.2): actual footprint of
-  /// the table buckets, slot arrays, heap (sole key store), and edge slab.
+  /// the table buckets, slot arrays, key store (flat array before the first
+  /// eviction, heap entries after), and edge slab. This is the audit
+  /// re-sum; the hot paths read tracked_space_words().
   std::size_t space_words() const {
     return table_.space_words() + elem_.size()              // element ids
            + (elem_.size() * sizeof(EdgeArena::Span) + 7) / 8
-           + heap_.space_words() + arena_.space_words()
+           + heap_.space_words() + key_slot_.size() + arena_.space_words()
            + words_for_u32(free_slots_.size());
   }
 
+  /// Incrementally tracked footprint: base + policy extras + space_words(),
+  /// maintained from deltas at every mutation site (never a re-sum). The
+  /// batch equivalence tests assert it equals the audit sum at all times.
+  std::size_t tracked_space_words() const { return tracked_space_words_; }
+
+  /// Peak of the tracked footprint over the run, including intra-update
+  /// highs (the transient state after an edge lands but before the budget
+  /// eviction runs — memory a space bound must really pay for).
+  std::size_t peak_space_words() const { return peak_space_words_; }
+
+  /// Folds a policy-side container's growth (e.g. the weighted sketch's
+  /// per-slot weight array) into the tracked footprint. Growth only; policy
+  /// containers in the substrate's sketches never shrink.
+  void track_policy_space(std::size_t words_grown) {
+    adjust_space(static_cast<std::ptrdiff_t>(words_grown));
+  }
+
+  /// Records the current footprint into the peak without mutating. Mutation
+  /// sites maintain the peak themselves; this exists so a pass over a stream
+  /// that admits nothing still observes its standing footprint, exactly like
+  /// the historical after-every-update sampling did.
+  void note_peak() {
+    if (tracked_space_words_ > peak_space_words_) {
+      peak_space_words_ = tracked_space_words_;
+    }
+  }
+
  private:
+  static std::ptrdiff_t delta(std::size_t before, std::size_t after) {
+    return static_cast<std::ptrdiff_t>(after) - static_cast<std::ptrdiff_t>(before);
+  }
+
+  void adjust_space(std::ptrdiff_t words) {
+    tracked_space_words_ =
+        static_cast<std::size_t>(static_cast<std::ptrdiff_t>(tracked_space_words_) + words);
+    if (tracked_space_words_ > peak_space_words_) {
+      peak_space_words_ = tracked_space_words_;
+    }
+  }
+
   /// The slot id the next creation will use (free list first, else append).
   std::uint32_t next_slot_id() const {
     return free_slots_.empty() ? static_cast<std::uint32_t>(elem_.size())
@@ -223,34 +433,92 @@ class MinHashCore {
   }
 
   /// Claims next_slot_id() and makes it live for `elem`/`key`; the table
-  /// entry must already exist (find_or_insert or insert stored it).
+  /// entry must already exist (find_or_insert or insert stored it). Before
+  /// the first eviction the key lands in the flat key store (one word, no
+  /// sift); after it, in the heap.
   void commit_slot(std::uint32_t slot, ElemId elem, Key key) {
     if (free_slots_.empty()) {
       elem_.push_back(elem);
       span_.emplace_back();
+      if (!heap_built_) {
+        key_slot_.push_back(key);
+        // Analytic delta, hottest admission shape: +1 elem word, +2 span
+        // words (16-byte Span), +1 flat key word.
+        adjust_space(4);
+      } else {
+        // +1 elem, +2 span; the key lands in the heap (entry + back ptr).
+        const std::size_t heap_before = heap_.space_words();
+        heap_.push(key, slot);
+        adjust_space(3 + delta(heap_before, heap_.space_words()));
+      }
     } else {
+      // Slot reuse: only the free list shrinks (half-word granularity) and
+      // the key store takes the new key.
+      const std::size_t free_before = words_for_u32(free_slots_.size());
       free_slots_.pop_back();
       elem_[slot] = elem;
       span_[slot] = EdgeArena::Span{};
+      if (!heap_built_) {
+        key_slot_[slot] = key;
+        adjust_space(delta(free_before, words_for_u32(free_slots_.size())));
+      } else {
+        const std::size_t heap_before = heap_.space_words();
+        heap_.push(key, slot);
+        adjust_space(delta(free_before + heap_before,
+                           words_for_u32(free_slots_.size()) +
+                               heap_.space_words()));
+      }
     }
-    heap_.push(key, slot);
+  }
+
+  /// Materializes the eviction heap from the flat key store (first budget
+  /// overflow, or a query that needs heap order). Eviction order is
+  /// unchanged: pop_max always removes the unique lexicographic max
+  /// (key, slot), whatever the heap's internal layout. The net space swap
+  /// (flat words out, heap entries + back pointers in) is applied as one
+  /// delta so no transient double-count hits the peak.
+  void ensure_heap() {
+    if (heap_built_) return;
+    const std::size_t before = heap_.space_words() + key_slot_.size();
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(key_slot_.size()); ++slot) {
+      if (key_slot_[slot] != infinite_key_) heap_.push(key_slot_[slot], slot);
+    }
+    key_slot_.clear();
+    key_slot_.shrink_to_fit();
+    heap_built_ = true;
+    adjust_space(delta(before, heap_.space_words() + key_slot_.size()));
   }
 
   void evict_max() {
     const auto [key, slot] = heap_.pop_max();
     lower_cutoff(key);
-    stored_edges_ -= span_[slot].size;
-    table_.erase(elem_[slot]);
-    arena_.release(span_[slot]);
-    free_slots_.push_back(slot);
+    release_slot(slot, /*freed_key_words=*/2);
   }
 
   void destroy_slot(std::uint32_t slot) {
-    heap_.remove(slot);
+    if (heap_built_) {
+      heap_.remove(slot);
+      release_slot(slot, /*freed_key_words=*/2);
+    } else {
+      key_slot_[slot] = infinite_key_;  // dead marker; word stays counted
+      release_slot(slot, /*freed_key_words=*/0);
+    }
+  }
+
+  /// Shared tail of eviction/purge: returns the slot's storage to the free
+  /// lists. `freed_key_words` is the heap entry already removed (2 words,
+  /// or 0 pre-heap where the flat key word remains counted); the freed edge
+  /// block stays in the slab and the free-slot list may round up half a
+  /// word, so the net is applied as one delta (no transient peak).
+  void release_slot(std::uint32_t slot, std::size_t freed_key_words) {
+    const std::size_t free_before = words_for_u32(free_slots_.size());
     stored_edges_ -= span_[slot].size;
     table_.erase(elem_[slot]);
     arena_.release(span_[slot]);
     free_slots_.push_back(slot);
+    adjust_space(delta(freed_key_words + free_before,
+                       words_for_u32(free_slots_.size())));
   }
 
   std::size_t degree_cap_;
@@ -260,11 +528,26 @@ class MinHashCore {
 
   FlatElemTable table_;
   EdgeArena arena_;
-  SlotHeap<Key> heap_;  // (key, slot) entries; keys are stored here only
+  SlotHeap<Key> heap_;        // (key, slot) entries once heap_built_
+  std::vector<Key> key_slot_; // flat key store until the first eviction;
+                              // infinite_key_ marks dead slots
+  bool heap_built_ = false;
   std::vector<ElemId> elem_;
   std::vector<EdgeArena::Span> span_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t stored_edges_ = 0;
+
+  std::size_t base_space_words_ = 0;
+  std::size_t tracked_space_words_ = 0;
+  std::size_t peak_space_words_ = 0;
+
+  // Reusable scratch (not part of the sketch's analytic footprint):
+  // admit_batch survivor indices, merge_from union staging, build_csr
+  // compaction map and per-set cursors.
+  std::vector<std::uint32_t> survivors_;
+  std::vector<SetId> merge_scratch_;
+  mutable std::vector<std::uint32_t> csr_compact_;
+  mutable std::vector<std::size_t> csr_cursor_;
 };
 
 }  // namespace covstream

@@ -7,9 +7,12 @@
 // covered-element mask used to be re-evaluated inside every consumer), and
 // hands the surviving edges to consumer shards:
 //
-//  * run            — one consumer, whole chunks in arrival order;
-//  * run_replicated — every shard sees every chunk (the Algorithm 5 ladder:
-//                     one rung per guess, all fed the same pass);
+//  * run            — one consumer, whole chunks in arrival order (since
+//                     the batched-admission rework the Algorithm 5 ladder
+//                     consumes this way and fans rungs out itself, so its
+//                     per-chunk hash sweep runs once — DESIGN.md §5.8);
+//  * run_replicated — every shard sees every chunk (generic broadcast for
+//                     consumers without a shared pre-compute step);
 //  * run_partitioned— a router owns each edge to exactly one shard (the
 //                     distributed builder's round-robin deal, or hash
 //                     partitioning by element).
@@ -68,7 +71,8 @@ class StreamEngine {
 
   /// One pass fanned out to `shards` replicated consumers: each shard sees
   /// every surviving edge, in arrival order. One pool task per shard per
-  /// chunk.
+  /// chunk. (The ladder used to run on this; it now consumes via run() so
+  /// its shared hash sweep happens once per chunk before rung fan-out.)
   PassStats run_replicated(EdgeStream& stream, const EdgeFilter& filter,
                            std::size_t shards, const ShardSink& sink) const;
 

@@ -1,0 +1,324 @@
+// Bit-for-bit equivalence of the chunk-vectorized admission path
+// (DESIGN.md §5.8) against the per-edge path: same retained slots, same
+// cutoffs, same stored edges, same peak-space values — across chunk sizes
+// (1 / 7 / 4096 / exact), dedupe on/off, weighted and unweighted keys, and
+// chunks that cross the saturation point mid-chunk. Also pins the ladder's
+// shared-key sweep against per-rung hashing, and the substrate's
+// incremental space counter against the audit re-sum.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "core/sketch_ladder.hpp"
+#include "core/subsample_sketch.hpp"
+#include "core/weighted_sketch.hpp"
+#include "sketch/substrate/minhash_core.hpp"
+#include "stream/arrival_order.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+constexpr std::size_t kChunkSizes[] = {1, 7, 4096, 0};  // 0 = whole stream
+
+void feed_chunked(SubsampleSketch& sketch, const std::vector<Edge>& edges,
+                  std::size_t chunk) {
+  const std::span<const Edge> all(edges);
+  if (chunk == 0) chunk = edges.empty() ? 1 : edges.size();
+  for (std::size_t at = 0; at < all.size(); at += chunk) {
+    sketch.update_chunk(all.subspan(at, std::min(chunk, all.size() - at)));
+  }
+}
+
+/// Full-state comparison: counts, realized threshold, per-element edge
+/// lists, and both space figures (peak equality is what proves the batched
+/// path's incremental accounting touched the counter identically).
+void expect_same_sketch(const SubsampleSketch& a, const SubsampleSketch& b,
+                        const std::vector<Edge>& edges, const char* what) {
+  ASSERT_EQ(a.retained_elements(), b.retained_elements()) << what;
+  ASSERT_EQ(a.stored_edges(), b.stored_edges()) << what;
+  ASSERT_EQ(a.saturated(), b.saturated()) << what;
+  ASSERT_DOUBLE_EQ(a.p_star(), b.p_star()) << what;
+  ASSERT_EQ(a.space_words(), b.space_words()) << what;
+  ASSERT_EQ(a.peak_space_words(), b.peak_space_words()) << what;
+  std::set<ElemId> elems;
+  for (const Edge& edge : edges) elems.insert(edge.elem);
+  for (const ElemId elem : elems) {
+    ASSERT_EQ(a.is_retained(elem), b.is_retained(elem)) << what << " elem " << elem;
+    const auto sa = a.sets_of(elem);
+    const auto sb = b.sets_of(elem);
+    ASSERT_TRUE(std::equal(sa.begin(), sa.end(), sb.begin(), sb.end()))
+        << what << " elem " << elem;
+  }
+}
+
+SketchParams fuzz_params(Rng& rng, SetId n, bool dedupe) {
+  SketchParams params;
+  params.num_sets = n;
+  params.k = 1 + static_cast<std::uint32_t>(rng.next_below(std::uint64_t{12}));
+  params.eps = 0.05 + 0.9 * rng.next_unit();
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 8 + rng.next_below(std::uint64_t{1200});
+  params.enforce_degree_cap = rng.next_bool(0.7);
+  params.dedupe_edges = dedupe;
+  params.hash_seed = rng.next();
+  return params;
+}
+
+TEST(BatchEquivalence, UnweightedChunksMatchPerEdge) {
+  Rng rng(0xBA7C4ED0ULL);
+  for (int trial = 0; trial < 24; ++trial) {
+    const SetId n = 5 + static_cast<SetId>(rng.next_below(std::uint64_t{40}));
+    const ElemId m = 10 + rng.next_below(std::uint64_t{500});
+    const GeneratedInstance gen =
+        make_uniform(n, m, 1 + rng.next_below(std::uint64_t{30}), rng.next());
+    const bool dedupe = trial % 2 == 0;
+    const SketchParams params = fuzz_params(rng, n, dedupe);
+    std::vector<Edge> edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, rng.next());
+    // Duplicate arrivals exercise the dedupe switch on both paths.
+    for (std::size_t d = rng.next_below(std::uint64_t{20}); d > 0 && !edges.empty(); --d) {
+      edges.push_back(edges[rng.next_below(edges.size())]);
+    }
+
+    SubsampleSketch per_edge(params);
+    for (const Edge& edge : edges) per_edge.update(edge);
+
+    for (const std::size_t chunk : kChunkSizes) {
+      SubsampleSketch batched(params);
+      feed_chunked(batched, edges, chunk);
+      expect_same_sketch(per_edge, batched, edges,
+                         chunk == 0 ? "exact chunk" : "chunk");
+    }
+  }
+}
+
+TEST(BatchEquivalence, MidChunkSaturationCrossing) {
+  // A tiny budget forces the cutoff to fall while a single huge chunk is in
+  // flight: the survivor loop must re-check the live cutoff, not the
+  // chunk-entry one.
+  Rng rng(0x5A7C0DE5ULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    const SetId n = 10 + static_cast<SetId>(rng.next_below(std::uint64_t{30}));
+    // >= 10n edges against a budget of at most 27 stored edges: the cutoff
+    // must fall long before the (single) chunk ends.
+    const GeneratedInstance gen =
+        make_uniform(n, 400 + rng.next_below(std::uint64_t{600}),
+                     10 + rng.next_below(std::uint64_t{10}), rng.next());
+    SketchParams params = fuzz_params(rng, n, true);
+    params.explicit_budget = 8 + rng.next_below(std::uint64_t{20});
+    const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, rng.next());
+
+    SubsampleSketch per_edge(params);
+    for (const Edge& edge : edges) per_edge.update(edge);
+    ASSERT_TRUE(per_edge.saturated()) << "trial must cross the cutoff";
+
+    SubsampleSketch one_chunk(params);
+    one_chunk.update_chunk(edges);
+    expect_same_sketch(per_edge, one_chunk, edges, "one giant chunk");
+  }
+}
+
+TEST(BatchEquivalence, WeightedChunksMatchPerEdge) {
+  Rng rng(0x3E167EDULL);
+  for (int trial = 0; trial < 16; ++trial) {
+    const SetId n = 5 + static_cast<SetId>(rng.next_below(std::uint64_t{30}));
+    const GeneratedInstance gen =
+        make_uniform(n, 10 + rng.next_below(std::uint64_t{400}),
+                     1 + rng.next_below(std::uint64_t{20}), rng.next());
+    const SketchParams params = fuzz_params(rng, n, true);
+    std::vector<WeightedEdge> edges;
+    for (const Edge& edge : ordered_edges(gen.graph, ArrivalOrder::kRandom, rng.next())) {
+      // Weight is a function of the element, as the sketch requires.
+      edges.push_back({edge.set, edge.elem,
+                       1.0 + static_cast<double>(edge.elem % 9)});
+    }
+
+    WeightedSubsampleSketch per_edge(params);
+    for (const WeightedEdge& edge : edges) per_edge.update(edge);
+
+    for (std::size_t chunk : kChunkSizes) {
+      WeightedSubsampleSketch batched(params);
+      if (chunk == 0) chunk = edges.empty() ? 1 : edges.size();
+      const std::span<const WeightedEdge> all(edges);
+      for (std::size_t at = 0; at < all.size(); at += chunk) {
+        batched.update_chunk(all.subspan(at, std::min(chunk, all.size() - at)));
+      }
+      ASSERT_EQ(per_edge.retained_elements(), batched.retained_elements());
+      ASSERT_EQ(per_edge.stored_edges(), batched.stored_edges());
+      ASSERT_EQ(per_edge.saturated(), batched.saturated());
+      ASSERT_DOUBLE_EQ(per_edge.tau_star(), batched.tau_star());
+      ASSERT_EQ(per_edge.space_words(), batched.space_words());
+      ASSERT_EQ(per_edge.peak_space_words(), batched.peak_space_words());
+      std::vector<SetId> family;
+      for (SetId s = 0; s < n; s += 2) family.push_back(s);
+      ASSERT_DOUBLE_EQ(per_edge.estimate_weighted_coverage(family),
+                       batched.estimate_weighted_coverage(family));
+    }
+  }
+}
+
+std::vector<SketchParams> ladder_grid(SetId n, std::span<const std::uint64_t> seeds) {
+  std::vector<SketchParams> rungs;
+  std::size_t i = 0;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    SketchParams params;
+    params.num_sets = n;
+    params.k = k;
+    params.eps = 0.25;
+    params.budget_mode = BudgetMode::kExplicit;
+    params.explicit_budget = 120 + 60 * k;
+    params.hash_seed = seeds[i++ % seeds.size()];
+    rungs.push_back(params);
+  }
+  return rungs;
+}
+
+TEST(BatchEquivalence, LadderSharedKeysMatchPerRungHash) {
+  const GeneratedInstance gen = make_uniform(40, 2000, 25, 31);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 7);
+  const std::uint64_t seed[] = {0xFEEDULL};
+  const auto rung_params = ladder_grid(40, seed);
+
+  SketchLadder shared(rung_params, nullptr);
+  ASSERT_TRUE(shared.shares_keys());
+  shared.update_chunk(edges);
+
+  for (std::size_t r = 0; r < rung_params.size(); ++r) {
+    SubsampleSketch standalone(rung_params[r]);
+    for (const Edge& edge : edges) standalone.update(edge);
+    expect_same_sketch(standalone, shared.rung(r), edges, "shared-key rung");
+  }
+}
+
+TEST(BatchEquivalence, LadderMixedSeedsFallBackToPerRungHash) {
+  const GeneratedInstance gen = make_uniform(30, 1500, 20, 37);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 9);
+  const std::uint64_t seeds[] = {0xAAULL, 0xBBULL, 0xCCULL};
+  const auto rung_params = ladder_grid(30, seeds);
+
+  SketchLadder mixed(rung_params, nullptr);
+  ASSERT_FALSE(mixed.shares_keys());
+  mixed.update_chunk(edges);
+
+  for (std::size_t r = 0; r < rung_params.size(); ++r) {
+    SubsampleSketch standalone(rung_params[r]);
+    for (const Edge& edge : edges) standalone.update(edge);
+    expect_same_sketch(standalone, mixed.rung(r), edges, "mixed-seed rung");
+  }
+}
+
+TEST(BatchEquivalence, LadderAllSaturatedSharedCandidatesMatch) {
+  // Tiny budgets saturate every rung early, engaging the shared candidate
+  // pre-filter (one sweep against the max rung cutoff per block); rungs
+  // must still admit exactly what per-edge updates would.
+  const GeneratedInstance gen = make_uniform(30, 3000, 80, 53);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 13);
+  std::vector<SketchParams> rung_params;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    SketchParams params;
+    params.num_sets = 30;
+    params.k = k;
+    params.eps = 0.25;
+    params.budget_mode = BudgetMode::kExplicit;
+    params.explicit_budget = 30 + 15 * k;
+    params.hash_seed = 0x5EEDULL;
+    rung_params.push_back(params);
+  }
+
+  SketchLadder shared(rung_params, nullptr);
+  ASSERT_TRUE(shared.shares_keys());
+  VectorStream stream(edges);
+  shared.consume(stream, {}, 512);
+
+  for (std::size_t r = 0; r < rung_params.size(); ++r) {
+    ASSERT_TRUE(shared.rung(r).saturated()) << "rung " << r;
+    SubsampleSketch standalone(rung_params[r]);
+    for (const Edge& edge : edges) standalone.update(edge);
+    expect_same_sketch(standalone, shared.rung(r), edges, "saturated rung");
+  }
+}
+
+TEST(BatchEquivalence, LadderConsumeMatchesPerEdgeUpdates) {
+  // The engine path (consume -> chunks -> shared hash sweep) against the
+  // fully serial per-edge ladder, over a pool as well (rungs independent).
+  const GeneratedInstance gen = make_uniform(25, 1200, 15, 41);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 11);
+  const std::uint64_t seed[] = {0x1234ULL};
+  const auto rung_params = ladder_grid(25, seed);
+
+  SketchLadder per_edge(rung_params, nullptr);
+  for (const Edge& edge : edges) per_edge.update(edge);
+
+  ThreadPool pool(3);
+  SketchLadder pooled(rung_params, &pool);
+  VectorStream stream(edges);
+  pooled.consume(stream, {}, 256);  // small batches force many chunks
+
+  for (std::size_t r = 0; r < rung_params.size(); ++r) {
+    expect_same_sketch(per_edge.rung(r), pooled.rung(r), edges, "consume rung");
+  }
+}
+
+TEST(BatchEquivalence, TrackedSpaceMatchesAuditUnderChurn) {
+  // Drives MinHashCore directly through every mutation shape — batched and
+  // per-edge admission, eviction churn, purge, merge — asserting the
+  // incrementally tracked footprint equals the audit re-sum throughout.
+  Rng rng(0x70AC4EDULL);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t cap = 1 + rng.next_below(std::uint64_t{6});
+    const std::size_t budget = 20 + rng.next_below(std::uint64_t{200});
+    MinHashCore<std::uint64_t> core(cap, budget, ~0ULL);
+    MinHashCore<std::uint64_t> other(cap, budget, ~0ULL);
+    const Mix64Hash hash(rng.next());
+
+    std::vector<ElemId> elems;
+    std::vector<std::uint64_t> keys;
+    std::vector<SetId> sets;
+    for (int round = 0; round < 30; ++round) {
+      const std::size_t chunk = 1 + rng.next_below(std::uint64_t{200});
+      elems.clear();
+      keys.clear();
+      sets.clear();
+      for (std::size_t i = 0; i < chunk; ++i) {
+        const ElemId e = rng.next_below(std::uint64_t{500});
+        elems.push_back(e);
+        keys.push_back(hash(e));
+        sets.push_back(static_cast<SetId>(rng.next_below(std::uint64_t{40})));
+      }
+      MinHashCore<std::uint64_t>& target = round % 3 == 2 ? other : core;
+      if (round % 2 == 0) {
+        target.admit_batch(elems, keys, [&](std::size_t i, std::uint32_t slot, bool) {
+          if (target.add_edge(slot, sets[i], /*dedupe=*/true)) {
+            target.enforce_budget();
+          }
+        });
+      } else {
+        for (std::size_t i = 0; i < chunk; ++i) {
+          bool created = false;
+          const std::uint32_t slot = target.admit(elems[i], keys[i], created);
+          if (slot == MinHashCore<std::uint64_t>::kNoSlot) continue;
+          if (target.add_edge(slot, sets[i], /*dedupe=*/true)) {
+            target.enforce_budget();
+          }
+        }
+      }
+      ASSERT_EQ(target.tracked_space_words(), target.space_words())
+          << "trial " << trial << " round " << round;
+      ASSERT_GE(target.peak_space_words(), target.tracked_space_words());
+    }
+
+    core.purge([](ElemId e) { return e % 3 == 0; });
+    ASSERT_EQ(core.tracked_space_words(), core.space_words());
+    core.merge_from(other);
+    core.enforce_budget();
+    ASSERT_EQ(core.tracked_space_words(), core.space_words());
+    ASSERT_GE(core.peak_space_words(), core.tracked_space_words());
+  }
+}
+
+}  // namespace
+}  // namespace covstream

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Compare a fresh update_time run against the committed perf baseline.
+
+Usage:
+    ./build/update_time --benchmark_out=fresh.json --benchmark_out_format=json
+    python3 tools/bench_diff.py fresh.json [--baseline BENCH_update_time.json]
+        [--threshold 0.25]
+
+Per benchmark family present in BOTH files, compares ns/op (real_time for
+per-op benchmarks, items_per_second inverted when available) and reports the
+relative change. Exits 1 if any family regressed by more than --threshold
+(default 25%); new or removed families are reported but never fail the run.
+
+Refreshing the baseline: run update_time from a quiet machine (it writes
+BENCH_update_time.json in the working directory by default), eyeball the
+diff against the committed file, and commit the new JSON alongside the
+change that explains it. CI runs this script as a non-blocking step —
+shared-runner noise makes hard gating counterproductive, but the log keeps
+the trend visible on every PR.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_family_times(path):
+    """name -> WALL ns per item.
+
+    google-benchmark's items_per_second divides by CPU time, which
+    misreports pool-parallel benchmarks (the driving thread sleeps while
+    workers run). Items per iteration is reconstructed from
+    items_per_second * cpu_time, and wall time divided by it; serial
+    benchmarks come out identical to 1e9 / items_per_second.
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        unit = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[
+            bench.get("time_unit", "ns")]
+        real_ns = bench["real_time"] * unit
+        items = bench.get("items_per_second")
+        cpu_ns = bench.get("cpu_time", 0) * unit
+        if items and cpu_ns:
+            items_per_iter = items * cpu_ns * 1e-9
+            times[name] = real_ns / items_per_iter
+        else:
+            times[name] = real_ns
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="JSON from a fresh update_time run")
+    parser.add_argument("--baseline", default="BENCH_update_time.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that fails the run")
+    args = parser.parse_args()
+
+    fresh = load_family_times(args.fresh)
+    base = load_family_times(args.baseline)
+
+    regressions = []
+    rows = []
+    for name in sorted(set(fresh) | set(base)):
+        if name not in base:
+            rows.append((name, None, fresh[name], "new"))
+            continue
+        if name not in fresh:
+            rows.append((name, base[name], None, "removed"))
+            continue
+        ratio = fresh[name] / base[name] - 1.0
+        flag = ""
+        if ratio > args.threshold:
+            flag = "REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio < -args.threshold:
+            flag = "improved"
+        rows.append((name, base[name], fresh[name], flag or f"{ratio:+.1%}"))
+
+    width = max(len(r[0]) for r in rows) if rows else 20
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  status")
+    for name, b, f, flag in rows:
+        bs = f"{b:12.1f}" if b is not None else f"{'-':>12}"
+        fs = f"{f:12.1f}" if f is not None else f"{'-':>12}"
+        print(f"{name:<{width}}  {bs}  {fs}  {flag}")
+    print(f"(ns per item; threshold ±{args.threshold:.0%})")
+
+    if regressions:
+        print(f"\n{len(regressions)} famil{'y' if len(regressions) == 1 else 'ies'} "
+              f"regressed beyond {args.threshold:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:+.1%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
