@@ -514,6 +514,71 @@ void BM_LadderSharedKeys8(benchmark::State& state) {
 }
 BENCHMARK(BM_LadderSharedKeys8);
 
+// ------------------------------------------------------ snapshot I/O cost ----
+// Serialization throughput of the persistence layer (DESIGN.md §5.9): how
+// fast a saturated sketch turns into its wire image and back. Reported as
+// bytes_per_second (the README perf table's MB/s rows; tools/bench_diff.py
+// --doc renders them from the committed JSON). In-memory on purpose — disk
+// speed is the machine's business, the format's cost is ours.
+
+/// One saturated, heap-built sketch reused by both snapshot families.
+const SubsampleSketch& snapshot_bench_sketch() {
+  static const SubsampleSketch sketch = [] {
+    SketchParams params;
+    params.num_sets = 200;
+    params.k = 8;
+    params.eps = 0.2;
+    params.budget_mode = BudgetMode::kExplicit;
+    params.explicit_budget = 20000;
+    params.hash_seed = 11;
+    SubsampleSketch built(params);
+    feed_chunked(built, update_stream(1 << 18, 7));
+    return built;
+  }();
+  return sketch;
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const SubsampleSketch& sketch = snapshot_bench_sketch();
+  std::size_t image_bytes = 0;
+  for (auto _ : state) {
+    SnapshotWriter writer(SubsampleSketch::kSnapshotType);
+    sketch.save(writer);
+    const std::vector<std::uint8_t> image = writer.finish();
+    image_bytes = image.size();
+    benchmark::DoNotOptimize(image.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * image_bytes));
+}
+BENCHMARK(BM_SnapshotSave);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const SubsampleSketch& sketch = snapshot_bench_sketch();
+  SnapshotWriter writer(SubsampleSketch::kSnapshotType);
+  sketch.save(writer);
+  const std::vector<std::uint8_t> image = writer.finish();
+  for (auto _ : state) {
+    // The reader consumes its image, so each iteration needs a fresh copy;
+    // keep that memcpy out of the timed region — the row published to the
+    // README measures the format's cost (checksum scan + parse + structural
+    // validation), not a buffer duplication.
+    state.PauseTiming();
+    std::vector<std::uint8_t> owned = image;
+    state.ResumeTiming();
+    SnapshotReader reader(std::move(owned));
+    auto loaded = SubsampleSketch::load_snapshot(reader);
+    if (!loaded) {
+      state.SkipWithError(reader.error().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(loaded->stored_edges());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * image.size()));
+}
+BENCHMARK(BM_SnapshotLoad);
+
 }  // namespace
 }  // namespace covstream
 

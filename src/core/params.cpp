@@ -18,13 +18,54 @@ std::string to_string(BudgetMode mode) {
   return "?";
 }
 
-void SketchParams::validate() const {
-  COVSTREAM_CHECK(num_sets > 0);
-  COVSTREAM_CHECK(k >= 1);
-  COVSTREAM_CHECK(eps > 0.0 && eps <= 1.0);
-  COVSTREAM_CHECK(delta_pp >= 1.0);
-  if (budget_mode == BudgetMode::kExplicit) COVSTREAM_CHECK(explicit_budget > 0);
-  if (budget_mode == BudgetMode::kPractical) COVSTREAM_CHECK(practical_c > 0.0);
+bool SketchParams::is_valid() const {
+  return num_sets > 0 && k >= 1 && eps > 0.0 && eps <= 1.0 &&
+         delta_pp >= 1.0 &&
+         (budget_mode != BudgetMode::kExplicit || explicit_budget > 0) &&
+         (budget_mode != BudgetMode::kPractical || practical_c > 0.0);
+}
+
+void SketchParams::validate() const { COVSTREAM_CHECK(is_valid()); }
+
+void SketchParams::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('P', 'R', 'M', 'S'));
+  writer.u32(num_sets);
+  writer.u32(k);
+  writer.f64(eps);
+  writer.f64(delta_pp);
+  writer.u64(elems_hint);
+  writer.u32(static_cast<std::uint32_t>(budget_mode));
+  writer.f64(practical_c);
+  writer.u64(explicit_budget);
+  writer.u8(enforce_degree_cap ? 1 : 0);
+  writer.u8(dedupe_edges ? 1 : 0);
+  writer.u64(hash_seed);
+  writer.end_section();
+}
+
+bool SketchParams::load(SnapshotReader& reader) {
+  if (!reader.begin_section(snapshot_tag('P', 'R', 'M', 'S'))) return false;
+  num_sets = reader.u32();
+  k = reader.u32();
+  eps = reader.f64();
+  delta_pp = reader.f64();
+  elems_hint = reader.u64();
+  const std::uint32_t mode = reader.u32();
+  practical_c = reader.f64();
+  explicit_budget = reader.u64();
+  enforce_degree_cap = reader.u8() != 0;
+  dedupe_edges = reader.u8() != 0;
+  hash_seed = reader.u64();
+  if (!reader.ok()) return false;
+  if (mode > static_cast<std::uint32_t>(BudgetMode::kExplicit)) {
+    return reader.fail("sketch params: unknown budget mode");
+  }
+  budget_mode = static_cast<BudgetMode>(mode);
+  // validate()'s checks, reported through the reader instead of aborting.
+  if (!is_valid()) {
+    return reader.fail("sketch params: values out of range");
+  }
+  return reader.end_section();
 }
 
 std::size_t SketchParams::degree_cap() const {

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sketch/substrate/snapshot.hpp"
 #include "util/common.hpp"
 
 namespace covstream {
@@ -50,7 +51,20 @@ struct SketchParams {
   /// The paper's delta = delta'' * log(log_{1/(1-eps)} m).
   double paper_delta() const;
 
+  /// One range predicate shared by validate() (abort on violation) and
+  /// load() (fail the reader on violation) so the two cannot drift.
+  bool is_valid() const;
+
   void validate() const;
+
+  /// Serializes every field (docs/FORMATS.md §3 'PRMS') so a loaded sketch
+  /// reconstructs the exact hash function, caps, and budget it was built
+  /// with — params are the part of sketch identity that code cannot rederive.
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores save()d params in place; validates ranges (the same checks as
+  /// validate(), but failing the reader instead of aborting the process).
+  bool load(SnapshotReader& reader);
 };
 
 }  // namespace covstream

@@ -12,6 +12,10 @@ SketchLadder::SketchLadder(std::vector<SketchParams> rung_params, ThreadPool* po
   for (SketchParams& params : rung_params) {
     rungs_.emplace_back(params);
   }
+  recompute_shared_keys();
+}
+
+void SketchLadder::recompute_shared_keys() {
   // Keys can be shared iff every rung hashes elements identically AND agrees
   // on the set universe (the chunk-level bounds check runs once, against the
   // shared num_sets).
@@ -114,6 +118,39 @@ void SketchLadder::consume(EdgeStream& stream, const EdgeFilter& filter,
   const StreamEngine engine({batch_edges, nullptr});
   engine.run(stream, filter,
              [this](std::span<const Edge> chunk) { update_chunk(chunk); });
+}
+
+void SketchLadder::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('L', 'D', 'D', 'R'));
+  writer.u64(rungs_.size());
+  for (const SubsampleSketch& rung : rungs_) rung.save(writer);
+  writer.end_section();
+}
+
+std::optional<SketchLadder> SketchLadder::load_snapshot(SnapshotReader& reader,
+                                                        ThreadPool* pool) {
+  if (!reader.begin_section(snapshot_tag('L', 'D', 'D', 'R'))) return std::nullopt;
+  const std::uint64_t count = reader.u64();
+  if (!reader.ok()) return std::nullopt;
+  // Bound the count against the payload BEFORE reserving: every rung's
+  // SKCH section occupies at least its section header (12 bytes) on the
+  // wire, so a forged count implying more rungs than the payload can hold
+  // must fail the reader, not reserve hundreds of megabytes of rungs_.
+  if (count > reader.remaining() / 12) {
+    reader.fail("sketch ladder: rung count overruns the section payload");
+    return std::nullopt;
+  }
+  SketchLadder ladder;
+  ladder.pool_ = pool;
+  ladder.rungs_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t r = 0; r < count; ++r) {
+    std::optional<SubsampleSketch> rung = SubsampleSketch::load_snapshot(reader);
+    if (!rung) return std::nullopt;
+    ladder.rungs_.push_back(std::move(*rung));
+  }
+  if (!reader.end_section()) return std::nullopt;
+  ladder.recompute_shared_keys();
+  return ladder;
 }
 
 std::size_t SketchLadder::peak_space_words() const {

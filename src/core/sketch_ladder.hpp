@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -56,9 +57,30 @@ class SketchLadder {
   /// Sum of rung peak spaces (they coexist during the pass).
   std::size_t peak_space_words() const;
 
+  // ----------------------------------------------------------- persistence --
+  /// Snapshot object tag (docs/FORMATS.md §2); save/load via the
+  /// save_snapshot()/load_snapshot() helpers of substrate/snapshot.hpp.
+  static constexpr SnapshotType kSnapshotType = SnapshotType::kSketchLadder;
+
+  /// Serializes every rung in order (DESIGN.md §5.9); a loaded ladder
+  /// recomputes shared-key eligibility from the rung params, so the one-hash
+  /// sweep optimization survives the round trip.
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d ladder; nullopt (reader error set) on any failure.
+  /// The pool is runtime context, not state — pass the one this process
+  /// wants rung fan-out on (nullptr = serial).
+  static std::optional<SketchLadder> load_snapshot(SnapshotReader& reader,
+                                                   ThreadPool* pool = nullptr);
+
  private:
+  SketchLadder() = default;  // load_snapshot fills rungs_ in place
+
+  /// True iff every rung hashes identically and shares the set universe.
+  void recompute_shared_keys();
+
   std::vector<SubsampleSketch> rungs_;
-  ThreadPool* pool_;
+  ThreadPool* pool_ = nullptr;
   bool shared_keys_ = false;
   // One hash sweep per chunk, shared read-only across all rung tasks; once
   // every rung is saturated, one pre-filter sweep (against the max rung

@@ -163,10 +163,35 @@ SketchView SubsampleSketch::view() const {
   return view;
 }
 
+void SubsampleSketch::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('S', 'K', 'C', 'H'));
+  params_.save(writer);
+  core_.save(writer);
+  writer.end_section();
+}
+
+std::optional<SubsampleSketch> SubsampleSketch::load_snapshot(
+    SnapshotReader& reader) {
+  if (!reader.begin_section(snapshot_tag('S', 'K', 'C', 'H'))) return std::nullopt;
+  SketchParams params;
+  if (!params.load(reader)) return std::nullopt;
+  // Construct from the saved params (rebuilding hash/cap/budget), then let
+  // the core replace its state — core load cross-checks the derived
+  // admission parameters against the serialized ones.
+  SubsampleSketch sketch(params);
+  if (!sketch.core_.load(reader, params.num_sets) || !reader.end_section()) {
+    return std::nullopt;
+  }
+  return sketch;
+}
+
 double SubsampleSketch::estimate_coverage(std::span<const SetId> family) const {
   // Count retained elements covered by the family without building the view.
   std::vector<bool> in_family(params_.num_sets, false);
-  for (const SetId set : family) in_family[set] = true;
+  for (const SetId set : family) {
+    COVSTREAM_CHECK(set < params_.num_sets);
+    in_family[set] = true;
+  }
   std::size_t covered = 0;
   for (std::uint32_t slot = 0; slot < core_.slot_count(); ++slot) {
     if (!core_.alive(slot)) continue;

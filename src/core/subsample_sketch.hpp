@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -167,6 +168,21 @@ class SubsampleSketch {
   /// space bound must pay for). Maintained by the substrate from counter
   /// deltas at every mutation — no per-edge re-sum (DESIGN.md §5.8).
   std::size_t peak_space_words() const { return core_.peak_space_words(); }
+
+  // ----------------------------------------------------------- persistence --
+  /// Snapshot object tag (docs/FORMATS.md §2); save/load via the
+  /// save_snapshot()/load_snapshot() helpers of substrate/snapshot.hpp.
+  static constexpr SnapshotType kSnapshotType = SnapshotType::kSubsampleSketch;
+
+  /// Serializes params + the full substrate state (DESIGN.md §5.9). The
+  /// loaded twin answers every query — view(), p*, estimates, space — bit
+  /// for bit, and continues ingesting identically (cutoff, heap order, and
+  /// free lists are all part of the image).
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d sketch; nullopt (reader error set) on any frame or
+  /// invariant failure — never a partially-initialized sketch.
+  static std::optional<SubsampleSketch> load_snapshot(SnapshotReader& reader);
 
  private:
   /// Shared tail of every update path: append the admitted edge's set to

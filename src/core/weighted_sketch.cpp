@@ -160,7 +160,10 @@ WeightedSketchView WeightedSubsampleSketch::view() const {
 double WeightedSubsampleSketch::estimate_weighted_coverage(
     std::span<const SetId> family) const {
   std::vector<bool> in_family(params_.num_sets, false);
-  for (const SetId set : family) in_family[set] = true;
+  for (const SetId set : family) {
+    COVSTREAM_CHECK(set < params_.num_sets);
+    in_family[set] = true;
+  }
   const double tau = tau_star();
   double total = 0.0;
   for (std::uint32_t slot = 0; slot < core_.slot_count(); ++slot) {
@@ -172,6 +175,43 @@ double WeightedSubsampleSketch::estimate_weighted_coverage(
     }
   }
   return total;
+}
+
+void WeightedSubsampleSketch::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('W', 'S', 'K', 'C'));
+  params_.save(writer);
+  // Weights precede the core so load can hand the core the policy-side word
+  // count its tracked-vs-audit space check needs.
+  writer.f64_array(weight_of_slot_);
+  core_.save(writer);
+  writer.end_section();
+}
+
+std::optional<WeightedSubsampleSketch> WeightedSubsampleSketch::load_snapshot(
+    SnapshotReader& reader) {
+  if (!reader.begin_section(snapshot_tag('W', 'S', 'K', 'C'))) return std::nullopt;
+  SketchParams params;
+  if (!params.load(reader)) return std::nullopt;
+  WeightedSubsampleSketch sketch(params);
+  if (!reader.f64_array(sketch.weight_of_slot_, 1ull << 40)) return std::nullopt;
+  if (!sketch.core_.load(reader, params.num_sets,
+                         sketch.weight_of_slot_.size())) {
+    return std::nullopt;
+  }
+  if (sketch.weight_of_slot_.size() > sketch.core_.slot_count()) {
+    reader.fail("weighted sketch: weight array outgrew the slot range");
+    return std::nullopt;
+  }
+  for (std::uint32_t slot = 0; slot < sketch.core_.slot_count(); ++slot) {
+    if (sketch.core_.alive(slot) &&
+        (slot >= sketch.weight_of_slot_.size() ||
+         !(sketch.weight_of_slot_[slot] > 0.0))) {
+      reader.fail("weighted sketch: live slot without a positive weight");
+      return std::nullopt;
+    }
+  }
+  if (!reader.end_section()) return std::nullopt;
+  return sketch;
 }
 
 WeightedKCoverResult streaming_weighted_kcover(

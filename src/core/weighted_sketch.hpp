@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -111,6 +112,21 @@ class WeightedSubsampleSketch {
     return kBaseSpaceWords + core_.space_words() + weight_of_slot_.size();
   }
   std::size_t peak_space_words() const { return core_.peak_space_words(); }
+
+  // ----------------------------------------------------------- persistence --
+  /// Snapshot object tag (docs/FORMATS.md §2); save/load via the
+  /// save_snapshot()/load_snapshot() helpers of substrate/snapshot.hpp.
+  static constexpr SnapshotType kSnapshotType = SnapshotType::kWeightedSketch;
+
+  /// Serializes params, the per-slot weight array, and the substrate state
+  /// (DESIGN.md §5.9); round trips are bit-for-bit, including tau*, HT
+  /// estimates, and tracked_space_words().
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d sketch; nullopt (reader error set) on any frame or
+  /// invariant failure.
+  static std::optional<WeightedSubsampleSketch> load_snapshot(
+      SnapshotReader& reader);
 
  private:
   static constexpr double kInfiniteKey = 1e300;

@@ -1,0 +1,178 @@
+#include "serve/sketch_server.hpp"
+
+#include <cstdio>
+#include <span>
+#include <utility>
+
+namespace covstream {
+
+namespace {
+
+void write_checkpoint_sections(SnapshotWriter& writer,
+                               const StreamEngine::ResumePoint& resume,
+                               const SubsampleSketch& sketch) {
+  writer.begin_section(snapshot_tag('C', 'K', 'P', 'T'));
+  writer.u64(resume.stream_position);
+  writer.u64(resume.edges_read);
+  writer.u64(resume.edges_kept);
+  sketch.save(writer);
+  writer.end_section();
+}
+
+}  // namespace
+
+void IngestCheckpoint::save(SnapshotWriter& writer) const {
+  write_checkpoint_sections(writer, resume, sketch);
+}
+
+bool save_ingest_checkpoint(const StreamEngine::ResumePoint& resume,
+                            const SubsampleSketch& sketch,
+                            const std::string& path, std::string* error) {
+  SnapshotWriter writer(IngestCheckpoint::kSnapshotType);
+  write_checkpoint_sections(writer, resume, sketch);
+  return writer.write_file(path, error);
+}
+
+std::optional<IngestCheckpoint> IngestCheckpoint::load_snapshot(
+    SnapshotReader& reader) {
+  if (!reader.begin_section(snapshot_tag('C', 'K', 'P', 'T'))) return std::nullopt;
+  StreamEngine::ResumePoint resume;
+  resume.stream_position = reader.u64();
+  resume.edges_read = reader.u64();
+  resume.edges_kept = reader.u64();
+  if (!reader.ok()) return std::nullopt;
+  if (resume.edges_kept > resume.edges_read) {
+    reader.fail("ingest checkpoint: kept more edges than were read");
+    return std::nullopt;
+  }
+  std::optional<SubsampleSketch> sketch = SubsampleSketch::load_snapshot(reader);
+  if (!sketch || !reader.end_section()) return std::nullopt;
+  return IngestCheckpoint{resume, std::move(*sketch)};
+}
+
+SketchServer::SketchServer(SketchParams params, Options options)
+    : options_(std::move(options)), live_(params) {
+  COVSTREAM_CHECK(options_.snapshot_every_chunks >= 1);
+  COVSTREAM_CHECK(options_.checkpoint_every_chunks == 0 ||
+                  !options_.checkpoint_path.empty());
+}
+
+SketchServer::SketchServer(IngestCheckpoint checkpoint, Options options)
+    : options_(std::move(options)),
+      live_(std::move(checkpoint.sketch)),
+      resume_(checkpoint.resume) {
+  COVSTREAM_CHECK(options_.snapshot_every_chunks >= 1);
+  COVSTREAM_CHECK(options_.checkpoint_every_chunks == 0 ||
+                  !options_.checkpoint_path.empty());
+  // The restored state is immediately queryable — readers need not wait for
+  // the first post-resume chunk.
+  publish_locked_copy();
+  stats_.edges_read = static_cast<std::size_t>(checkpoint.resume.edges_read);
+  stats_.edges_kept = static_cast<std::size_t>(checkpoint.resume.edges_kept);
+}
+
+SketchServer::~SketchServer() {
+  if (worker_.joinable()) worker_.join();
+}
+
+void SketchServer::publish_locked_copy() {
+  // Copy-on-snapshot: the only moment a reader-visible sketch is built. The
+  // copy runs on the ingest thread at a chunk boundary (no concurrent
+  // mutation); the lock is held for the pointer swap only.
+  auto fresh = std::make_shared<const SubsampleSketch>(live_);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_ = std::move(fresh);
+}
+
+void SketchServer::start(EdgeStream& stream) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    COVSTREAM_CHECK(!ingesting_);
+    ingesting_ = true;
+  }
+  COVSTREAM_CHECK(!worker_.joinable());
+  worker_ = std::thread([this, &stream] {
+    const StreamEngine engine({options_.batch_edges, nullptr});
+    StreamEngine::CheckpointOptions durable;
+    // A configured path alone enables the on-stop write below; the periodic
+    // cadence additionally needs every_chunks > 0 (a path with no cadence is
+    // a legitimate "checkpoint only on quit" configuration).
+    if (!options_.checkpoint_path.empty()) {
+      durable.every_chunks = options_.checkpoint_every_chunks;
+      durable.on_checkpoint = [this](const StreamEngine::ResumePoint& point) {
+        std::string error;
+        if (!save_ingest_checkpoint(point, live_, options_.checkpoint_path,
+                                    &error)) {
+          std::fprintf(stderr, "sketch server: checkpoint failed: %s\n",
+                       error.c_str());
+        }
+      };
+    }
+    durable.stop_requested = [this] {
+      return stop_requested_.load(std::memory_order_relaxed);
+    };
+    std::size_t chunks = 0;
+    const StreamEngine::PassStats stats = engine.run_resumable(
+        stream, /*filter=*/{},
+        [this, &chunks](std::span<const Edge> chunk) {
+          live_.update_chunk(chunk);
+          ++chunks;
+          if (chunks % options_.snapshot_every_chunks == 0) {
+            publish_locked_copy();
+          }
+          const std::lock_guard<std::mutex> lock(mutex_);
+          stats_.edges_read += chunk.size();
+          stats_.edges_kept += chunk.size();
+        },
+        resume_ ? &*resume_ : nullptr, durable);
+    // A stopped pass still leaves a durable recovery point: the stream
+    // position at the stop boundary resumes the remainder later.
+    if (stop_requested_.load(std::memory_order_relaxed) &&
+        durable.on_checkpoint) {
+      const std::uint64_t at = stream.position();
+      if (at != EdgeStream::kNoPosition) {
+        durable.on_checkpoint(StreamEngine::ResumePoint{
+            at, stats.edges_read, stats.edges_kept});
+      }
+    }
+    // Final publish: the completed sketch is always the last handle.
+    publish_locked_copy();
+    resume_.reset();  // consumed; a later pass starts from the stream's head
+    // Consume the stop request too: a second start() after stop()+wait() is
+    // a legal sequence and must not inherit a stale flag (a stop issued
+    // BEFORE start still applies to that upcoming pass — the stop tests
+    // rely on it for a deterministic first-chunk stop).
+    stop_requested_.store(false, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    final_stats_ = stats;
+    stats_ = stats;
+    ingesting_ = false;
+  });
+}
+
+StreamEngine::PassStats SketchServer::wait() {
+  if (worker_.joinable()) worker_.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return final_stats_;
+}
+
+void SketchServer::stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+}
+
+bool SketchServer::ingesting() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ingesting_;
+}
+
+std::shared_ptr<const SubsampleSketch> SketchServer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_;
+}
+
+StreamEngine::PassStats SketchServer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace covstream

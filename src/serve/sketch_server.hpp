@@ -1,0 +1,138 @@
+// Concurrent ingest-and-serve on top of the snapshot subsystem (DESIGN.md
+// §5.9).
+//
+// The paper's sketches answer coverage queries from O~(n) words of state, so
+// a production deployment wants to answer those queries WHILE the stream is
+// still being ingested — not after. SketchServer runs one ingestion pass on
+// a background thread and publishes immutable snapshot handles at chunk
+// boundaries:
+//
+//   * the hot admit path always works on the live sketch, untouched by
+//     readers — no per-edge locks;
+//   * every `snapshot_every_chunks` delivered chunks, the live sketch is
+//     copied (copy-on-snapshot; sketches are small by design, so this is a
+//     bounded memcpy of flat arrays) and swapped in as the new query handle
+//     under a mutex held only for the pointer swap;
+//   * readers grab the shared_ptr and query a fully consistent, immutable
+//     sketch for as long as they hold it — they never block ingestion and
+//     ingestion never mutates under them.
+//
+// Durable recovery rides the same boundaries: with checkpoint_every_chunks
+// set, an IngestCheckpoint (sketch + StreamEngine::ResumePoint, one snapshot
+// file) is written every Nth chunk, and a restarted process resumes the pass
+// from it — equal, bit for bit, to never having crashed (the resume test
+// suite asserts this on all three stream backends).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/subsample_sketch.hpp"
+#include "sketch/substrate/snapshot.hpp"
+#include "stream/stream_engine.hpp"
+
+namespace covstream {
+
+/// One durable recovery point: the sketch state plus where its pass stopped.
+/// Saved/loaded through the usual snapshot helpers as a single file.
+struct IngestCheckpoint {
+  static constexpr SnapshotType kSnapshotType = SnapshotType::kIngestCheckpoint;
+
+  StreamEngine::ResumePoint resume;
+  SubsampleSketch sketch;
+
+  /// Serializes the resume point then the embedded sketch (docs/FORMATS.md
+  /// §3 'CKPT').
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d checkpoint; nullopt (reader error set) on failure.
+  static std::optional<IngestCheckpoint> load_snapshot(SnapshotReader& reader);
+};
+
+/// Writes one checkpoint file straight from a live sketch — the periodic
+/// checkpoint path on the ingest thread must not deep-copy an O(sketch)
+/// IngestCheckpoint just so save() can read it. Same file format, same
+/// load_snapshot<IngestCheckpoint> reads it back.
+bool save_ingest_checkpoint(const StreamEngine::ResumePoint& resume,
+                            const SubsampleSketch& sketch,
+                            const std::string& path,
+                            std::string* error = nullptr);
+
+class SketchServer {
+ public:
+  struct Options {
+    /// Engine chunk size (0 = engine default). Chunk size bounds snapshot
+    /// staleness: a query handle is at most snapshot_every_chunks chunks old.
+    std::size_t batch_edges = 0;
+    /// Publish a fresh query handle every N delivered chunks (>= 1).
+    std::size_t snapshot_every_chunks = 1;
+    /// Write a durable IngestCheckpoint every N delivered chunks to
+    /// `checkpoint_path` (0 = never).
+    std::size_t checkpoint_every_chunks = 0;
+    std::string checkpoint_path;
+  };
+
+  /// Fresh server: the sketch starts empty.
+  SketchServer(SketchParams params, Options options);
+
+  /// Resumed server: continue `checkpoint`'s pass where it stopped. start()
+  /// will seek the stream past the consumed prefix.
+  SketchServer(IngestCheckpoint checkpoint, Options options);
+
+  /// Joins the ingestion thread (a running stream is drained, not aborted).
+  ~SketchServer();
+
+  SketchServer(const SketchServer&) = delete;
+  SketchServer& operator=(const SketchServer&) = delete;
+
+  /// Begins ingesting `stream` on a background thread. The stream must
+  /// outlive wait() and must not be touched by the caller while ingesting.
+  /// One ingestion at a time.
+  void start(EdgeStream& stream);
+
+  /// Blocks until the pass finishes; returns the cumulative pass stats
+  /// (resumed passes report as if uninterrupted). The final snapshot handle
+  /// is published before this returns.
+  StreamEngine::PassStats wait();
+
+  /// Asks the ingestion pass to end at the next chunk boundary (the serve
+  /// REPL's `quit` on a big input should not drain the whole stream). The
+  /// partial state is published and — with checkpointing configured — a
+  /// final checkpoint is written, so a later --resume finishes the pass.
+  void stop();
+
+  /// True between start() and the end of the pass.
+  bool ingesting() const;
+
+  /// The current immutable query handle (never null once start() ran its
+  /// first publish; null before that on a fresh, never-started server).
+  /// Hold it as long as needed — ingestion never mutates a published sketch.
+  std::shared_ptr<const SubsampleSketch> snapshot() const;
+
+  /// Edges delivered to the live sketch so far (published at chunk
+  /// boundaries, like the handles).
+  StreamEngine::PassStats stats() const;
+
+ private:
+  void publish_locked_copy();
+
+  Options options_;
+  SubsampleSketch live_;  // ingest-thread-only during a pass
+  std::optional<StreamEngine::ResumePoint> resume_;
+
+  mutable std::mutex mutex_;  // guards snapshot_, stats_, ingesting_
+  std::shared_ptr<const SubsampleSketch> snapshot_;
+  StreamEngine::PassStats stats_;
+  bool ingesting_ = false;
+  std::atomic<bool> stop_requested_{false};
+
+  std::thread worker_;
+  StreamEngine::PassStats final_stats_;
+};
+
+}  // namespace covstream

@@ -1,5 +1,7 @@
 #include "sketch/kmv.hpp"
 
+#include <vector>
+
 namespace covstream {
 
 KmvSketch::KmvSketch(std::size_t capacity, std::uint64_t seed)
@@ -25,6 +27,34 @@ double KmvSketch::estimate() const {
   const double u_t = hash_to_unit(*kept_.rbegin());
   COVSTREAM_CHECK(u_t > 0.0);
   return static_cast<double>(capacity_ - 1) / u_t;
+}
+
+void KmvSketch::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('K', 'M', 'V', 'S'));
+  writer.u64(capacity_);
+  writer.u64(seed_);
+  std::vector<std::uint64_t> kept(kept_.begin(), kept_.end());
+  writer.u64_array(kept);
+  writer.end_section();
+}
+
+bool KmvSketch::load(SnapshotReader& reader) {
+  if (!reader.begin_section(snapshot_tag('K', 'M', 'V', 'S'))) return false;
+  const std::uint64_t capacity = reader.u64();
+  const std::uint64_t seed = reader.u64();
+  if (!reader.ok()) return false;
+  if (capacity != capacity_ || seed != seed_) {
+    return reader.fail("kmv sketch: capacity/seed disagree with the bank");
+  }
+  std::vector<std::uint64_t> kept;
+  if (!reader.u64_array(kept, capacity)) return false;
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    if (kept[i - 1] >= kept[i]) {
+      return reader.fail("kmv sketch: kept hashes not strictly ascending");
+    }
+  }
+  kept_ = std::set<std::uint64_t>(kept.begin(), kept.end());
+  return reader.end_section();
 }
 
 void KmvSketch::merge(const KmvSketch& other) {

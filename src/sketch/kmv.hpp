@@ -12,6 +12,7 @@
 #include <set>
 
 #include "hash/hash64.hpp"
+#include "sketch/substrate/snapshot.hpp"
 #include "util/common.hpp"
 
 namespace covstream {
@@ -38,6 +39,16 @@ class KmvSketch {
   void merge(const KmvSketch& other);
 
   std::size_t space_words() const { return 2 + kept_.size(); }
+
+  /// Serializes capacity, seed, and the kept hashes ascending
+  /// (docs/FORMATS.md §3 'KMVS').
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d sketch in place. Capacity and seed must match this
+  /// sketch's (the owning bank constructs from its saved geometry first);
+  /// kept hashes must be sorted, unique, and within capacity. Fails the
+  /// reader — returning false — otherwise.
+  bool load(SnapshotReader& reader);
 
  private:
   std::size_t capacity_;

@@ -111,6 +111,43 @@ std::vector<SetId> L0KCover::solve_exhaustive(std::uint32_t k) const {
   return best;
 }
 
+void L0KCover::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('L', '0', 'K', 'C'));
+  writer.u32(num_sets_);
+  writer.u64(seed_);
+  writer.u64(per_set_.empty() ? 0 : per_set_.front().capacity());
+  for (const KmvSketch& sketch : per_set_) sketch.save(writer);
+  writer.end_section();
+}
+
+std::optional<L0KCover> L0KCover::load_snapshot(SnapshotReader& reader) {
+  if (!reader.begin_section(snapshot_tag('L', '0', 'K', 'C'))) return std::nullopt;
+  const std::uint32_t num_sets = reader.u32();
+  const std::uint64_t seed = reader.u64();
+  const std::uint64_t capacity = reader.u64();
+  if (!reader.ok()) return std::nullopt;
+  if (num_sets == 0 || capacity < 2) {
+    reader.fail("l0 k-cover: empty bank or capacity below the KMV minimum");
+    return std::nullopt;
+  }
+  // Bound the bank size against the payload BEFORE constructing it: every
+  // per-set sketch occupies at least 36 bytes on the wire (section header +
+  // capacity + seed + array count), so a forged num_sets that implies more
+  // sketches than the payload can hold must fail the reader, not provoke a
+  // hundred-gigabyte allocation.
+  constexpr std::uint64_t kMinKmvBytes = 36;
+  if (num_sets > reader.remaining() / kMinKmvBytes) {
+    reader.fail("l0 k-cover: set count overruns the section payload");
+    return std::nullopt;
+  }
+  L0KCover bank(num_sets, static_cast<std::size_t>(capacity), seed);
+  for (KmvSketch& sketch : bank.per_set_) {
+    if (!sketch.load(reader)) return std::nullopt;
+  }
+  if (!reader.end_section()) return std::nullopt;
+  return bank;
+}
+
 std::size_t L0KCover::space_words() const {
   std::size_t total = 1;
   for (const KmvSketch& sketch : per_set_) total += sketch.space_words();

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -53,6 +54,18 @@ class L0KCover {
   std::vector<SetId> solve_exhaustive(std::uint32_t k) const;  // tiny n only
 
   std::size_t space_words() const;
+
+  // ----------------------------------------------------------- persistence --
+  /// Snapshot object tag (docs/FORMATS.md §2); save/load via the
+  /// save_snapshot()/load_snapshot() helpers of substrate/snapshot.hpp.
+  static constexpr SnapshotType kSnapshotType = SnapshotType::kL0KCover;
+
+  /// Serializes the bank geometry and every per-set KMV sketch (DESIGN.md
+  /// §5.9); loaded banks estimate and merge bit-for-bit like the saved one.
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d bank; nullopt (reader error set) on any failure.
+  static std::optional<L0KCover> load_snapshot(SnapshotReader& reader);
 
  private:
   SetId num_sets_;

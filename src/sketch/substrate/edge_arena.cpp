@@ -121,6 +121,50 @@ void EdgeArena::assign(Span& span, std::span<const SetId> values) {
   span.size = static_cast<std::uint32_t>(values.size());
 }
 
+void EdgeArena::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('A', 'R', 'N', 'A'));
+  writer.u32_array(data_);
+  for (std::uint32_t c = 0; c <= kMaxClass; ++c) writer.u32(free_head_[c]);
+  writer.end_section();
+}
+
+bool EdgeArena::load(SnapshotReader& reader, std::vector<bool>* claimed) {
+  if (!reader.begin_section(snapshot_tag('A', 'R', 'N', 'A'))) return false;
+  std::vector<std::uint32_t> data;
+  if (!reader.u32_array(data, kNullOffset)) return false;
+  std::uint32_t heads[kMaxClass + 1];
+  for (std::uint32_t c = 0; c <= kMaxClass; ++c) heads[c] = reader.u32();
+  if (!reader.ok()) return false;
+  if (claimed != nullptr) claimed->assign(data.size(), false);
+  // Validate every free chain: block offsets in bounds (with room for the
+  // whole size-class block), chains acyclic (bounded by the slab size —
+  // each free block occupies >= 4 slab words, so a longer walk is a cycle),
+  // and blocks pairwise disjoint when the caller asked for the claim map.
+  for (std::uint32_t c = 0; c <= kMaxClass; ++c) {
+    std::size_t steps = 0;
+    const std::size_t max_steps = data.size() / 4 + 1;
+    for (std::uint32_t at = heads[c]; at != kNullOffset; at = data[at]) {
+      if (at >= data.size() || (1ull << c) > data.size() - at) {
+        return reader.fail("edge arena: free block offset out of bounds");
+      }
+      if (++steps > max_steps) {
+        return reader.fail("edge arena: cyclic free list");
+      }
+      if (claimed != nullptr) {
+        for (std::uint64_t w = 0; w < (1ull << c); ++w) {
+          if ((*claimed)[at + w]) {
+            return reader.fail("edge arena: free blocks overlap");
+          }
+          (*claimed)[at + w] = true;
+        }
+      }
+    }
+  }
+  data_ = std::move(data);
+  for (std::uint32_t c = 0; c <= kMaxClass; ++c) free_head_[c] = heads[c];
+  return reader.end_section();
+}
+
 void EdgeArena::release(Span& span) {
   if (span.spilled) {
     data_[span.words[0]] = free_head_[span.cap_log2];

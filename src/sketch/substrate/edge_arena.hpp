@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "sketch/substrate/snapshot.hpp"
 #include "util/common.hpp"
 #include "util/space_meter.hpp"
 
@@ -82,6 +83,21 @@ class EdgeArena {
   std::size_t space_words() const { return words_for_u32(data_.size()); }
 
   std::size_t slab_size() const { return data_.size(); }
+
+  /// Serializes the slab and the per-class free-list heads verbatim
+  /// (docs/FORMATS.md §3 'ARNA'). Free blocks are part of the slab image, so
+  /// a loaded arena recycles exactly the blocks the saved one would have.
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d arena, replacing this one. Walks every free list to
+  /// verify offsets stay in bounds and chains terminate (a forged cyclic
+  /// list would otherwise hang the first allocation); fails the reader —
+  /// returning false — on any inconsistency. When `claimed` is non-null it
+  /// is resized to the slab and every free block's words are marked in it,
+  /// failing on overlap — the caller then claims the live spans on the same
+  /// map, so no slab word can be owned twice (a forged aliased block would
+  /// otherwise corrupt a neighbor on the first post-load insert).
+  bool load(SnapshotReader& reader, std::vector<bool>* claimed = nullptr);
 
  private:
   std::uint32_t allocate(std::uint32_t cap_log2);

@@ -82,6 +82,48 @@ void FlatElemTable::reserve(std::size_t expected) {
   while ((expected + 1) * 4 > buckets_ * 3) grow();
 }
 
+void FlatElemTable::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('T', 'B', 'L', 'E'));
+  writer.u64(buckets_);
+  writer.u64(size_);
+  writer.bytes(bytes_.data(), buckets_ * kBucketBytes);
+  writer.end_section();
+}
+
+bool FlatElemTable::load(SnapshotReader& reader) {
+  if (!reader.begin_section(snapshot_tag('T', 'B', 'L', 'E'))) return false;
+  const std::uint64_t buckets = reader.u64();
+  const std::uint64_t size = reader.u64();
+  if (!reader.ok()) return false;
+  if (buckets < kInitialBuckets || (buckets & (buckets - 1)) != 0) {
+    return reader.fail("flat table: bucket count not a power of two");
+  }
+  // Bound the count against the section payload BEFORE any arithmetic on it
+  // (division, so a forged 2^62 can neither wrap buckets*12 nor provoke a
+  // terabyte allocation — the reader fails instead).
+  if (buckets > reader.remaining() / kBucketBytes) {
+    return reader.fail("flat table: bucket slab overruns the section payload");
+  }
+  if (size * 4 > buckets * 3) {
+    return reader.fail("flat table: occupancy exceeds the 3/4 load factor");
+  }
+  std::vector<unsigned char> bytes(static_cast<std::size_t>(buckets) *
+                                   kBucketBytes);
+  if (!reader.bytes(bytes.data(), bytes.size())) return false;
+  bytes_ = std::move(bytes);
+  buckets_ = static_cast<std::size_t>(buckets);
+  mask_ = buckets_ - 1;
+  size_ = static_cast<std::size_t>(size);
+  std::size_t occupied = 0;
+  for (std::size_t i = 0; i < buckets_; ++i) {
+    if (slot_at(i) != kNoSlot) ++occupied;
+  }
+  if (occupied != size_) {
+    return reader.fail("flat table: occupied buckets disagree with key count");
+  }
+  return reader.end_section();
+}
+
 void FlatElemTable::grow() {
   std::vector<unsigned char> old_bytes = std::move(bytes_);
   const std::size_t old_buckets = buckets_;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "hash/hash64.hpp"
+#include "sketch/substrate/snapshot.hpp"
 #include "util/common.hpp"
 #include "util/space_meter.hpp"
 
@@ -67,6 +68,16 @@ class FlatElemTable {
   /// 8-byte words held: one ElemId + one uint32 per bucket (12 bytes, and
   /// the packed record layout really occupies 12 — no struct padding).
   std::size_t space_words() const { return words_for_buckets(buckets_); }
+
+  /// Serializes the table verbatim (bucket count, key count, packed bucket
+  /// slab — docs/FORMATS.md §3 'TBLE'). Probe geometry is preserved exactly,
+  /// so a loaded table answers find() with the same probes and footprint.
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d table, replacing this one. Validates geometry
+  /// (power-of-two bucket count, slab length, occupancy count) and fails the
+  /// reader — returning false — rather than accepting an inconsistent table.
+  bool load(SnapshotReader& reader);
 
  private:
   static constexpr std::size_t kBucketBytes = 12;  // 8B ElemId + 4B slot

@@ -375,15 +375,27 @@ class MinHashCore {
   }
 
   // ------------------------------------------------------ space accounting --
+  /// The audit formula in one place, callable on loose components so the
+  /// snapshot loader re-sums candidate state with exactly the live formula
+  /// (a drift between the two would reject every valid snapshot).
+  static std::size_t audit_space_words(const FlatElemTable& table,
+                                       std::size_t slots,
+                                       const SlotHeap<Key>& heap,
+                                       std::size_t flat_key_words,
+                                       const EdgeArena& arena,
+                                       std::size_t free_count) {
+    return table.space_words() + slots  // element ids
+           + (slots * sizeof(EdgeArena::Span) + 7) / 8 + heap.space_words() +
+           flat_key_words + arena.space_words() + words_for_u32(free_count);
+  }
+
   /// Analytic space in 8-byte words (DESIGN.md §5.2): actual footprint of
   /// the table buckets, slot arrays, key store (flat array before the first
   /// eviction, heap entries after), and edge slab. This is the audit
   /// re-sum; the hot paths read tracked_space_words().
   std::size_t space_words() const {
-    return table_.space_words() + elem_.size()              // element ids
-           + (elem_.size() * sizeof(EdgeArena::Span) + 7) / 8
-           + heap_.space_words() + key_slot_.size() + arena_.space_words()
-           + words_for_u32(free_slots_.size());
+    return audit_space_words(table_, elem_.size(), heap_, key_slot_.size(),
+                             arena_, free_slots_.size());
   }
 
   /// Incrementally tracked footprint: base + policy extras + space_words(),
@@ -411,6 +423,212 @@ class MinHashCore {
     if (tracked_space_words_ > peak_space_words_) {
       peak_space_words_ = tracked_space_words_;
     }
+  }
+
+  // ----------------------------------------------------------- persistence --
+  /// Serializes the complete core state — admission parameters, cutoff, slot
+  /// arrays, free list, flat key store or heap, table, and arena, plus the
+  /// incremental space counters (docs/FORMATS.md §3 'CORE'). Scratch buffers
+  /// are not state and are not written. load(save(S)) answers every query
+  /// (and tracked_space_words()) bit-for-bit like S and continues ingesting
+  /// identically.
+  void save(SnapshotWriter& writer) const {
+    writer.begin_section(snapshot_tag('C', 'O', 'R', 'E'));
+    writer.u64(degree_cap_);
+    writer.u64(edge_budget_);
+    snapshot_write_key(writer, infinite_key_);
+    snapshot_write_key(writer, cutoff_);
+    writer.u8(heap_built_ ? 1 : 0);
+    writer.u64(stored_edges_);
+    writer.u64(base_space_words_);
+    writer.u64(tracked_space_words_);
+    writer.u64(peak_space_words_);
+    writer.u64_array(elem_);
+    writer.u64(span_.size());
+    for (const EdgeArena::Span& span : span_) {
+      writer.u32(span.words[0]);
+      writer.u32(span.words[1]);
+      writer.u32(span.size);
+      writer.u8(span.spilled);
+      writer.u8(span.cap_log2);
+    }
+    writer.u32_array(free_slots_);
+    writer.u64(key_slot_.size());
+    for (const Key key : key_slot_) snapshot_write_key(writer, key);
+    table_.save(writer);
+    arena_.save(writer);
+    heap_.save(writer);
+    writer.end_section();
+  }
+
+  /// Restores a save()d core, replacing this one. The admission parameters
+  /// (degree cap, edge budget, infinite key) must match the constructed
+  /// core's — the owning sketch constructs itself from its saved params
+  /// first, so a mismatch means the snapshot pairs a core with the wrong
+  /// policy. Cross-checks every structural invariant (array parity, span
+  /// bounds, liveness vs. free list, table membership, stored-edge total,
+  /// tracked-vs-audit space) and fails the reader — returning false — on the
+  /// first violation. `set_bound` is the owning sketch's set universe size:
+  /// every stored SetId must be strictly below it (the checksum is not
+  /// cryptographic, and an out-of-range id would index past solver-side
+  /// arrays on the first query). `policy_space_words` is what the owning
+  /// sketch folded in via track_policy_space (e.g. the weighted sketch's
+  /// weight array), needed to reconcile the tracked counter with the audit
+  /// re-sum.
+  bool load(SnapshotReader& reader, SetId set_bound,
+            std::size_t policy_space_words = 0) {
+    if (!reader.begin_section(snapshot_tag('C', 'O', 'R', 'E'))) return false;
+    const std::uint64_t degree_cap = reader.u64();
+    const std::uint64_t edge_budget = reader.u64();
+    Key infinite_key{};
+    snapshot_read_key(reader, infinite_key);
+    if (!reader.ok()) return false;
+    if (degree_cap != degree_cap_ || edge_budget != edge_budget_ ||
+        infinite_key != infinite_key_) {
+      return reader.fail("minhash core: admission parameters disagree with "
+                         "the sketch's saved params");
+    }
+    Key cutoff{};
+    snapshot_read_key(reader, cutoff);
+    const bool heap_built = reader.u8() != 0;
+    const std::uint64_t stored_edges = reader.u64();
+    const std::uint64_t base_space = reader.u64();
+    const std::uint64_t tracked_space = reader.u64();
+    const std::uint64_t peak_space = reader.u64();
+    std::vector<ElemId> elem;
+    if (!reader.u64_array(elem, 1ull << 40)) return false;
+    const std::uint64_t span_count = reader.u64();
+    if (!reader.ok() || span_count != elem.size()) {
+      return reader.fail("minhash core: span/elem array size mismatch");
+    }
+    std::vector<EdgeArena::Span> span(static_cast<std::size_t>(span_count));
+    for (EdgeArena::Span& s : span) {
+      s.words[0] = reader.u32();
+      s.words[1] = reader.u32();
+      s.size = reader.u32();
+      s.spilled = reader.u8();
+      s.cap_log2 = reader.u8();
+    }
+    std::vector<std::uint32_t> free_slots;
+    if (!reader.u32_array(free_slots, elem.size())) return false;
+    const std::uint64_t key_count = reader.u64();
+    if (!reader.ok()) return false;
+    if (heap_built ? key_count != 0 : key_count != elem.size()) {
+      return reader.fail("minhash core: flat key store size inconsistent "
+                         "with heap state");
+    }
+    std::vector<Key> key_slot(static_cast<std::size_t>(key_count));
+    for (Key& key : key_slot) snapshot_read_key(reader, key);
+    FlatElemTable table;
+    EdgeArena arena;
+    SlotHeap<Key> heap;
+    // slab_claimed marks every slab word owned by a free block (filled by
+    // the arena) or a live span (claimed below): double ownership means a
+    // forged snapshot aliased two blocks, which a later insert would turn
+    // into silent cross-slot corruption.
+    std::vector<bool> slab_claimed;
+    if (!table.load(reader) || !arena.load(reader, &slab_claimed) ||
+        !heap.load(reader, /*max_tracked=*/elem.size())) {
+      return false;
+    }
+    if (!heap_built && heap.size() != 0) {
+      // Flat-key mode never consults the heap, so forged entries would slip
+      // every liveness check and surface later as a double-freed slot.
+      return reader.fail("minhash core: heap entries present in flat-key mode");
+    }
+    // Structural cross-checks over the loaded pieces.
+    std::uint64_t live = 0, edges = 0;
+    std::vector<bool> is_free(elem.size(), false);
+    for (const std::uint32_t slot : free_slots) {
+      if (slot >= elem.size() || is_free[slot]) {
+        return reader.fail("minhash core: free slot out of range or repeated");
+      }
+      is_free[slot] = true;
+    }
+    for (std::uint32_t slot = 0; slot < elem.size(); ++slot) {
+      const bool alive = heap_built
+                             ? heap.contains(slot)
+                             : key_slot[slot] != infinite_key_;
+      if (alive == is_free[slot]) {
+        return reader.fail("minhash core: liveness disagrees with free list");
+      }
+      const EdgeArena::Span& s = span[slot];
+      if (!alive) {
+        if (s.size != 0 || s.spilled != 0) {
+          return reader.fail("minhash core: dead slot still holds edges");
+        }
+        continue;
+      }
+      ++live;
+      edges += s.size;
+      // No retained key sits above the cutoff (admission requires strictly
+      // below and the cutoff only falls; equality can linger when one of
+      // two equal-key slots was evicted and the tie survivor stayed live).
+      // Written negated so NaN keys or a NaN cutoff in a forged weighted
+      // snapshot fail here instead of loading as silently-poisoned
+      // estimates (every NaN comparison is false, so the heap-order check
+      // alone cannot catch them).
+      const Key live_key = heap_built ? heap.key_of(slot) : key_slot[slot];
+      if (!(live_key <= cutoff)) {
+        return reader.fail("minhash core: retained key above the cutoff");
+      }
+      // cap_log2 must be range-checked BEFORE capacity() touches it — on a
+      // forged value the 1u << cap_log2 inside capacity() is UB.
+      if (s.spilled != 0 && s.cap_log2 > EdgeArena::kMaxClass) {
+        return reader.fail("minhash core: span size class out of range");
+      }
+      if (s.size > degree_cap_ || s.size > s.capacity() ||
+          (s.spilled != 0 &&
+           (s.words[0] >= arena.slab_size() ||
+            (1ull << s.cap_log2) > arena.slab_size() - s.words[0]))) {
+        return reader.fail("minhash core: span exceeds cap or slab bounds");
+      }
+      if (s.spilled != 0) {
+        for (std::uint64_t w = 0; w < (1ull << s.cap_log2); ++w) {
+          if (slab_claimed[s.words[0] + w]) {
+            return reader.fail("minhash core: span aliases another slab block");
+          }
+          slab_claimed[s.words[0] + w] = true;
+        }
+      }
+      for (const SetId set : arena.view(s)) {
+        if (set >= set_bound) {
+          return reader.fail("minhash core: stored set id outside the "
+                             "sketch's universe");
+        }
+      }
+      if (table.find(elem[slot]) != slot) {
+        return reader.fail("minhash core: table lookup disagrees with slot");
+      }
+    }
+    if (edges != stored_edges || live + free_slots.size() != elem.size() ||
+        table.size() != live) {
+      return reader.fail("minhash core: edge/liveness totals inconsistent");
+    }
+    // The tracked counter must equal the audit re-sum of the loaded pieces —
+    // the same invariant the batch equivalence tests fuzz at runtime.
+    const std::uint64_t audit =
+        audit_space_words(table, elem.size(), heap, key_slot.size(), arena,
+                          free_slots.size());
+    if (tracked_space != base_space + policy_space_words + audit ||
+        peak_space < tracked_space) {
+      return reader.fail("minhash core: space counters disagree with audit");
+    }
+    if (!reader.end_section()) return false;
+    cutoff_ = cutoff;
+    heap_built_ = heap_built;
+    stored_edges_ = static_cast<std::size_t>(stored_edges);
+    base_space_words_ = static_cast<std::size_t>(base_space);
+    tracked_space_words_ = static_cast<std::size_t>(tracked_space);
+    peak_space_words_ = static_cast<std::size_t>(peak_space);
+    elem_ = std::move(elem);
+    span_ = std::move(span);
+    free_slots_ = std::move(free_slots);
+    key_slot_ = std::move(key_slot);
+    table_ = std::move(table);
+    arena_ = std::move(arena);
+    heap_ = std::move(heap);
+    return true;
   }
 
  private:

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sketch/substrate/snapshot.hpp"
 #include "util/common.hpp"
 #include "util/space_meter.hpp"
 
@@ -77,6 +78,57 @@ class SlotHeap {
   /// pointer (half a word) per tracked slot.
   std::size_t space_words() const {
     return heap_.size() * 2 + words_for_u32(pos_.size());
+  }
+
+  /// Serializes the heap array in its exact internal order plus the tracked
+  /// slot range (docs/FORMATS.md §3 'HEAP'). Array order is preserved so a
+  /// loaded heap pops, sifts, and accounts space bit-for-bit like the saved
+  /// one; the back-pointer index is rebuilt from the entries, not stored.
+  void save(SnapshotWriter& writer) const {
+    writer.begin_section(snapshot_tag('H', 'E', 'A', 'P'));
+    writer.u64(pos_.size());
+    writer.u64(heap_.size());
+    for (const Entry& entry : heap_) {
+      snapshot_write_key(writer, entry.key);
+      writer.u32(entry.slot);
+    }
+    writer.end_section();
+  }
+
+  /// Restores a save()d heap, replacing this one. `max_tracked` is the
+  /// caller's bound on the slot range (the substrate's slot-array size —
+  /// back pointers are not payload-backed, so a forged count must be
+  /// rejected against it before the allocation). Validates slot range,
+  /// uniqueness, and the max-heap ordering invariant; fails the reader —
+  /// returning false — rather than accepting a malformed heap.
+  bool load(SnapshotReader& reader, std::uint64_t max_tracked) {
+    if (!reader.begin_section(snapshot_tag('H', 'E', 'A', 'P'))) return false;
+    const std::uint64_t tracked = reader.u64();
+    const std::uint64_t count = reader.u64();
+    if (!reader.ok()) return false;
+    if (tracked > max_tracked) {
+      return reader.fail("slot heap: tracked slot range exceeds the sketch's");
+    }
+    if (count > tracked) {
+      return reader.fail("slot heap: more entries than tracked slots");
+    }
+    std::vector<Entry> heap(static_cast<std::size_t>(count));
+    std::vector<std::uint32_t> pos(static_cast<std::size_t>(tracked), kNoPos);
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+      snapshot_read_key(reader, heap[i].key);
+      heap[i].slot = reader.u32();
+      if (!reader.ok()) return false;
+      if (heap[i].slot >= tracked || pos[heap[i].slot] != kNoPos) {
+        return reader.fail("slot heap: slot out of range or duplicated");
+      }
+      pos[heap[i].slot] = static_cast<std::uint32_t>(i);
+      if (i > 0 && heap[(i - 1) / 2] < heap[i]) {
+        return reader.fail("slot heap: max-heap ordering violated");
+      }
+    }
+    heap_ = std::move(heap);
+    pos_ = std::move(pos);
+    return reader.end_section();
   }
 
  private:

@@ -45,6 +45,23 @@ class EdgeStream {
   /// Total edges per pass, if known (0 if unknown).
   virtual std::size_t edges_per_pass() const = 0;
 
+  /// Resume positions (DESIGN.md §5.9): position() is an opaque token for
+  /// "everything before this point has been consumed this pass", stable
+  /// across process restarts against the same underlying data (an edge index
+  /// for VectorStream, a byte offset for the file streams). kNoPosition
+  /// means the backend cannot resume.
+  static constexpr std::uint64_t kNoPosition = ~0ULL;
+  virtual std::uint64_t position() const { return kNoPosition; }
+
+  /// Repositions the current pass so the next edge produced is the one
+  /// position() pointed at. Call after reset() (the pass count still counts
+  /// the resumed pass once). Returns false if the token is invalid for this
+  /// backend or data.
+  virtual bool seek(std::uint64_t position) {
+    (void)position;
+    return false;
+  }
+
   /// Number of passes started so far (== number of reset() calls).
   std::size_t passes_started() const { return passes_; }
 
@@ -81,6 +98,15 @@ class VectorStream final : public EdgeStream {
   }
 
   std::size_t edges_per_pass() const override { return edges_.size(); }
+
+  /// Resume token: the index of the next edge to deliver.
+  std::uint64_t position() const override { return cursor_; }
+
+  bool seek(std::uint64_t position) override {
+    if (position > edges_.size()) return false;
+    cursor_ = static_cast<std::size_t>(position);
+    return true;
+  }
 
   const std::vector<Edge>& edges() const { return edges_; }
 

@@ -107,6 +107,42 @@ bool TextFileStream::parse_next(Edge& edge) {
   }
 }
 
+std::uint64_t TextFileStream::position() const {
+  if (file_ == nullptr) return kNoPosition;
+  const long at = std::ftell(file_);
+  if (at < 0) return kNoPosition;
+  // The buffer holds [pos_, filled_) bytes read ahead of consumption.
+  return static_cast<std::uint64_t>(at) - (filled_ - pos_);
+}
+
+bool TextFileStream::seek(std::uint64_t position) {
+  if (file_ == nullptr) reset();
+  // fseek(SEEK_SET) past EOF "succeeds" on POSIX, so bound the token against
+  // the actual file size — a checkpoint paired with the wrong (shorter)
+  // input must be rejected here, not silently ingest zero edges. A valid
+  // token also lands on a line START (the byte before it is a newline):
+  // that is the text analogue of the binary stream's record-alignment
+  // check, and rejects most wrong-file pairings of sufficient length too.
+  if (std::fseek(file_, 0, SEEK_END) != 0) return false;
+  const long size = std::ftell(file_);
+  if (size < 0 || position > static_cast<std::uint64_t>(size)) return false;
+  // position == size is "pass already finished" — always a valid token (a
+  // stopped pass can checkpoint right at end of file, whose final line may
+  // lack the trailing newline the line-start probe below looks for).
+  if (position > 0 && position < static_cast<std::uint64_t>(size)) {
+    if (std::fseek(file_, static_cast<long>(position) - 1, SEEK_SET) != 0) {
+      return false;
+    }
+    if (std::fgetc(file_) != '\n') return false;
+  } else if (std::fseek(file_, static_cast<long>(position), SEEK_SET) != 0) {
+    return false;
+  }
+  pos_ = 0;
+  filled_ = 0;
+  eof_ = false;
+  return true;
+}
+
 bool TextFileStream::next(Edge& edge) { return parse_next(edge); }
 
 std::size_t TextFileStream::next_batch(Edge* out, std::size_t cap) {
@@ -142,6 +178,7 @@ void BinaryFileStream::reset() {
   if (buffer_.empty()) buffer_.resize(kBinaryBufferRecords * kBinaryRecordBytes);
   pos_ = 0;
   filled_ = 0;
+  dropped_tail_ = 0;
   note_pass();
 }
 
@@ -150,9 +187,44 @@ std::size_t BinaryFileStream::refill() {
   pos_ = 0;
   filled_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
   // A trailing partial record (truncated file) is dropped, matching the old
-  // per-field fread path which returned false mid-record.
+  // per-field fread path which returned false mid-record. The dropped bytes
+  // are already behind ftell, so remember them for position().
+  dropped_tail_ += filled_ % kBinaryRecordBytes;
   filled_ -= filled_ % kBinaryRecordBytes;
   return filled_ / kBinaryRecordBytes;
+}
+
+std::uint64_t BinaryFileStream::position() const {
+  if (file_ == nullptr) return kNoPosition;
+  const long at = std::ftell(file_);
+  if (at < 0) return kNoPosition;
+  // Unconsumed lookahead = buffered whole records plus any discarded
+  // partial tail (truncated file) — both are behind ftell but were never
+  // delivered, and the token must stay record-aligned.
+  return static_cast<std::uint64_t>(at) - (filled_ - pos_) - dropped_tail_;
+}
+
+bool BinaryFileStream::seek(std::uint64_t position) {
+  const std::uint64_t header = 16;  // magic + count
+  if (position < header || (position - header) % kBinaryRecordBytes != 0 ||
+      (position - header) / kBinaryRecordBytes > edges_) {
+    return false;
+  }
+  if (file_ == nullptr) reset();
+  // Also bound against the ACTUAL file size, not just the header's count —
+  // a truncated file (or a checkpoint paired with the wrong input) keeps
+  // its old count field, and fseek past EOF "succeeds" on POSIX, which
+  // would silently resume into nothing.
+  if (std::fseek(file_, 0, SEEK_END) != 0) return false;
+  const long size = std::ftell(file_);
+  if (size < 0 || position > static_cast<std::uint64_t>(size)) return false;
+  if (std::fseek(file_, static_cast<long>(position), SEEK_SET) != 0) {
+    return false;
+  }
+  pos_ = 0;
+  filled_ = 0;
+  dropped_tail_ = 0;
+  return true;
 }
 
 bool BinaryFileStream::next(Edge& edge) { return next_batch(&edge, 1) == 1; }

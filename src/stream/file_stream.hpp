@@ -37,6 +37,16 @@ class TextFileStream final : public EdgeStream {
   std::size_t next_batch(Edge* out, std::size_t cap) override;
   std::size_t edges_per_pass() const override { return 0; }  // unknown
 
+  /// Resume token: the byte offset of the first unconsumed line (the block
+  /// buffer's lookahead is subtracted out). Stable across restarts against
+  /// the same file.
+  std::uint64_t position() const override;
+
+  /// Reopens the pass at a byte offset previously returned by position().
+  /// The offset must point at a line start; a resumed pass counts malformed
+  /// lines from that point on only.
+  bool seek(std::uint64_t position) override;
+
   /// Lines that failed to parse during the current pass (reported, skipped).
   std::size_t malformed_lines() const { return malformed_; }
 
@@ -70,6 +80,14 @@ class BinaryFileStream final : public EdgeStream {
   std::size_t next_batch(Edge* out, std::size_t cap) override;
   std::size_t edges_per_pass() const override { return edges_; }
 
+  /// Resume token: the byte offset of the first unconsumed record (always
+  /// header + a whole number of 12-byte records).
+  std::uint64_t position() const override;
+
+  /// Reopens the pass at a record boundary previously returned by
+  /// position(). Rejects offsets inside the header or mid-record.
+  bool seek(std::uint64_t position) override;
+
  private:
   /// Refills the record buffer with one block fread. Returns records read.
   std::size_t refill();
@@ -80,6 +98,10 @@ class BinaryFileStream final : public EdgeStream {
   std::vector<unsigned char> buffer_;  // whole 12-byte records only
   std::size_t pos_ = 0;                // next unconsumed byte
   std::size_t filled_ = 0;             // valid bytes in buffer_
+  std::size_t dropped_tail_ = 0;       // partial-record bytes discarded by
+                                       // refill() (truncated file); already
+                                       // past ftell but never consumed, so
+                                       // position() must subtract them
 };
 
 /// Writes edges to the text format. Returns edges written.

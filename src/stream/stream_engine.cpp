@@ -14,14 +14,28 @@ StreamEngine::StreamEngine(EngineOptions options)
 StreamEngine::PassStats StreamEngine::run(EdgeStream& stream,
                                           const EdgeFilter& filter,
                                           const ChunkSink& sink) const {
+  return run_resumable(stream, filter, sink, nullptr);
+}
+
+StreamEngine::PassStats StreamEngine::run_resumable(
+    EdgeStream& stream, const EdgeFilter& filter, const ChunkSink& sink,
+    const ResumePoint* resume_from, const CheckpointOptions& checkpoint) const {
   stream.reset();
   PassStats stats;
+  if (resume_from != nullptr) {
+    // The resumed pass skips the consumed prefix and reports cumulatively,
+    // so downstream accounting matches an uninterrupted pass bit-for-bit.
+    COVSTREAM_CHECK(stream.seek(resume_from->stream_position));
+    stats.edges_read = static_cast<std::size_t>(resume_from->edges_read);
+    stats.edges_kept = static_cast<std::size_t>(resume_from->edges_kept);
+  }
   // One fixed buffer for the whole pass (2x batch: a filtered tail below one
   // batch plus a fresh full read); `len` tracks the logical fill so no
   // per-chunk resize/value-initialization lands on the hot path.
   const std::size_t cap = 2 * batch_;
   const std::unique_ptr<Edge[]> buffer(new Edge[cap]);
   std::size_t len = 0;
+  std::size_t chunks_delivered = 0;
   for (;;) {
     // len < batch_ here (a full chunk is always delivered below), so a whole
     // batch fits.
@@ -43,6 +57,25 @@ StreamEngine::PassStats StreamEngine::run(EdgeStream& stream,
       stats.edges_kept += len;
       sink(std::span<const Edge>(buffer.get(), len));
       len = 0;
+      ++chunks_delivered;
+      // A chunk boundary is the one spot where every edge read has been
+      // either filtered out or handed to the consumer, so the stream's
+      // position token captures the consumer state exactly. The end-of-pass
+      // boundary is skipped: the pass is finishing anyway, and the consumer
+      // saves its final state itself.
+      if (checkpoint.every_chunks > 0 && !end_of_pass &&
+          chunks_delivered % checkpoint.every_chunks == 0 &&
+          checkpoint.on_checkpoint) {
+        const std::uint64_t at = stream.position();
+        if (at != EdgeStream::kNoPosition) {
+          checkpoint.on_checkpoint(
+              ResumePoint{at, stats.edges_read, stats.edges_kept});
+        }
+      }
+      // Cooperative cancellation: chunk boundaries are also the one spot a
+      // pass can end early with the buffer empty, so the stream position is
+      // a valid resume token for finishing later.
+      if (checkpoint.stop_requested && checkpoint.stop_requested()) break;
     }
     if (end_of_pass) break;
   }

@@ -57,6 +57,30 @@ class StreamEngine {
     std::size_t edges_kept = 0;  // survived the filter
   };
 
+  /// Where a pass can be picked up again (DESIGN.md §5.9): the stream's
+  /// opaque resume token plus the cumulative stats at that point. Checkpoints
+  /// fire only at chunk boundaries, where the engine's buffer is empty — so
+  /// the token covers exactly the edges the consumer has absorbed.
+  struct ResumePoint {
+    std::uint64_t stream_position = 0;
+    std::uint64_t edges_read = 0;
+    std::uint64_t edges_kept = 0;
+  };
+
+  /// Periodic checkpointing for run_resumable: every `every_chunks` delivered
+  /// chunks, `on_checkpoint` receives the current ResumePoint (the consumer
+  /// snapshots its sketch there — the engine stays consumer-agnostic).
+  /// `stop_requested` (when set) is polled after every delivered chunk: a
+  /// true return ends the pass early at that boundary — the cooperative
+  /// cancellation the serve mode's `quit` uses. A stopped pass's stats cover
+  /// what was actually delivered, and the stream's position() at return is a
+  /// valid resume token for finishing the pass later.
+  struct CheckpointOptions {
+    std::size_t every_chunks = 0;  // 0 = never
+    std::function<void(const ResumePoint&)> on_checkpoint;
+    std::function<bool()> stop_requested;
+  };
+
   /// Consumer shard: receives (shard index, chunk of edges in arrival order).
   using ShardSink = std::function<void(std::size_t, std::span<const Edge>)>;
   /// Single-consumer sink: receives whole chunks in arrival order.
@@ -68,6 +92,33 @@ class StreamEngine {
   /// all run* calls do).
   PassStats run(EdgeStream& stream, const EdgeFilter& filter,
                 const ChunkSink& sink) const;
+
+  /// run() with crash-recovery hooks (DESIGN.md §5.9): when `resume_from` is
+  /// non-null the pass seeks past the already-consumed prefix (the stream
+  /// must support seek(); aborts otherwise — resuming on a backend that
+  /// cannot is a caller bug) and the returned stats are cumulative, so a
+  /// resumed pass reports exactly what an uninterrupted one would. When
+  /// `checkpoint.every_chunks` > 0, on_checkpoint fires at every Nth chunk
+  /// boundary with the point a future run can resume from. Consumer-visible
+  /// edge order is identical to run().
+  ///
+  /// The ResumePoint carries stream position and counters ONLY — a stateful
+  /// filter (Algorithm 6's covered-element mask) restarts empty on resume,
+  /// so checkpointed passes must use stateless filters (or none), or the
+  /// caller must persist and restore the filter's state alongside the
+  /// consumer's.
+  PassStats run_resumable(EdgeStream& stream, const EdgeFilter& filter,
+                          const ChunkSink& sink, const ResumePoint* resume_from,
+                          const CheckpointOptions& checkpoint) const;
+
+  /// Resume without periodic checkpointing (a nested class's defaulted
+  /// member initializers cannot serve as a default argument, hence the
+  /// overload instead of `= {}`).
+  PassStats run_resumable(EdgeStream& stream, const EdgeFilter& filter,
+                          const ChunkSink& sink,
+                          const ResumePoint* resume_from) const {
+    return run_resumable(stream, filter, sink, resume_from, CheckpointOptions());
+  }
 
   /// One pass fanned out to `shards` replicated consumers: each shard sees
   /// every surviving edge, in arrival order. One pool task per shard per

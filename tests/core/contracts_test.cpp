@@ -32,24 +32,28 @@ TEST(ContractsDeathTest, SketchRejectsOutOfRangeSetId) {
   EXPECT_DEATH(sketch.update({10, 0}), "set < params_.num_sets");
 }
 
+// The range rules live in one predicate (SketchParams::is_valid) shared by
+// the aborting validate() and the snapshot loader's fail-the-reader path,
+// so the abort message names the predicate, not the individual field.
+
 TEST(ContractsDeathTest, ParamsRejectZeroSets) {
   SketchParams params = valid_params();
   params.num_sets = 0;
-  EXPECT_DEATH(SubsampleSketch{params}, "num_sets > 0");
+  EXPECT_DEATH(SubsampleSketch{params}, "is_valid");
 }
 
 TEST(ContractsDeathTest, ParamsRejectBadEps) {
   SketchParams params = valid_params();
   params.eps = 0.0;
-  EXPECT_DEATH(SubsampleSketch{params}, "eps > 0");
+  EXPECT_DEATH(SubsampleSketch{params}, "is_valid");
   params.eps = 1.5;
-  EXPECT_DEATH(SubsampleSketch{params}, "eps <= 1");
+  EXPECT_DEATH(SubsampleSketch{params}, "is_valid");
 }
 
 TEST(ContractsDeathTest, ParamsRejectZeroExplicitBudget) {
   SketchParams params = valid_params();
   params.explicit_budget = 0;
-  EXPECT_DEATH(SubsampleSketch{params}, "explicit_budget > 0");
+  EXPECT_DEATH(SubsampleSketch{params}, "is_valid");
 }
 
 TEST(ContractsDeathTest, MergeRejectsMismatchedSeeds) {

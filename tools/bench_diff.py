@@ -5,11 +5,18 @@ Usage:
     ./build/update_time --benchmark_out=fresh.json --benchmark_out_format=json
     python3 tools/bench_diff.py fresh.json [--baseline BENCH_update_time.json]
         [--threshold 0.25]
+    python3 tools/bench_diff.py --doc [--baseline BENCH_update_time.json]
 
 Per benchmark family present in BOTH files, compares ns/op (real_time for
 per-op benchmarks, items_per_second inverted when available) and reports the
 relative change. Exits 1 if any family regressed by more than --threshold
 (default 25%); new or removed families are reported but never fail the run.
+
+--doc renders the baseline as the README's perf-table rows (markdown, ns per
+item for per-op families, MB/s for byte-throughput families such as the
+snapshot save/load benches) so the documented numbers are always emitted
+from the committed measurements instead of retyped — regenerate the README
+table with it whenever the baseline is refreshed.
 
 Refreshing the baseline: run update_time from a quiet machine (it writes
 BENCH_update_time.json in the working directory by default), eyeball the
@@ -53,13 +60,50 @@ def load_family_times(path):
     return times
 
 
+def load_byte_rates(path):
+    """name -> MB/s for families that report bytes_per_second."""
+    with open(path) as fh:
+        data = json.load(fh)
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("bytes_per_second")
+        if rate:
+            rates[bench["name"]] = rate / 1e6
+    return rates
+
+
+def emit_doc_rows(baseline):
+    """Print the README perf-table rows from the committed baseline."""
+    times = load_family_times(baseline)
+    rates = load_byte_rates(baseline)
+    print("| benchmark | measured |")
+    print("|---|---:|")
+    for name in sorted(times):
+        if name in rates:
+            print(f"| `{name}` | {rates[name]:.0f} MB/s |")
+        else:
+            print(f"| `{name}` | {times[name]:.1f} ns/item |")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="JSON from a fresh update_time run")
+    parser.add_argument("fresh", nargs="?",
+                        help="JSON from a fresh update_time run")
     parser.add_argument("--baseline", default="BENCH_update_time.json")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="relative regression that fails the run")
+    parser.add_argument("--doc", action="store_true",
+                        help="emit the README perf-table rows from the "
+                             "baseline and exit")
     args = parser.parse_args()
+
+    if args.doc:
+        return emit_doc_rows(args.baseline)
+    if args.fresh is None:
+        parser.error("fresh JSON required unless --doc is given")
 
     fresh = load_family_times(args.fresh)
     base = load_family_times(args.baseline)

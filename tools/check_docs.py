@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Markdown link-and-anchor checker for the repo's docs.
+
+Usage:
+    python3 tools/check_docs.py README.md DESIGN.md docs/*.md
+
+Checks, per file:
+  * relative links ([text](path) and [text](path#anchor)) resolve to a file
+    that exists (relative to the linking file's directory);
+  * #anchor fragments (same-file or cross-file) match a real heading, using
+    GitHub's slugification (lowercase, punctuation stripped, spaces to
+    hyphens, duplicate slugs suffixed -1, -2, ...);
+  * absolute http(s) links are reported but never checked (no network in CI).
+
+Exits 1 if any link is broken — CI runs this as a NON-blocking step (like
+bench_diff.py): the log keeps doc rot visible on every PR without letting a
+renamed heading block an unrelated change.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# [text](target) — excluding images' leading ! is unnecessary: image paths
+# should resolve too. Ignores inline code spans by stripping them first.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor slug for a heading text, uniquified against `seen`."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug not in seen:
+        seen[slug] = 0
+        return slug
+    seen[slug] += 1
+    return f"{slug}-{seen[slug]}"
+
+
+def collect_anchors(path):
+    anchors = set()
+    seen = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                anchors.add(github_slug(INLINE_CODE_RE.sub(
+                    lambda m: m.group(0).strip("`"), match.group(2)), seen))
+    return anchors
+
+
+def collect_links(path):
+    links = []
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for number, line in enumerate(fh, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(INLINE_CODE_RE.sub("", line)):
+                links.append((number, target))
+    return links
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    args = parser.parse_args()
+
+    anchor_cache = {}
+
+    def anchors_of(path):
+        if path not in anchor_cache:
+            anchor_cache[path] = collect_anchors(path)
+        return anchor_cache[path]
+
+    broken = []
+    checked = 0
+    for doc in args.files:
+        base = os.path.dirname(doc)
+        for line, target in collect_links(doc):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external; not checked offline
+            checked += 1
+            if target.startswith("#"):
+                file_part, anchor = doc, target[1:]
+            elif "#" in target:
+                rel, anchor = target.split("#", 1)
+                file_part = os.path.normpath(os.path.join(base, rel))
+            else:
+                file_part, anchor = os.path.normpath(
+                    os.path.join(base, target)), None
+            if not os.path.exists(file_part):
+                broken.append((doc, line, target, "file not found"))
+                continue
+            if anchor is not None:
+                if not file_part.endswith((".md", ".markdown")):
+                    continue  # anchors into non-markdown: not checkable
+                if anchor.lower() not in anchors_of(file_part):
+                    broken.append((doc, line, target, "anchor not found"))
+
+    print(f"checked {checked} relative links across {len(args.files)} files")
+    for doc, line, target, why in broken:
+        print(f"  BROKEN {doc}:{line}: ({target}) — {why}", file=sys.stderr)
+    if broken:
+        print(f"{len(broken)} broken link(s)", file=sys.stderr)
+        return 1
+    print("all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,25 +7,27 @@
 //   covstream_cli --cmd=outliers --input=g.bin --n=500 --lambda=0.1
 //   covstream_cli --cmd=setcover --input=g.bin --n=500 --m=100000 --rounds=3
 //   covstream_cli --cmd=convert  --input=g.bin --out=g.txt
+//   covstream_cli --cmd=ingest   --input=g.bin --n=500 --k=20 --out=g.snap
+//   covstream_cli --cmd=query    --snapshot=g.snap --sets=1,2,5
+//   covstream_cli --cmd=serve    --input=g.bin --n=500 --k=20   # stdin REPL
 //
-// Input files ending in .bin use the binary format of stream/file_stream.hpp;
-// anything else is treated as text ("<set> <elem>" per line).
-//
-// Every algorithm command accepts:
-//   --threads=N  fan consumer shards out over an N-thread pool (N=0, the
-//                default, runs serially; solutions and estimates are
-//                identical either way — DESIGN.md §5.7. kcover's space
-//                figures reflect the sharded build when threaded.)
-//   --batch=B    stream-engine chunk size in edges (0 = default, 32768)
+// The full flag reference lives in tools/covstream_help.hpp (printed by
+// --cmd=help and pinned by the golden help test).
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/setcover_multipass.hpp"
 #include "core/setcover_outliers.hpp"
 #include "core/streaming_kcover.hpp"
+#include "covstream_help.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/sketch_server.hpp"
+#include "sketch/substrate/snapshot.hpp"
 #include "stream/arrival_order.hpp"
 #include "stream/file_stream.hpp"
 #include "stream/stream_engine.hpp"
@@ -236,6 +238,292 @@ int cmd_setcover(CliArgs& args) {
   return result.covered_everything ? 0 : 1;
 }
 
+/// Parses "1,2,5" into set ids (empty string -> empty family). Set ids are
+/// user input, so rejection is a message, not an abort: nullopt on anything
+/// non-numeric or outside the sketch's [0, num_sets) universe.
+std::optional<std::vector<SetId>> parse_set_list(const std::string& text,
+                                                 SetId num_sets) {
+  std::vector<SetId> sets;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    std::size_t end = text.find(',', at);
+    if (end == std::string::npos) end = text.size();
+    if (end > at) {
+      const std::string token = text.substr(at, end - at);
+      char* rest = nullptr;
+      const unsigned long long id = std::strtoull(token.c_str(), &rest, 10);
+      if (rest == token.c_str() || *rest != '\0' || id >= num_sets) {
+        std::fprintf(stderr,
+                     "bad set id '%s' (sketch universe is [0, %u))\n",
+                     token.c_str(), num_sets);
+        return std::nullopt;
+      }
+      sets.push_back(static_cast<SetId>(id));
+    }
+    at = end + 1;
+  }
+  return sets;
+}
+
+/// Sketch params + resume state shared by ingest and serve: fresh runs take
+/// the sketch shape from the flags, resumed runs take it from the checkpoint
+/// (the flags cannot redefine a sketch that already exists).
+struct IngestSetup {
+  std::optional<IngestCheckpoint> checkpoint;
+  std::optional<SketchParams> fresh_params;
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 0;
+};
+
+/// A checkpoint's resume token is user input (it may pair a checkpoint with
+/// the wrong --input); probe it with a dry seek so mismatches exit with a
+/// message instead of tripping the engine's internal check.
+bool resume_token_fits(EdgeStream& stream, const IngestCheckpoint& checkpoint,
+                       const std::string& input) {
+  stream.reset();
+  if (stream.seek(checkpoint.resume.stream_position)) return true;
+  std::fprintf(stderr,
+               "checkpoint does not match %s: resume token rejected "
+               "(wrong file, or not the checkpoint's input?)\n",
+               input.c_str());
+  return false;
+}
+
+std::optional<IngestSetup> read_ingest_setup(CliArgs& args) {
+  IngestSetup setup;
+  const SetId n = static_cast<SetId>(args.get_size("n", 0));
+  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 10));
+  StreamingOptions options;
+  options.eps = args.get_double("eps", 0.15);
+  options.seed = args.get_size("seed", 1);
+  setup.checkpoint_path = args.get_string("checkpoint", "");
+  setup.checkpoint_every = args.get_size("checkpoint-every", 0);
+  const bool resume = args.get_bool("resume", false);
+  if (setup.checkpoint_every > 0 && setup.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--checkpoint-every needs --checkpoint=<path>\n");
+    return std::nullopt;
+  }
+  if (resume) {
+    if (setup.checkpoint_path.empty()) {
+      std::fprintf(stderr, "--resume needs --checkpoint=<path>\n");
+      return std::nullopt;
+    }
+    std::string error;
+    setup.checkpoint =
+        load_snapshot<IngestCheckpoint>(setup.checkpoint_path, &error);
+    if (!setup.checkpoint) {
+      std::fprintf(stderr, "cannot resume from %s: %s\n",
+                   setup.checkpoint_path.c_str(), error.c_str());
+      return std::nullopt;
+    }
+    std::printf("resuming from %s: %llu edges already ingested\n",
+                setup.checkpoint_path.c_str(),
+                static_cast<unsigned long long>(
+                    setup.checkpoint->resume.edges_kept));
+  } else {
+    if (n == 0) {
+      std::fprintf(stderr, "--n is required (unless resuming)\n");
+      return std::nullopt;
+    }
+    setup.fresh_params = options.sketch_params(n, k);
+  }
+  return setup;
+}
+
+int cmd_ingest(CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  const std::string out = args.get_string("out", "sketch.snap");
+  const std::size_t batch_edges = args.get_size("batch", 0);
+  std::optional<IngestSetup> setup = read_ingest_setup(args);
+  args.finish();
+  COVSTREAM_CHECK(!input.empty());
+  if (!setup) return 2;
+  // ingest only writes checkpoints on the periodic cadence (serve also
+  // writes on quit); a path with no cadence and no resume would silently
+  // provide zero crash protection, so reject it.
+  if (!setup->checkpoint && setup->checkpoint_every == 0 &&
+      !setup->checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint on ingest needs --checkpoint-every=N "
+                 "(or --resume to read one)\n");
+    return 2;
+  }
+
+  auto stream = open_stream(input);
+  if (setup->checkpoint && !resume_token_fits(*stream, *setup->checkpoint, input)) {
+    return 2;
+  }
+  Timer timer;
+  SubsampleSketch sketch = setup->checkpoint
+                               ? std::move(setup->checkpoint->sketch)
+                               : SubsampleSketch(*setup->fresh_params);
+  const StreamEngine engine({batch_edges, nullptr});
+  StreamEngine::CheckpointOptions durable;
+  durable.every_chunks = setup->checkpoint_every;
+  durable.on_checkpoint = [&](const StreamEngine::ResumePoint& point) {
+    std::string error;
+    if (!save_ingest_checkpoint(point, sketch, setup->checkpoint_path, &error)) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", error.c_str());
+    }
+  };
+  const StreamEngine::PassStats stats = engine.run_resumable(
+      *stream, {},
+      [&sketch](std::span<const Edge> chunk) { sketch.update_chunk(chunk); },
+      setup->checkpoint ? &setup->checkpoint->resume : nullptr, durable);
+  std::string error;
+  if (!save_snapshot(sketch, out, &error)) {
+    std::fprintf(stderr, "cannot save snapshot: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("ingested %zu edges -> %s\n", stats.edges_kept, out.c_str());
+  std::printf("  sketch     : %zu elements / %zu edges, p*=%.5f\n",
+              sketch.retained_elements(), sketch.stored_edges(),
+              sketch.p_star());
+  std::printf("  space      : %zu words peak, wall %.2fs\n",
+              sketch.peak_space_words(), timer.seconds());
+  return 0;
+}
+
+int cmd_query(CliArgs& args) {
+  const std::string path = args.get_string("snapshot", "");
+  const std::string sets_arg = args.get_string("sets", "");
+  args.finish();
+  COVSTREAM_CHECK(!path.empty());
+
+  // Accept either a bare sketch snapshot or an ingest checkpoint: read the
+  // file once and dispatch on the header's object type.
+  SnapshotReader reader = SnapshotReader::from_file(path);
+  std::optional<SubsampleSketch> sketch;
+  if (reader.ok()) {
+    if (reader.type() == SnapshotType::kSubsampleSketch) {
+      sketch = SubsampleSketch::load_snapshot(reader);
+    } else if (reader.type() == SnapshotType::kIngestCheckpoint) {
+      std::optional<IngestCheckpoint> checkpoint =
+          IngestCheckpoint::load_snapshot(reader);
+      if (checkpoint) sketch = std::move(checkpoint->sketch);
+    } else {
+      reader.fail("snapshot holds neither a sketch nor an ingest checkpoint");
+    }
+  }
+  if (sketch && !reader.at_end()) {
+    reader.fail("trailing bytes after the object payload");
+    sketch.reset();
+  }
+  if (!sketch || !reader.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                 reader.ok() ? "snapshot did not validate" : reader.error().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu elements / %zu edges, p*=%.5f, %zu words\n",
+              path.c_str(), sketch->retained_elements(), sketch->stored_edges(),
+              sketch->p_star(), sketch->space_words());
+  const std::optional<std::vector<SetId>> family =
+      parse_set_list(sets_arg, sketch->params().num_sets);
+  if (!family) return 2;
+  if (!family->empty()) {
+    std::printf("estimate(%zu sets) = %.1f\n", family->size(),
+                sketch->estimate_coverage(*family));
+  }
+  return 0;
+}
+
+int cmd_serve(CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  const std::size_t batch_edges = args.get_size("batch", 0);
+  const std::size_t snapshot_every = args.get_size("snapshot-every", 1);
+  std::optional<IngestSetup> setup = read_ingest_setup(args);
+  args.finish();
+  COVSTREAM_CHECK(!input.empty());
+  if (!setup) return 2;
+
+  SketchServer::Options options;
+  options.batch_edges = batch_edges;
+  options.snapshot_every_chunks = snapshot_every == 0 ? 1 : snapshot_every;
+  options.checkpoint_every_chunks = setup->checkpoint_every;
+  options.checkpoint_path = setup->checkpoint_path;
+  auto stream = open_stream(input);
+  if (setup->checkpoint && !resume_token_fits(*stream, *setup->checkpoint, input)) {
+    return 2;
+  }
+  std::optional<SketchServer> server;
+  if (setup->checkpoint) {
+    server.emplace(std::move(*setup->checkpoint), options);
+  } else {
+    server.emplace(*setup->fresh_params, options);
+  }
+  server->start(*stream);
+  std::printf("serving; commands: estimate <id,id,...> | stats | save <path> "
+              "| wait | quit\n");
+  std::fflush(stdout);
+
+  char line[4096];
+  while (std::fgets(line, sizeof line, stdin) != nullptr) {
+    std::string text(line);
+    // A line that fills the buffer without a newline was truncated by
+    // fgets; silently acting on the prefix could estimate the wrong family
+    // (a split set id is often still a valid id). Reject it and drain the
+    // remainder so the tail is not parsed as bogus follow-up commands.
+    if (!text.empty() && text.back() != '\n' && !std::feof(stdin)) {
+      int drained;
+      while ((drained = std::fgetc(stdin)) != EOF && drained != '\n') {
+      }
+      std::printf("command too long (max %zu bytes); ignored\n",
+                  sizeof line - 2);
+      std::fflush(stdout);
+      continue;
+    }
+    while (!text.empty() && (text.back() == '\n' || text.back() == '\r')) {
+      text.pop_back();
+    }
+    const std::shared_ptr<const SubsampleSketch> snapshot = server->snapshot();
+    if (text == "quit") break;
+    if (text == "wait") {
+      const StreamEngine::PassStats stats = server->wait();
+      std::printf("ingest done: %zu edges\n", stats.edges_kept);
+    } else if (text == "stats") {
+      const StreamEngine::PassStats stats = server->stats();
+      std::printf("ingested %zu edges, %s; snapshot: ", stats.edges_kept,
+                  server->ingesting() ? "ingesting" : "done");
+      if (snapshot == nullptr) {
+        std::printf("none yet\n");
+      } else {
+        std::printf("%zu elements / %zu edges, p*=%.5f\n",
+                    snapshot->retained_elements(), snapshot->stored_edges(),
+                    snapshot->p_star());
+      }
+    } else if (text.rfind("estimate ", 0) == 0) {
+      if (snapshot == nullptr) {
+        std::printf("no snapshot yet\n");
+      } else {
+        const std::optional<std::vector<SetId>> family =
+            parse_set_list(text.substr(9), snapshot->params().num_sets);
+        if (family) {
+          std::printf("estimate = %.1f\n", snapshot->estimate_coverage(*family));
+        }  // bad ids: parse_set_list already printed why; keep serving
+      }
+    } else if (text.rfind("save ", 0) == 0) {
+      std::string error;
+      if (snapshot == nullptr) {
+        std::printf("no snapshot yet\n");
+      } else if (save_snapshot(*snapshot, text.substr(5), &error)) {
+        std::printf("saved %s\n", text.substr(5).c_str());
+      } else {
+        std::printf("save failed: %s\n", error.c_str());
+      }
+    } else if (!text.empty()) {
+      std::printf("unknown command: %s\n", text.c_str());
+    }
+    std::fflush(stdout);
+  }
+  // quit / EOF: end the pass at the next chunk boundary instead of draining
+  // a possibly huge stream (a configured --checkpoint gets a final write, so
+  // --resume finishes the remainder later). `wait` above drains fully.
+  server->stop();
+  const StreamEngine::PassStats stats = server->wait();
+  std::printf("bye (%zu edges ingested)\n", stats.edges_kept);
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   CliArgs args(argc, argv);
   const std::string cmd = args.get_string("cmd", "help");
@@ -245,10 +533,10 @@ int dispatch(int argc, char** argv) {
   if (cmd == "kcover") return cmd_kcover(args);
   if (cmd == "outliers") return cmd_outliers(args);
   if (cmd == "setcover") return cmd_setcover(args);
-  std::printf(
-      "usage: covstream_cli --cmd=<generate|stats|convert|kcover|outliers|"
-      "setcover> [options]\nsee the header comment of tools/covstream_cli.cpp "
-      "for examples\n");
+  if (cmd == "ingest") return cmd_ingest(args);
+  if (cmd == "query") return cmd_query(args);
+  if (cmd == "serve") return cmd_serve(args);
+  std::fputs(cli_help_text(), stdout);
   return cmd == "help" ? 0 : 2;
 }
 

@@ -1,0 +1,64 @@
+// The covstream_cli help text, in one place.
+//
+// The CLI prints exactly this string for --cmd=help (and unknown commands),
+// and tests/tools/cli_help_test.cpp pins it as a golden: every flag a
+// command reads must appear here, and every flag documented here must be
+// read by the command — editing one side without the other fails the test.
+// Keeping the text in a header (not the tool's .cpp) is what lets the test
+// link it without spawning the binary.
+#pragma once
+
+namespace covstream {
+
+inline const char* cli_help_text() {
+  return
+      "covstream_cli — streaming coverage algorithms over edge files\n"
+      "usage: covstream_cli --cmd=<command> [--key=value ...]\n"
+      "\n"
+      "workload & file commands:\n"
+      "  generate   write a synthetic edge file\n"
+      "             --family=uniform|zipf|planted-kcover|planted-setcover|communities\n"
+      "             --n --m --seed --out --order=random|set|round-robin|elem\n"
+      "             family knobs: --set_size --min_size --max_size --alpha_sets\n"
+      "             --alpha_elems --k --kstar --block --decoy --groups --cross\n"
+      "  stats      scan an edge file: edge count, max set/element ids\n"
+      "             --input\n"
+      "  convert    rewrite an edge file between text and binary\n"
+      "             --input --out\n"
+      "\n"
+      "algorithm commands (single process, one pass unless noted):\n"
+      "  kcover     streaming max-k-cover, Algorithm 3\n"
+      "             --input --n --k --eps --seed --threads --batch\n"
+      "  outliers   streaming set cover with outliers, Algorithm 5\n"
+      "             --input --n --eps --lambda --seed --threads --batch\n"
+      "  setcover   multipass streaming set cover, Algorithm 6\n"
+      "             --input --n --m --rounds --eps --merge_mark --seed\n"
+      "             --threads --batch\n"
+      "\n"
+      "persistence & serving commands (DESIGN.md §5.9, docs/FORMATS.md):\n"
+      "  ingest     build an H<=n sketch and save it as a snapshot file\n"
+      "             --input --n --k --eps --seed --batch --out\n"
+      "             --checkpoint --checkpoint-every --resume\n"
+      "             (--checkpoint-every=N writes a durable checkpoint every N\n"
+      "             chunks; --resume continues from --checkpoint, taking the\n"
+      "             sketch parameters from the checkpoint, not the flags)\n"
+      "  query      answer coverage queries from a sketch or checkpoint snapshot\n"
+      "             --snapshot --sets=<id,id,...>\n"
+      "  serve      ingest in the background while answering queries from\n"
+      "             immutable snapshot handles; commands on stdin:\n"
+      "             estimate <id,id,...> | stats | save <path> | wait | quit\n"
+      "             --input --n --k --eps --seed --batch --snapshot-every\n"
+      "             --checkpoint --checkpoint-every --resume\n"
+      "\n"
+      "shared flags on every algorithm command:\n"
+      "  --threads=N  fan consumer shards out over an N-thread pool (0 = the\n"
+      "               default, serial; solutions and estimates are identical\n"
+      "               either way — DESIGN.md §5.7)\n"
+      "  --batch=B    stream-engine chunk size in edges (0 = default, 32768)\n"
+      "\n"
+      "input files ending in .bin use the binary edge format of\n"
+      "stream/file_stream.hpp; anything else is parsed as text\n"
+      "(\"<set> <elem>\" per line). Unknown flags abort with a message.\n";
+}
+
+}  // namespace covstream
