@@ -1,0 +1,166 @@
+// [solve-time] Post-sketch solve cost (DESIGN.md §5.10): once sketches are
+// subsampled small, end-to-end time is dominated by the greedy solve —
+// McGregor–Vu (arXiv:1610.06199) and Jaud–Wirth–Choudhury (arXiv:2302.06137)
+// both report greedy as the post-stream bottleneck. This bench pins the
+// solver engine's two strategies against a verbatim copy of the seed-era
+// std::priority_queue greedy on dense / sparse / Zipf views; all three
+// produce identical solutions (the equivalence suite asserts it), so the
+// ns/edge ratio is pure engine speedup. Timing includes Solver construction
+// (the decremental strategy pays its inverted-CSR build inside the loop).
+//
+// Results are written to BENCH_solve_time.json (google-benchmark JSON)
+// unless --benchmark_out is given; tools/bench_diff.py --baseline
+// BENCH_solve_time.json tracks the trajectory in CI.
+#include <benchmark/benchmark.h>
+
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "benchmark_json_main.hpp"
+#include "core/subsample_sketch.hpp"
+#include "solve/solver.hpp"
+#include "util/bitvec.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+/// Lays an offline instance out as a solver view (dense ElemId == slot),
+/// the same shape every sketch view has.
+SketchView view_of(const CoverageInstance& graph) {
+  SketchView view;
+  view.num_sets = graph.num_sets();
+  view.num_retained = static_cast<std::size_t>(graph.num_elems());
+  view.p_star = 1.0;
+  view.set_offsets.assign(view.num_sets + 1, 0);
+  for (SetId s = 0; s < view.num_sets; ++s) {
+    view.set_offsets[s + 1] = view.set_offsets[s] + graph.set_size(s);
+  }
+  view.set_slots.reserve(view.set_offsets.back());
+  for (SetId s = 0; s < view.num_sets; ++s) {
+    for (const ElemId e : graph.elements_of(s)) {
+      view.set_slots.push_back(static_cast<std::uint32_t>(e));
+    }
+  }
+  return view;
+}
+
+/// dense: heavy overlap — the stale-heap regime where the seed greedy
+/// rescans long slot lists over and over. sparse: little overlap. zipf:
+/// skewed set sizes and element popularity.
+SketchView fixture_view(const std::string& family) {
+  if (family == "dense") {
+    return view_of(make_uniform(400, 4000, 600, 11).graph);
+  }
+  if (family == "sparse") {
+    return view_of(make_uniform(400, 50000, 40, 12).graph);
+  }
+  return view_of(
+      make_zipf(400, 20000, 10, 500, 0.8, 1.1, 13).graph);
+}
+
+/// The pre-refactor greedy_impl, verbatim — the baseline all speedups are
+/// measured against (full greedy cover: max_sets = n, target = everything).
+std::size_t seed_reference_solve(const SketchView& view) {
+  BitVec covered(view.num_retained);
+  std::priority_queue<std::pair<std::size_t, SetId>> heap;
+  for (SetId s = 0; s < view.num_sets; ++s) {
+    const std::size_t degree = view.slots_of(s).size();
+    if (degree > 0) heap.emplace(degree, s);
+  }
+  auto current_gain = [&](SetId s) {
+    std::size_t gain = 0;
+    for (const std::uint32_t slot : view.slots_of(s)) {
+      if (!covered.test(slot)) ++gain;
+    }
+    return gain;
+  };
+  std::size_t picked = 0, covered_count = 0;
+  while (picked < view.num_sets && covered_count < view.num_retained &&
+         !heap.empty()) {
+    const auto [cached, set] = heap.top();
+    heap.pop();
+    const std::size_t gain = current_gain(set);
+    if (gain == 0) continue;
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.emplace(gain, set);
+      continue;
+    }
+    for (const std::uint32_t slot : view.slots_of(set)) {
+      if (covered.set_if_clear(slot)) ++covered_count;
+    }
+    ++picked;
+  }
+  return covered_count;
+}
+
+void BM_GreedySeedReference(benchmark::State& state, const char* family) {
+  const SketchView view = fixture_view(family);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seed_reference_solve(view));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * view.num_edges()));
+}
+
+void BM_GreedyLazyHeap(benchmark::State& state, const char* family) {
+  const SketchView view = fixture_view(family);
+  for (auto _ : state) {
+    Solver solver(view);
+    benchmark::DoNotOptimize(
+        solver.cover_target(view.num_sets, view.num_retained,
+                            GreedyStrategy::kLazyHeap)
+            .covered);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * view.num_edges()));
+}
+
+void BM_GreedyDecremental(benchmark::State& state, const char* family) {
+  const SketchView view = fixture_view(family);
+  for (auto _ : state) {
+    Solver solver(view);  // pays the inverted-CSR build every iteration
+    benchmark::DoNotOptimize(
+        solver.cover_target(view.num_sets, view.num_retained,
+                            GreedyStrategy::kDecremental)
+            .covered);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * view.num_edges()));
+}
+
+/// The serve regime: one warm Solver answering many solve queries (scratch
+/// and inverted CSR reused across solves).
+void BM_GreedyDecrementalWarm(benchmark::State& state, const char* family) {
+  const SketchView view = fixture_view(family);
+  Solver solver(view);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.cover_target(view.num_sets, view.num_retained,
+                            GreedyStrategy::kDecremental)
+            .covered);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * view.num_edges()));
+}
+
+BENCHMARK_CAPTURE(BM_GreedySeedReference, dense, "dense");
+BENCHMARK_CAPTURE(BM_GreedySeedReference, sparse, "sparse");
+BENCHMARK_CAPTURE(BM_GreedySeedReference, zipf, "zipf");
+BENCHMARK_CAPTURE(BM_GreedyLazyHeap, dense, "dense");
+BENCHMARK_CAPTURE(BM_GreedyLazyHeap, sparse, "sparse");
+BENCHMARK_CAPTURE(BM_GreedyLazyHeap, zipf, "zipf");
+BENCHMARK_CAPTURE(BM_GreedyDecremental, dense, "dense");
+BENCHMARK_CAPTURE(BM_GreedyDecremental, sparse, "sparse");
+BENCHMARK_CAPTURE(BM_GreedyDecremental, zipf, "zipf");
+BENCHMARK_CAPTURE(BM_GreedyDecrementalWarm, dense, "dense");
+
+}  // namespace
+}  // namespace covstream
+
+int main(int argc, char** argv) {
+  return covstream::bench::run_benchmark_json_main(argc, argv,
+                                                   "BENCH_solve_time.json");
+}

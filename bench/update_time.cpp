@@ -10,9 +10,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
+
+#include "benchmark_json_main.hpp"
 
 #include "core/greedy_on_sketch.hpp"
 #include "core/sketch_ladder.hpp"
@@ -583,24 +584,6 @@ BENCHMARK(BM_SnapshotLoad);
 }  // namespace covstream
 
 int main(int argc, char** argv) {
-  // Emit machine-readable results by default (BENCH_update_time.json) so the
-  // perf trajectory is tracked PR over PR; explicit --benchmark_out wins.
-  std::vector<char*> args(argv, argv + argc);
-  char out_flag[] = "--benchmark_out=BENCH_update_time.json";
-  char fmt_flag[] = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    // Note "--benchmark_out_format" alone must NOT suppress the default path.
-    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
-  }
-  if (!has_out) {
-    args.push_back(out_flag);
-    args.push_back(fmt_flag);
-  }
-  int count = static_cast<int>(args.size());
-  benchmark::Initialize(&count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return covstream::bench::run_benchmark_json_main(argc, argv,
+                                                   "BENCH_update_time.json");
 }

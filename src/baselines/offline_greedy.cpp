@@ -1,45 +1,24 @@
 #include "baselines/offline_greedy.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <utility>
 
-#include "util/bitvec.hpp"
+#include "solve/solver.hpp"
 
 namespace covstream {
 namespace {
 
+/// Offline greedy through the shared solver engine (DESIGN.md §5.10): dense
+/// element ids double as slots, so the instance's CSR solves exactly like a
+/// sketch view — same tie-breaks, same results as the seed-era private loop.
 OfflineGreedyResult greedy_impl(const CoverageInstance& instance,
                                 std::size_t max_sets, std::size_t target_covered) {
+  Solver solver = Solver::from_instance(instance);
+  GreedyResult greedy = solver.cover_target(max_sets, target_covered);
   OfflineGreedyResult result;
-  BitVec covered(instance.num_elems());
-  std::priority_queue<std::pair<std::size_t, SetId>> heap;
-  for (SetId s = 0; s < instance.num_sets(); ++s) {
-    const std::size_t size = instance.set_size(s);
-    if (size > 0) heap.emplace(size, s);
-  }
-  auto current_gain = [&](SetId s) {
-    std::size_t gain = 0;
-    for (const ElemId e : instance.elements_of(s)) {
-      if (!covered.test(e)) ++gain;
-    }
-    return gain;
-  };
-  while (result.solution.size() < max_sets && result.covered < target_covered &&
-         !heap.empty()) {
-    const auto [cached, set] = heap.top();
-    heap.pop();
-    const std::size_t gain = current_gain(set);
-    if (gain == 0) continue;
-    if (!heap.empty() && gain < heap.top().first) {
-      heap.emplace(gain, set);
-      continue;
-    }
-    for (const ElemId e : instance.elements_of(set)) {
-      if (covered.set_if_clear(e)) ++result.covered;
-    }
-    result.solution.push_back(set);
-    result.marginal_gains.push_back(gain);
-  }
+  result.solution = std::move(greedy.solution);
+  result.marginal_gains = std::move(greedy.marginal_gains);
+  result.covered = greedy.covered;
   return result;
 }
 

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
+#include "solve/cover_tracker.hpp"
 #include "stream/stream_engine.hpp"
-#include "util/bitvec.hpp"
 
 namespace covstream {
 
@@ -12,16 +13,8 @@ ProgressiveResult progressive_setcover(EdgeStream& stream, SetId num_sets,
                                        ElemId num_elems, std::size_t passes) {
   COVSTREAM_CHECK(passes >= 1);
   ProgressiveResult result;
-  BitVec covered(num_elems);
+  CoverTracker covered(num_elems);
   std::vector<bool> chosen(num_sets, false);
-  std::size_t covered_count = 0;
-  const std::size_t coverable = [&] {
-    // One fact the algorithm is allowed to know: m. Elements of degree zero
-    // cannot be covered; the stream never mentions them, so "everything" is
-    // measured against what streams by.
-    return num_elems;
-  }();
-  (void)coverable;
 
   const double p = static_cast<double>(passes);
   for (std::size_t pass = 1; pass <= passes; ++pass) {
@@ -36,14 +29,9 @@ ProgressiveResult progressive_setcover(EdgeStream& stream, SetId num_sets,
       if (current == kInvalidSet || chosen[current]) return;
       std::sort(buffer.begin(), buffer.end());
       buffer.erase(std::unique(buffer.begin(), buffer.end()), buffer.end());
-      std::size_t gain = 0;
-      for (const ElemId e : buffer) {
-        if (!covered.test(e)) ++gain;
-      }
-      if (gain >= tau) {
-        for (const ElemId e : buffer) {
-          if (covered.set_if_clear(e)) ++covered_count;
-        }
+      const std::span<const ElemId> elems = buffer;
+      if (covered.gain_of(elems) >= tau) {
+        covered.commit(elems);
         chosen[current] = true;
         result.solution.push_back(current);
       }
@@ -63,7 +51,7 @@ ProgressiveResult progressive_setcover(EdgeStream& stream, SetId num_sets,
     consider();
   }
 
-  result.covered = covered_count;
+  result.covered = covered.covered();
   // The final pass runs with tau = 1: any arriving set with positive gain is
   // admitted, so every element that appears on the stream ends up covered.
   result.covered_everything = true;

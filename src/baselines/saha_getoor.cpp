@@ -1,8 +1,10 @@
 #include "baselines/saha_getoor.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_set>
 
+#include "solve/cover_tracker.hpp"
 #include "stream/stream_engine.hpp"
 
 namespace covstream {
@@ -15,9 +17,9 @@ struct Kept {
 
 class SwapState {
  public:
-  SwapState(ElemId num_elems, std::uint32_t k) : k_(k), cover_count_(num_elems, 0) {}
+  SwapState(ElemId num_elems, std::uint32_t k) : k_(k), cover_(num_elems) {}
 
-  std::size_t covered() const { return covered_; }
+  std::size_t covered() const { return cover_.covered(); }
   std::size_t swaps() const { return swaps_; }
 
   const std::vector<Kept>& kept() const { return kept_; }
@@ -30,29 +32,28 @@ class SwapState {
       return;
     }
     // Gain of adding the new set on top of the current solution.
-    std::size_t gain = 0;
-    for (const ElemId e : elems) {
-      if (cover_count_[e] == 0) ++gain;
-    }
+    const std::size_t gain = cover_.gain_of(std::span<const ElemId>(elems));
     if (gain == 0) return;
     // Best achievable coverage when replacing each kept set T:
     // C' = C - unique(T) + gain + |elems ∩ unique(T)|.
-    std::size_t best_after = covered_;  // must strictly improve
+    std::size_t best_after = covered();  // must strictly improve
     std::size_t best_index = kept_.size();
     for (std::size_t i = 0; i < kept_.size(); ++i) {
-      const std::size_t unique_t = unique_count(kept_[i]);
+      const std::size_t unique_t =
+          cover_.unique_count(std::span<const ElemId>(kept_[i].elems));
       std::size_t regained = 0;
       for (const ElemId e : elems) {
-        if (cover_count_[e] == 1 && contains(kept_[i], e)) ++regained;
+        if (cover_.uniquely_covered(e) && contains(kept_[i], e)) ++regained;
       }
-      const std::size_t after = covered_ - unique_t + gain + regained;
+      const std::size_t after = covered() - unique_t + gain + regained;
       if (after > best_after) {
         best_after = after;
         best_index = i;
       }
     }
     // Swap threshold C/(2k): the improvement that yields the 1/4 guarantee.
-    const std::size_t threshold = covered_ + std::max<std::size_t>(1, covered_ / (2 * k_));
+    const std::size_t threshold =
+        covered() + std::max<std::size_t>(1, covered() / (2 * k_));
     if (best_index < kept_.size() && best_after >= threshold) {
       remove(best_index);
       add(Kept{id, std::move(elems)});
@@ -64,7 +65,7 @@ class SwapState {
   std::size_t space_words() const {
     std::size_t stored = 0;
     for (const Kept& kept : kept_) stored += kept.elems.size();
-    return cover_count_.size() / 8 + stored + 4;
+    return cover_.space_words() + stored + 4;
   }
 
  private:
@@ -72,32 +73,19 @@ class SwapState {
     return std::binary_search(kept.elems.begin(), kept.elems.end(), e);
   }
 
-  std::size_t unique_count(const Kept& kept) const {
-    std::size_t unique = 0;
-    for (const ElemId e : kept.elems) {
-      if (cover_count_[e] == 1) ++unique;
-    }
-    return unique;
-  }
-
   void add(Kept kept) {
-    for (const ElemId e : kept.elems) {
-      if (cover_count_[e]++ == 0) ++covered_;
-    }
+    cover_.add_all(std::span<const ElemId>(kept.elems));
     kept_.push_back(std::move(kept));
   }
 
   void remove(std::size_t index) {
-    for (const ElemId e : kept_[index].elems) {
-      if (--cover_count_[e] == 0) --covered_;
-    }
+    cover_.remove_all(std::span<const ElemId>(kept_[index].elems));
     kept_.erase(kept_.begin() + static_cast<std::ptrdiff_t>(index));
   }
 
   std::uint32_t k_;
-  std::vector<std::uint8_t> cover_count_;  // how many kept sets contain e
+  MultiCoverTracker cover_;  // how many kept sets contain each element
   std::vector<Kept> kept_;
-  std::size_t covered_ = 0;
   std::size_t swaps_ = 0;
 };
 

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <span>
 #include <unordered_set>
 
+#include "solve/cover_tracker.hpp"
 #include "stream/stream_engine.hpp"
-#include "util/bitvec.hpp"
 
 namespace covstream {
 namespace {
@@ -14,8 +15,7 @@ namespace {
 struct Guess {
   double value = 0.0;  // the OPT guess v
   std::vector<SetId> solution;
-  BitVec covered;
-  std::size_t covered_count = 0;
+  CoverTracker covered;
 };
 
 }  // namespace
@@ -59,19 +59,15 @@ SieveResult sieve_streaming_kcover(EdgeStream& stream, SetId num_sets,
     elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
     max_singleton = std::max(max_singleton, static_cast<double>(elems.size()));
     sync_guesses();
+    const std::span<const ElemId> span = elems;
     for (auto& [j, guess] : guesses) {
       if (guess.solution.size() >= k) continue;
-      std::size_t gain = 0;
-      for (const ElemId e : elems) {
-        if (!guess.covered.test(e)) ++gain;
-      }
+      const std::size_t gain = guess.covered.gain_of(span);
       const double needed = (guess.value / 2.0 -
-                             static_cast<double>(guess.covered_count)) /
+                             static_cast<double>(guess.covered.covered())) /
                             static_cast<double>(k - guess.solution.size());
       if (static_cast<double>(gain) >= needed) {
-        for (const ElemId e : elems) {
-          if (guess.covered.set_if_clear(e)) ++guess.covered_count;
-        }
+        guess.covered.commit(span);
         guess.solution.push_back(id);
       }
     }
@@ -101,11 +97,13 @@ SieveResult sieve_streaming_kcover(EdgeStream& stream, SetId num_sets,
 
   const Guess* best = nullptr;
   for (const auto& [j, guess] : guesses) {
-    if (best == nullptr || guess.covered_count > best->covered_count) best = &guess;
+    if (best == nullptr || guess.covered.covered() > best->covered.covered()) {
+      best = &guess;
+    }
   }
   if (best != nullptr) {
     result.solution = best->solution;
-    result.covered = best->covered_count;
+    result.covered = best->covered.covered();
   }
   result.active_guesses = guesses.size();
   result.space_words = peak_words;

@@ -1,63 +1,16 @@
 #include "core/greedy_on_sketch.hpp"
 
-#include <queue>
-
-#include "util/bitvec.hpp"
-
 namespace covstream {
-namespace {
-
-GreedyResult greedy_impl(const SketchView& view, std::size_t max_sets,
-                         std::size_t target_covered) {
-  GreedyResult result;
-  if (max_sets == 0 || view.num_sets == 0) return result;
-
-  BitVec covered(view.num_retained);
-  // Max-heap of (cached gain, set). Cached gains only overestimate (coverage
-  // is submodular), so popping, recomputing, and reinserting is sound.
-  std::priority_queue<std::pair<std::size_t, SetId>> heap;
-  for (SetId s = 0; s < view.num_sets; ++s) {
-    const std::size_t degree = view.slots_of(s).size();
-    if (degree > 0) heap.emplace(degree, s);
-  }
-
-  auto current_gain = [&](SetId s) {
-    std::size_t gain = 0;
-    for (const std::uint32_t slot : view.slots_of(s)) {
-      if (!covered.test(slot)) ++gain;
-    }
-    return gain;
-  };
-
-  while (result.solution.size() < max_sets && result.covered < target_covered &&
-         !heap.empty()) {
-    const auto [cached, set] = heap.top();
-    heap.pop();
-    const std::size_t gain = current_gain(set);
-    if (gain == 0) continue;  // fully covered; stale entries below are too
-    if (!heap.empty() && gain < heap.top().first) {
-      heap.emplace(gain, set);  // stale; requeue with the fresh gain
-      continue;
-    }
-    // `set` is (one of) the best; take it.
-    for (const std::uint32_t slot : view.slots_of(set)) {
-      if (covered.set_if_clear(slot)) ++result.covered;
-    }
-    result.solution.push_back(set);
-    result.marginal_gains.push_back(gain);
-  }
-  return result;
-}
-
-}  // namespace
 
 GreedyResult greedy_max_cover(const SketchView& view, std::uint32_t k) {
-  return greedy_impl(view, k, view.num_retained == 0 ? 1 : view.num_retained);
+  Solver solver(view);
+  return solver.max_cover(k);
 }
 
 GreedyResult greedy_cover_target(const SketchView& view, std::size_t max_sets,
                                  std::size_t target_covered) {
-  return greedy_impl(view, max_sets, target_covered);
+  Solver solver(view);
+  return solver.cover_target(max_sets, target_covered);
 }
 
 }  // namespace covstream

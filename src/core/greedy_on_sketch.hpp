@@ -1,29 +1,19 @@
-// Lazy greedy over a SketchView. This is "the greedy algorithm" every
+// Greedy over a SketchView — thin wrappers over the shared solver engine
+// (src/solve/, DESIGN.md §5.10). This is "the greedy algorithm" every
 // streaming algorithm in Section 3 runs on the sketch: the classic
-// Nemhauser–Wolsey–Fisher 1-1/e greedy, implemented with lazy marginal-gain
-// evaluation (valid by submodularity of coverage), so large sketches solve in
-// near-linear time.
+// Nemhauser–Wolsey–Fisher 1-1/e greedy. GreedyResult and the strategy
+// machinery live in solve/greedy_engine.hpp; callers that solve repeatedly
+// (or want strategy/pool control) should hold a Solver instead of calling
+// these one-shot helpers.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "core/subsample_sketch.hpp"
+#include "solve/solver.hpp"
 #include "util/common.hpp"
 
 namespace covstream {
-
-struct GreedyResult {
-  std::vector<SetId> solution;             // in pick order
-  std::vector<std::size_t> marginal_gains; // retained elements gained per pick
-  std::size_t covered = 0;                 // retained elements covered at end
-
-  double cover_fraction(std::size_t num_retained) const {
-    return num_retained == 0
-               ? 1.0
-               : static_cast<double>(covered) / static_cast<double>(num_retained);
-  }
-};
 
 /// Picks up to k sets maximizing coverage of retained elements. Stops early
 /// when no set has positive marginal gain.

@@ -6,15 +6,15 @@
 #include "core/greedy_on_sketch.hpp"
 #include "core/sketch_ladder.hpp"
 #include "sketch/substrate/flat_table.hpp"
+#include "solve/cover_tracker.hpp"
 #include "stream/stream_engine.hpp"
-#include "util/bitvec.hpp"
 #include "util/log.hpp"
 
 namespace covstream {
 namespace {
 
 /// Builds a SketchView straight from residual edges (set -> dense slot per
-/// distinct element) so the final stage can reuse the lazy greedy.
+/// distinct element) so the final stage can reuse the shared solver engine.
 SketchView view_from_edges(SetId num_sets, const std::vector<Edge>& edges) {
   SketchView view;
   view.num_sets = num_sets;
@@ -46,7 +46,7 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
   MultipassResult result;
   result.bitmap_words = (num_elems + 63) / 64;
 
-  BitVec covered(num_elems);
+  CoverTracker covered(num_elems);
   std::vector<SetId> chosen;          // full solution so far
   std::vector<SetId> last_iteration;  // S_{i-1}, not yet marked into `covered`
   std::vector<bool> in_last(num_sets, false);
@@ -80,7 +80,7 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
       // Dedicated marking pass for S_{i-1}.
       engine.run(stream, {}, [&](std::span<const Edge> chunk) {
         for (const Edge& edge : chunk) {
-          if (in_last[edge.set]) covered.set(edge.elem);
+          if (in_last[edge.set]) covered.mark(edge.elem);
         }
       });
       set_last({});
@@ -104,7 +104,7 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
           [&](const Edge& edge) {
             if (covered.test(edge.elem)) return false;
             if (in_last[edge.set]) {
-              covered.set(edge.elem);
+              covered.mark(edge.elem);
               return false;
             }
             return true;
@@ -125,7 +125,8 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
     std::vector<SetId> picked;
     for (std::size_t g = 0; g < plan.guesses.size(); ++g) {
       const SubmoduleResult sub =
-          setcover_submodule_evaluate(ladder.rung(g), plan.guesses[g]);
+          setcover_submodule_evaluate(ladder.rung(g), plan.guesses[g],
+                                      options.pool);
       if (sub.feasible) {
         picked = sub.solution;
         break;
@@ -142,7 +143,7 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
     for (const Edge& edge : chunk) {
       if (covered.test(edge.elem)) continue;
       if (in_last[edge.set]) {
-        covered.set(edge.elem);
+        covered.mark(edge.elem);
         continue;
       }
       residual.push_back(edge);
@@ -154,8 +155,9 @@ MultipassResult streaming_setcover_multipass(EdgeStream& stream, SetId num_sets,
   result.residual_words = residual.size() * 2;  // ElemId + SetId per stored edge
 
   const SketchView residual_view = view_from_edges(num_sets, residual);
-  const GreedyResult final_greedy = greedy_cover_target(
-      residual_view, num_sets, std::max<std::size_t>(1, residual_view.num_retained));
+  Solver final_solver(residual_view, options.pool);
+  const GreedyResult final_greedy = final_solver.cover_target(
+      num_sets, std::max<std::size_t>(1, residual_view.num_retained));
   chosen.insert(chosen.end(), final_greedy.solution.begin(),
                 final_greedy.solution.end());
   result.picked_per_iteration.push_back(final_greedy.solution.size());

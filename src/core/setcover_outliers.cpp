@@ -65,7 +65,7 @@ OutliersResult streaming_setcover_outliers(EdgeStream& stream, SetId num_sets,
   result.passes = stream.passes_started();
   for (std::size_t i = 0; i < plan.guesses.size(); ++i) {
     const SubmoduleResult sub =
-        setcover_submodule_evaluate(ladder.rung(i), plan.guesses[i]);
+        setcover_submodule_evaluate(ladder.rung(i), plan.guesses[i], options.pool);
     if (sub.feasible) {
       result.feasible = true;
       result.solution = sub.solution;

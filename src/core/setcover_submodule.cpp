@@ -34,19 +34,22 @@ SketchParams submodule_sketch_params(SetId num_sets, const SubmoduleParams& sub,
 }
 
 SubmoduleResult setcover_submodule_evaluate(const SubsampleSketch& sketch,
-                                            const SubmoduleParams& sub) {
+                                            const SubmoduleParams& sub,
+                                            ThreadPool* pool) {
   const SketchView view = sketch.view();
   SubmoduleResult result;
   if (view.num_retained == 0) {
-    // Empty sketch: nothing (left) to cover; the empty family is feasible.
+    // Empty sketch: nothing (left) to cover; the empty family is feasible
+    // (the cover_fraction(0) == 1.0 convention — solve/greedy_engine.hpp).
     result.feasible = true;
     result.sketch_cover_fraction = 1.0;
     return result;
   }
   const std::size_t target = static_cast<std::size_t>(
       std::ceil(sub.acceptance_fraction() * static_cast<double>(view.num_retained)));
+  Solver solver(view, pool);
   const GreedyResult greedy =
-      greedy_cover_target(view, sub.budget_sets, std::max<std::size_t>(1, target));
+      solver.cover_target(sub.budget_sets, std::max<std::size_t>(1, target));
   result.sketch_cover_fraction =
       static_cast<double>(greedy.covered) / static_cast<double>(view.num_retained);
   result.feasible = greedy.covered >= target;

@@ -31,10 +31,12 @@ SketchParams StreamingOptions::sketch_params(SetId num_sets, std::uint32_t k,
   return params;
 }
 
-KCoverResult kcover_on_sketch(const SubsampleSketch& sketch, std::uint32_t k) {
-  const SketchView view = sketch.view();
-  const GreedyResult greedy = greedy_max_cover(view, k);
+KCoverResult kcover_with_solver(const SubsampleSketch& sketch,
+                                const SketchView& view, Solver& solver,
+                                std::uint32_t k) {
+  const GreedyResult greedy = solver.max_cover(k);
   KCoverResult result;
+  result.solver_space_words = solver.space_words();
   result.solution = greedy.solution;
   result.estimated_coverage =
       view.p_star > 0.0 ? static_cast<double>(greedy.covered) / view.p_star : 0.0;
@@ -44,6 +46,13 @@ KCoverResult kcover_on_sketch(const SubsampleSketch& sketch, std::uint32_t k) {
   result.space_words = sketch.peak_space_words();
   result.final_space_words = sketch.space_words();
   return result;
+}
+
+KCoverResult kcover_on_sketch(const SubsampleSketch& sketch, std::uint32_t k,
+                              ThreadPool* pool) {
+  const SketchView view = sketch.view();
+  Solver solver(view, pool);
+  return kcover_with_solver(sketch, view, solver, k);
 }
 
 KCoverResult streaming_kcover(EdgeStream& stream, SetId num_sets, std::uint32_t k,
@@ -58,7 +67,7 @@ KCoverResult streaming_kcover(EdgeStream& stream, SetId num_sets, std::uint32_t 
     builder.consume(stream, ShardRouting::kRoundRobin, options.batch_edges);
     const std::size_t shard_peak = builder.max_shard_space_words();
     const SubsampleSketch sketch = builder.finalize();
-    KCoverResult result = kcover_on_sketch(sketch, k);
+    KCoverResult result = kcover_on_sketch(sketch, k, pool);
     result.space_words = std::max(result.space_words,
                                   shard_peak * pool->thread_count());
     result.passes = stream.passes_started();

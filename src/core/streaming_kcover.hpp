@@ -48,6 +48,7 @@ struct KCoverResult {
   double p_star = 1.0;
   std::size_t space_words = 0;        // peak sketch space over the pass
   std::size_t final_space_words = 0;  // steady-state sketch size at end of pass
+  std::size_t solver_space_words = 0; // solver index + scratch for the solve
   std::size_t passes = 0;
 };
 
@@ -63,7 +64,18 @@ KCoverResult streaming_kcover(EdgeStream& stream, SetId num_sets, std::uint32_t 
                               ThreadPool* pool = nullptr);
 
 /// The same algorithm when the sketch has already been built (lets callers
-/// reuse one sketch for several k <= sketch k; used by tests and benches).
-KCoverResult kcover_on_sketch(const SubsampleSketch& sketch, std::uint32_t k);
+/// reuse one sketch for several k <= sketch k; used by tests, benches, and
+/// the serve path). The solve runs through the shared solver engine
+/// (DESIGN.md §5.10); `pool` (nullable) parallelizes large decrement sweeps
+/// without changing the solution.
+KCoverResult kcover_on_sketch(const SubsampleSketch& sketch, std::uint32_t k,
+                              ThreadPool* pool = nullptr);
+
+/// The solve + result assembly of kcover_on_sketch for callers that keep a
+/// warm Solver over one view across queries (SketchServer caches one per
+/// published handle). `view` must be `solver`'s view and `sketch` its owner.
+KCoverResult kcover_with_solver(const SubsampleSketch& sketch,
+                                const SketchView& view, Solver& solver,
+                                std::uint32_t k);
 
 }  // namespace covstream

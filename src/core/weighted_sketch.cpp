@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
+#include "solve/coverage_index.hpp"
 #include "util/bitvec.hpp"
 
 namespace covstream {
@@ -22,37 +22,9 @@ double WeightedSketchView::estimate_weighted_coverage(
 
 WeightedGreedyResult weighted_greedy_max_cover(const WeightedSketchView& view,
                                                std::uint32_t k) {
-  WeightedGreedyResult result;
-  if (k == 0 || view.num_sets == 0) return result;
-  BitVec covered(view.num_retained);
-  std::priority_queue<std::pair<double, SetId>> heap;
-  for (SetId s = 0; s < view.num_sets; ++s) {
-    double total = 0.0;
-    for (const std::uint32_t slot : view.slots_of(s)) total += view.slot_value[slot];
-    if (total > 0.0) heap.emplace(total, s);
-  }
-  auto current_gain = [&](SetId s) {
-    double gain = 0.0;
-    for (const std::uint32_t slot : view.slots_of(s)) {
-      if (!covered.test(slot)) gain += view.slot_value[slot];
-    }
-    return gain;
-  };
-  while (result.solution.size() < k && !heap.empty()) {
-    const auto [cached, set] = heap.top();
-    heap.pop();
-    const double gain = current_gain(set);
-    if (gain <= 0.0) continue;
-    if (!heap.empty() && gain < heap.top().first) {
-      heap.emplace(gain, set);
-      continue;
-    }
-    for (const std::uint32_t slot : view.slots_of(set)) {
-      if (covered.set_if_clear(slot)) result.value += view.slot_value[slot];
-    }
-    result.solution.push_back(set);
-  }
-  return result;
+  CoverageIndex index(view);
+  GreedyScratch scratch;
+  return greedy_solve_lazy_weighted(index, view.slot_value, scratch, k);
 }
 
 WeightedSubsampleSketch::WeightedSubsampleSketch(SketchParams params)

@@ -67,12 +67,11 @@ struct WeightedSketchView {
   double estimate_weighted_coverage(std::span<const SetId> family) const;
 };
 
-struct WeightedGreedyResult {
-  std::vector<SetId> solution;
-  double value = 0.0;  // HT-estimated weighted coverage
-};
-
-/// Lazy greedy maximizing HT-estimated weighted coverage on the view.
+/// Lazy greedy maximizing HT-estimated weighted coverage on the view — a
+/// thin wrapper over the shared solver engine's weighted lazy strategy
+/// (WeightedGreedyResult lives in solve/greedy_engine.hpp; weighted gains
+/// are doubles, so only the rescan strategy is bit-for-bit reproducible —
+/// see DESIGN.md §5.10).
 WeightedGreedyResult weighted_greedy_max_cover(const WeightedSketchView& view,
                                                std::uint32_t k);
 

@@ -170,6 +170,21 @@ std::shared_ptr<const SubsampleSketch> SketchServer::snapshot() const {
   return snapshot_;
 }
 
+std::optional<KCoverResult> SketchServer::solve(std::uint32_t k) const {
+  const std::shared_ptr<const SubsampleSketch> handle = snapshot();
+  if (handle == nullptr) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(solve_mutex_);
+  if (solve_handle_ != handle) {
+    // New handle since the last solve: rebuild the cache. The solver borrows
+    // the view's CSR, so it must be dropped before the view is replaced.
+    solver_.reset();
+    solve_view_ = handle->view();
+    solver_.emplace(solve_view_);
+    solve_handle_ = handle;
+  }
+  return kcover_with_solver(*solve_handle_, solve_view_, *solver_, k);
+}
+
 StreamEngine::PassStats SketchServer::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -32,6 +32,7 @@
 #include <string>
 #include <thread>
 
+#include "core/streaming_kcover.hpp"
 #include "core/subsample_sketch.hpp"
 #include "sketch/substrate/snapshot.hpp"
 #include "stream/stream_engine.hpp"
@@ -114,6 +115,18 @@ class SketchServer {
   /// Hold it as long as needed — ingestion never mutates a published sketch.
   std::shared_ptr<const SubsampleSketch> snapshot() const;
 
+  /// Answers the coverage query the sketch exists for: greedy max-k-cover on
+  /// the current published handle, through the shared solver engine
+  /// (DESIGN.md §5.10). Runs entirely on reader threads against the
+  /// immutable handle — the admit path is never blocked, and a burst of
+  /// concurrent ingestion cannot change an answer mid-solve (the handle is
+  /// grabbed once, the solve runs on it). The view + Solver are cached per
+  /// published handle, so repeated solves between publishes hit the warm
+  /// path (index and scratch reused, no allocation); concurrent solve()
+  /// callers serialize on that cache — never on ingestion. nullopt before
+  /// the first publish.
+  std::optional<KCoverResult> solve(std::uint32_t k) const;
+
   /// Edges delivered to the live sketch so far (published at chunk
   /// boundaries, like the handles).
   StreamEngine::PassStats stats() const;
@@ -130,6 +143,15 @@ class SketchServer {
   StreamEngine::PassStats stats_;
   bool ingesting_ = false;
   std::atomic<bool> stop_requested_{false};
+
+  // Warm solve cache, rebuilt when the published handle changes. Guarded by
+  // its own mutex: solvers serialize with each other, never with the admit
+  // path or with snapshot()/stats() readers. Declaration order matters —
+  // solver_ borrows solve_view_'s CSR, so it must be destroyed first.
+  mutable std::mutex solve_mutex_;
+  mutable std::shared_ptr<const SubsampleSketch> solve_handle_;
+  mutable SketchView solve_view_;
+  mutable std::optional<Solver> solver_;
 
   std::thread worker_;
   StreamEngine::PassStats final_stats_;

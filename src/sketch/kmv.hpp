@@ -38,6 +38,12 @@ class KmvSketch {
   /// Union-merges `other` into *this. Seeds and capacities must match.
   void merge(const KmvSketch& other);
 
+  /// The kept hash values, ascending. Sketches sharing a seed hash each
+  /// element identically, so the union of kept_hashes() across a bank of
+  /// per-set sketches is a coordinated sample: the solver engine treats each
+  /// distinct hash as one slot (L0KCover::sample_view).
+  const std::set<std::uint64_t>& kept_hashes() const { return kept_; }
+
   std::size_t space_words() const { return 2 + kept_.size(); }
 
   /// Serializes capacity, seed, and the kept hashes ascending

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sketch/substrate/flat_table.hpp"
+#include "solve/solver.hpp"
+
 namespace covstream {
 
 L0KCover::L0KCover(SetId num_sets, std::size_t sketch_capacity, std::uint64_t seed)
@@ -59,33 +62,36 @@ double L0KCover::estimate_coverage(std::span<const SetId> family) const {
   return merged.estimate();
 }
 
-std::vector<SetId> L0KCover::solve_greedy(std::uint32_t k) const {
-  std::vector<SetId> solution;
-  std::vector<bool> used(num_sets_, false);
-  KmvSketch merged(per_set_.empty() ? KmvSketch(8, seed_) : per_set_[0]);
-  for (std::uint32_t step = 0; step < k && step < num_sets_; ++step) {
-    SetId best = kInvalidSet;
-    double best_value = -1.0;
-    for (SetId s = 0; s < num_sets_; ++s) {
-      if (used[s]) continue;
-      KmvSketch candidate = step == 0 ? per_set_[s] : merged;
-      if (step != 0) candidate.merge(per_set_[s]);
-      const double value = candidate.estimate();
-      if (value > best_value) {
-        best_value = value;
-        best = s;
-      }
-    }
-    COVSTREAM_CHECK(best != kInvalidSet);
-    used[best] = true;
-    solution.push_back(best);
-    if (solution.size() == 1) {
-      merged = per_set_[best];
-    } else {
-      merged.merge(per_set_[best]);
+SketchView L0KCover::sample_view() const {
+  SketchView view;
+  view.num_sets = num_sets_;
+  view.p_star = 1.0;  // sample-count semantics; callers estimate via the bank
+  // Dense slot per distinct kept hash (coordinated: one shared hash seed).
+  FlatElemTable slot_of;
+  for (const KmvSketch& sketch : per_set_) {
+    for (const std::uint64_t hash : sketch.kept_hashes()) {
+      slot_of.find_or_insert(hash, static_cast<std::uint32_t>(slot_of.size()));
     }
   }
-  return solution;
+  view.num_retained = slot_of.size();
+  view.set_offsets.assign(num_sets_ + 1, 0);
+  for (SetId s = 0; s < num_sets_; ++s) {
+    view.set_offsets[s + 1] =
+        view.set_offsets[s] + per_set_[s].kept_hashes().size();
+  }
+  view.set_slots.reserve(view.set_offsets.back());
+  for (const KmvSketch& sketch : per_set_) {
+    for (const std::uint64_t hash : sketch.kept_hashes()) {
+      view.set_slots.push_back(slot_of.find(hash));
+    }
+  }
+  return view;
+}
+
+std::vector<SetId> L0KCover::solve_greedy(std::uint32_t k) const {
+  const SketchView view = sample_view();
+  Solver solver(view);
+  return solver.max_cover(k).solution;
 }
 
 std::vector<SetId> L0KCover::solve_exhaustive(std::uint32_t k) const {

@@ -5,10 +5,15 @@
 // Two solvers are provided:
 //  * exhaustive: tries all (n choose k) families (the Theorem D.2 algorithm;
 //    exponential time, only for tiny instances), and
-//  * greedy-by-oracle: iteratively grows the family by the best merged
-//    estimate. This is NOT covered by Theorem D.2's guarantee (Theorem 1.3
-//    is exactly about such black-box oracle use) but is the natural practical
-//    heuristic — the benches contrast both against the H<=n sketch.
+//  * greedy on the coordinated sample: the per-set sketches share one hash
+//    function, so their kept hashes form a coordinated sample of the
+//    universe; sample_view() lays it out as a set -> slot CSR and the shared
+//    solver engine (DESIGN.md §5.10) runs greedy max-cover on it in
+//    O(total samples) — replacing the seed-era loop that re-merged KMV
+//    sketches for every (step, candidate) pair in O(n k t log t). This is
+//    NOT covered by Theorem D.2's guarantee (Theorem 1.3 is exactly about
+//    such black-box oracle use) but is the natural practical heuristic — the
+//    benches contrast both against the H<=n sketch.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "core/subsample_sketch.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sketch/kmv.hpp"
 #include "stream/stream_engine.hpp"
@@ -50,6 +56,15 @@ class L0KCover {
   /// (1 +- eps)-style oracle: estimated coverage of a family.
   double estimate_coverage(std::span<const SetId> family) const;
 
+  /// The coordinated sample as a solver view: one slot per distinct kept
+  /// hash across the bank, set s listing the slots of its own kept hashes.
+  /// Exact (the full subgraph) while no per-set sketch has saturated.
+  SketchView sample_view() const;
+
+  /// Greedy max-cover on sample_view() through the shared solver engine.
+  /// Stops early when no set adds a new sample (the seed-era oracle-greedy
+  /// padded the family with zero-gain sets instead); on unsaturated banks
+  /// this is exact greedy on the streamed subgraph.
   std::vector<SetId> solve_greedy(std::uint32_t k) const;
   std::vector<SetId> solve_exhaustive(std::uint32_t k) const;  // tiny n only
 

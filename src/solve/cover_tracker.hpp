@@ -1,0 +1,141 @@
+// Shared covered-element bookkeeping for streaming consumers (DESIGN.md
+// §5.10).
+//
+// Every baseline and multipass stage used to keep its own BitVec-plus-counter
+// loop ("how much would this set add", "mark these elements, count the new
+// ones"). CoverTracker centralizes the single-coverage form; MultiCoverTracker
+// the multiplicity form the swap baseline needs (a kept set's removal must
+// reveal which elements only it covered).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+/// Covered-bit set with a maintained count: test/mark plus the two bulk
+/// operations every greedy-ish admission loop runs (gain_of, commit).
+class CoverTracker {
+ public:
+  CoverTracker() = default;
+  explicit CoverTracker(std::size_t num_elems) : bits_(num_elems) {}
+
+  void resize(std::size_t num_elems) {
+    bits_.resize(num_elems);
+    covered_ = 0;
+  }
+
+  std::size_t size() const { return bits_.size(); }
+  std::size_t covered() const { return covered_; }
+
+  bool test(std::size_t i) const { return bits_.test(i); }
+
+  void mark(std::size_t i) {
+    if (bits_.set_if_clear(i)) ++covered_;
+  }
+
+  /// Marks i; returns true iff it was previously uncovered.
+  bool mark_if_clear(std::size_t i) {
+    const bool fresh = bits_.set_if_clear(i);
+    if (fresh) ++covered_;
+    return fresh;
+  }
+
+  /// How many of `elems` are currently uncovered (counts duplicates in
+  /// `elems` once only if the caller deduplicated — this scans, not marks).
+  template <typename Id>
+  std::size_t gain_of(std::span<const Id> elems) const {
+    std::size_t gain = 0;
+    for (const Id e : elems) {
+      if (!bits_.test(static_cast<std::size_t>(e))) ++gain;
+    }
+    return gain;
+  }
+
+  /// Marks every element of `elems`; returns how many were newly covered.
+  template <typename Id>
+  std::size_t commit(std::span<const Id> elems) {
+    std::size_t fresh = 0;
+    for (const Id e : elems) {
+      if (bits_.set_if_clear(static_cast<std::size_t>(e))) ++fresh;
+    }
+    covered_ += fresh;
+    return fresh;
+  }
+
+  std::size_t space_words() const { return bits_.space_words() + 1; }
+
+ private:
+  BitVec bits_;
+  std::size_t covered_ = 0;
+};
+
+/// Coverage with multiplicity: how many kept sets contain each element.
+/// Supports removal (a swap baseline drops a kept set), which plain bits
+/// cannot: an element stays covered while any other kept set still has it.
+class MultiCoverTracker {
+ public:
+  MultiCoverTracker() = default;
+  explicit MultiCoverTracker(std::size_t num_elems) : count_(num_elems, 0) {}
+
+  std::size_t covered() const { return covered_; }
+
+  std::uint8_t count(std::size_t i) const {
+    COVSTREAM_CHECK(i < count_.size());
+    return count_[i];
+  }
+
+  /// True iff exactly one kept set covers i (removing that set uncovers it).
+  bool uniquely_covered(std::size_t i) const { return count(i) == 1; }
+
+  template <typename Id>
+  std::size_t gain_of(std::span<const Id> elems) const {
+    std::size_t gain = 0;
+    for (const Id e : elems) {
+      if (count(static_cast<std::size_t>(e)) == 0) ++gain;
+    }
+    return gain;
+  }
+
+  template <typename Id>
+  void add_all(std::span<const Id> elems) {
+    for (const Id e : elems) {
+      const std::size_t i = static_cast<std::size_t>(e);
+      COVSTREAM_CHECK(i < count_.size());
+      if (count_[i]++ == 0) ++covered_;
+    }
+  }
+
+  template <typename Id>
+  void remove_all(std::span<const Id> elems) {
+    for (const Id e : elems) {
+      const std::size_t i = static_cast<std::size_t>(e);
+      COVSTREAM_CHECK(i < count_.size() && count_[i] > 0);
+      if (--count_[i] == 0) --covered_;
+    }
+  }
+
+  /// Elements of `elems` no other kept set covers (count == 1 given the
+  /// caller knows one specific kept set contains them).
+  template <typename Id>
+  std::size_t unique_count(std::span<const Id> elems) const {
+    std::size_t unique = 0;
+    for (const Id e : elems) {
+      if (count(static_cast<std::size_t>(e)) == 1) ++unique;
+    }
+    return unique;
+  }
+
+  /// Byte counters packed 8 per word, plus the running counter.
+  std::size_t space_words() const { return count_.size() / 8 + 1; }
+
+ private:
+  std::vector<std::uint8_t> count_;  // kept sets containing each element
+  std::size_t covered_ = 0;
+};
+
+}  // namespace covstream

@@ -1,0 +1,86 @@
+#include "solve/coverage_index.hpp"
+
+#include "core/subsample_sketch.hpp"
+#include "core/weighted_sketch.hpp"
+#include "graph/coverage_instance.hpp"
+#include "util/space_meter.hpp"
+
+namespace covstream {
+
+CoverageIndex::CoverageIndex(const SketchView& view)
+    : CoverageIndex(view.num_sets, view.num_retained, view.set_offsets,
+                    view.set_slots) {}
+
+CoverageIndex::CoverageIndex(const WeightedSketchView& view)
+    : CoverageIndex(view.num_sets, view.num_retained, view.set_offsets,
+                    view.set_slots) {}
+
+CoverageIndex::CoverageIndex(SetId num_sets, std::size_t num_slots,
+                             std::span<const std::size_t> offsets,
+                             std::span<const std::uint32_t> slots)
+    : num_sets_(num_sets),
+      num_slots_(num_slots),
+      fwd_offsets_(offsets),
+      fwd_slots_(slots) {
+  // A default-constructed view legitimately has no offsets at all; any view
+  // with sets must carry the full num_sets + 1 offset array.
+  COVSTREAM_CHECK(offsets.size() == static_cast<std::size_t>(num_sets) + 1 ||
+                  (num_sets == 0 && offsets.empty()));
+  COVSTREAM_CHECK(offsets.empty() || offsets.back() == slots.size());
+}
+
+CoverageIndex CoverageIndex::from_instance(const CoverageInstance& instance) {
+  COVSTREAM_CHECK(instance.num_elems() < (ElemId{1} << 32));
+  CoverageIndex index;
+  index.num_sets_ = instance.num_sets();
+  index.num_slots_ = static_cast<std::size_t>(instance.num_elems());
+  index.owned_offsets_.reserve(index.num_sets_ + 1);
+  index.owned_slots_.reserve(instance.num_edges());
+  index.owned_offsets_.push_back(0);
+  for (SetId s = 0; s < index.num_sets_; ++s) {
+    for (const ElemId e : instance.elements_of(s)) {
+      index.owned_slots_.push_back(static_cast<std::uint32_t>(e));
+    }
+    index.owned_offsets_.push_back(index.owned_slots_.size());
+  }
+  index.fwd_offsets_ = index.owned_offsets_;
+  index.fwd_slots_ = index.owned_slots_;
+  return index;
+}
+
+void CoverageIndex::ensure_inverted() {
+  if (inverted_built_) return;
+  inv_offsets_.assign(num_slots_ + 1, 0);
+  for (const std::uint32_t slot : fwd_slots_) {
+    COVSTREAM_CHECK(slot < num_slots_);
+    ++inv_offsets_[slot + 1];
+  }
+  for (std::size_t v = 0; v < num_slots_; ++v) {
+    inv_offsets_[v + 1] += inv_offsets_[v];
+  }
+  inv_sets_.resize(fwd_slots_.size());
+  std::vector<std::size_t> cursor(inv_offsets_.begin(), inv_offsets_.end() - 1);
+  for (SetId s = 0; s < num_sets_; ++s) {
+    for (const std::uint32_t slot : slots_of(s)) {
+      inv_sets_[cursor[slot]++] = s;
+    }
+  }
+  inverted_built_ = true;
+}
+
+std::size_t CoverageIndex::inverted_work(
+    std::span<const std::uint32_t> slots) const {
+  COVSTREAM_CHECK(inverted_built_);
+  std::size_t work = 0;
+  for (const std::uint32_t slot : slots) {
+    work += inv_offsets_[slot + 1] - inv_offsets_[slot];
+  }
+  return work;
+}
+
+std::size_t CoverageIndex::space_words() const {
+  return owned_offsets_.size() + words_for_u32(owned_slots_.size()) +
+         inv_offsets_.size() + words_for_u32(inv_sets_.size());
+}
+
+}  // namespace covstream

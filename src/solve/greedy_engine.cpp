@@ -1,0 +1,190 @@
+#include "solve/greedy_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/space_meter.hpp"
+
+namespace covstream {
+namespace {
+
+/// Decrement sweeps touching at least this many inverted edges fan out over
+/// the pool; below it, thread handoff costs more than the decrements.
+constexpr std::size_t kParallelSweepWork = std::size_t{1} << 16;
+
+/// Rebuilds `heap` from the positive initial gains. make_heap over (gain,
+/// SetId) pairs with the default pair ordering — the exact comparator the
+/// seed's std::priority_queue used, so the pop sequence is identical.
+template <typename Gain, typename InitFn>
+void fill_heap(std::vector<std::pair<Gain, SetId>>& heap, SetId num_sets,
+               const InitFn& initial_gain) {
+  heap.clear();
+  for (SetId s = 0; s < num_sets; ++s) {
+    const Gain gain = initial_gain(s);
+    if (gain > Gain{}) heap.emplace_back(gain, s);
+  }
+  std::make_heap(heap.begin(), heap.end());
+}
+
+/// The shared lazy-heap skeleton (tie-break contract in the header). Cached
+/// gains only overestimate (coverage is submodular), so popping, getting the
+/// exact gain, and requeueing when it fell below the next cached key is
+/// sound — and `exact_gain` is the ONLY thing the two strategies disagree
+/// on, which is why their pick sequences cannot diverge.
+template <typename Gain, typename StopFn, typename ExactFn, typename TakeFn>
+void run_lazy_heap(std::vector<std::pair<Gain, SetId>>& heap, const StopFn& stop,
+                   const ExactFn& exact_gain, const TakeFn& take) {
+  while (!stop() && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end());
+    const SetId set = heap.back().second;
+    heap.pop_back();
+    const Gain gain = exact_gain(set);
+    if (!(gain > Gain{})) continue;  // fully covered; stale entries below too
+    if (!heap.empty() && gain < heap.front().first) {
+      heap.emplace_back(gain, set);  // stale; requeue with the fresh gain
+      std::push_heap(heap.begin(), heap.end());
+      continue;
+    }
+    // `set`'s exact gain is >= every remaining cached gain, hence >= every
+    // remaining exact gain; take it.
+    take(set, gain);
+  }
+}
+
+}  // namespace
+
+std::size_t GreedyScratch::space_words() const {
+  return covered.space_words() + 2 * heap.capacity() +
+         2 * heap_weighted.capacity() + gains.capacity() +
+         words_for_u32(fresh_slots.capacity());
+}
+
+GreedyResult greedy_solve_lazy(const CoverageIndex& index, GreedyScratch& scratch,
+                               std::size_t max_sets,
+                               std::size_t target_covered) {
+  GreedyResult result;
+  if (max_sets == 0 || index.num_sets() == 0) return result;
+  scratch.covered.resize(index.num_slots());
+  fill_heap<std::size_t>(scratch.heap, index.num_sets(), [&](SetId s) {
+    return index.slots_of(s).size();
+  });
+  run_lazy_heap<std::size_t>(
+      scratch.heap,
+      [&] {
+        return result.solution.size() >= max_sets ||
+               result.covered >= target_covered;
+      },
+      [&](SetId s) {
+        std::size_t gain = 0;
+        for (const std::uint32_t slot : index.slots_of(s)) {
+          if (!scratch.covered.test(slot)) ++gain;
+        }
+        return gain;
+      },
+      [&](SetId s, std::size_t gain) {
+        for (const std::uint32_t slot : index.slots_of(s)) {
+          if (scratch.covered.set_if_clear(slot)) ++result.covered;
+        }
+        result.solution.push_back(s);
+        result.marginal_gains.push_back(gain);
+      });
+  return result;
+}
+
+GreedyResult greedy_solve_decremental(const CoverageIndex& index,
+                                      GreedyScratch& scratch,
+                                      std::size_t max_sets,
+                                      std::size_t target_covered,
+                                      ThreadPool* pool) {
+  GreedyResult result;
+  if (max_sets == 0 || index.num_sets() == 0) return result;
+  COVSTREAM_CHECK(index.has_inverted());
+  scratch.covered.resize(index.num_slots());
+  scratch.gains.assign(index.num_sets(), 0);
+  fill_heap<std::size_t>(scratch.heap, index.num_sets(), [&](SetId s) {
+    return scratch.gains[s] = index.slots_of(s).size();
+  });
+  run_lazy_heap<std::size_t>(
+      scratch.heap,
+      [&] {
+        return result.solution.size() >= max_sets ||
+               result.covered >= target_covered;
+      },
+      // The maintained gain is exactly the lazy rescan's count: it starts at
+      // the degree and loses one per (occurrence of a) slot that got
+      // covered, so cached heap keys, requeue decisions, and picks all
+      // coincide with the lazy strategy bit for bit.
+      [&](SetId s) { return scratch.gains[s]; },
+      [&](SetId s, std::size_t gain) {
+        scratch.fresh_slots.clear();
+        for (const std::uint32_t slot : index.slots_of(s)) {
+          if (scratch.covered.set_if_clear(slot)) {
+            scratch.fresh_slots.push_back(slot);
+          }
+        }
+        result.covered += scratch.fresh_slots.size();
+        result.solution.push_back(s);
+        result.marginal_gains.push_back(gain);
+        // Decrement every set touching a newly covered slot (the pick
+        // itself included — its gain lands on zero). Decrements commute, so
+        // the parallel sweep is bit-for-bit equal to the serial one.
+        const std::span<const std::uint32_t> fresh = scratch.fresh_slots;
+        if (pool != nullptr && pool->thread_count() > 1 &&
+            index.inverted_work(fresh) >= kParallelSweepWork) {
+          parallel_for_blocked(
+              pool, fresh.size(),
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  for (const SetId t : index.sets_of_slot(fresh[i])) {
+                    std::atomic_ref<std::size_t>(scratch.gains[t])
+                        .fetch_sub(1, std::memory_order_relaxed);
+                  }
+                }
+              },
+              /*grain=*/1);
+        } else {
+          for (const std::uint32_t slot : fresh) {
+            for (const SetId t : index.sets_of_slot(slot)) --scratch.gains[t];
+          }
+        }
+      });
+  return result;
+}
+
+WeightedGreedyResult greedy_solve_lazy_weighted(
+    const CoverageIndex& index, std::span<const double> slot_value,
+    GreedyScratch& scratch, std::uint32_t k) {
+  WeightedGreedyResult result;
+  if (k == 0 || index.num_sets() == 0) return result;
+  COVSTREAM_CHECK(slot_value.size() == index.num_slots());
+  scratch.covered.resize(index.num_slots());
+  // Gains sum slot values in slot-list order — the same accumulation order
+  // as the seed weighted greedy, so the doubles (and thus every tie and
+  // requeue decision) are bit-for-bit identical.
+  fill_heap<double>(scratch.heap_weighted, index.num_sets(), [&](SetId s) {
+    double total = 0.0;
+    for (const std::uint32_t slot : index.slots_of(s)) total += slot_value[slot];
+    return total;
+  });
+  run_lazy_heap<double>(
+      scratch.heap_weighted,
+      [&] { return result.solution.size() >= k; },
+      [&](SetId s) {
+        double gain = 0.0;
+        for (const std::uint32_t slot : index.slots_of(s)) {
+          if (!scratch.covered.test(slot)) gain += slot_value[slot];
+        }
+        return gain;
+      },
+      [&](SetId s, double) {
+        for (const std::uint32_t slot : index.slots_of(s)) {
+          if (scratch.covered.set_if_clear(slot)) result.value += slot_value[slot];
+        }
+        result.solution.push_back(s);
+      });
+  return result;
+}
+
+}  // namespace covstream

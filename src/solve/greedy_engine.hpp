@@ -1,0 +1,105 @@
+// GreedyEngine: the one greedy core behind every solve path (DESIGN.md
+// §5.10).
+//
+// Both strategies run the same lazy-heap skeleton — the classic
+// Nemhauser–Wolsey–Fisher greedy with lazy marginal-gain evaluation — and
+// differ only in how the exact gain of a popped set is produced:
+//
+//   * kLazyHeap rescans the set's slot list against the covered bits (the
+//     seed semantics, O(degree) per pop, now on a reusable flat heap);
+//   * kDecremental reads a maintained exact-gain array updated by walking
+//     the inverted CSR whenever a pick covers slots — O(total edges) of
+//     gain maintenance for the whole solve, no rescans; the decrement sweep
+//     parallelizes over a ThreadPool for large picks (decrements commute,
+//     so the result is bit-for-bit identical, pool or not).
+//
+// Tie-break contract: heap entries are (cached gain, SetId) pairs compared
+// lexicographically — gain descending, then SetId descending — exactly the
+// seed's std::priority_queue<pair> ordering. A popped set is taken when its
+// exact gain is >= the next entry's *cached* gain (not the pair), requeued
+// with its exact gain otherwise, and dropped at gain zero. Because both
+// strategies see identical cached keys and identical exact gains, they pop,
+// requeue, and take identically: solutions, marginal gains, and covered
+// counts are bit-for-bit equal to each other and to the pre-refactor
+// greedy_impl (pinned by tests/solve/greedy_equivalence_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "solve/coverage_index.hpp"
+#include "util/bitvec.hpp"
+#include "util/common.hpp"
+
+namespace covstream {
+
+class ThreadPool;
+
+enum class GreedyStrategy {
+  kLazyHeap,     // rescan gains on pop (seed semantics, flat heap)
+  kDecremental,  // exact gains maintained via the inverted CSR
+};
+
+struct GreedyResult {
+  std::vector<SetId> solution;             // in pick order
+  std::vector<std::size_t> marginal_gains; // retained elements gained per pick
+  std::size_t covered = 0;                 // retained elements covered at end
+
+  /// Fraction of the view's retained elements covered by the solution.
+  ///
+  /// Empty-view contract: with num_retained == 0 there is nothing to cover,
+  /// and the fraction is defined as 1.0 — "all zero of them are covered" —
+  /// even though `covered` is 0 and the solution is empty. Callers gate
+  /// feasibility on this (an empty sketch rung accepts the empty family in
+  /// Algorithm 4), so the convention is deliberate, not an accident of
+  /// division. Pinned by tests/solve/greedy_equivalence_test.cpp.
+  double cover_fraction(std::size_t num_retained) const {
+    return num_retained == 0
+               ? 1.0
+               : static_cast<double>(covered) / static_cast<double>(num_retained);
+  }
+};
+
+struct WeightedGreedyResult {
+  std::vector<SetId> solution;
+  double value = 0.0;  // HT-estimated weighted coverage
+};
+
+/// Reusable solve scratch: after the first solve warms the capacities,
+/// repeated solves over same-shaped indexes allocate nothing.
+struct GreedyScratch {
+  BitVec covered;                                    // one bit per slot
+  std::vector<std::pair<std::size_t, SetId>> heap;   // unweighted lazy keys
+  std::vector<std::pair<double, SetId>> heap_weighted;
+  std::vector<std::size_t> gains;                    // decremental exact gains
+  std::vector<std::uint32_t> fresh_slots;            // newly covered per pick
+
+  std::size_t space_words() const;
+};
+
+/// Seed-semantics lazy greedy: up to `max_sets` picks, stopping once
+/// `target_covered` slots are covered or no set has positive gain.
+GreedyResult greedy_solve_lazy(const CoverageIndex& index, GreedyScratch& scratch,
+                               std::size_t max_sets, std::size_t target_covered);
+
+/// Same solution bit-for-bit, with exact gains maintained decrementally.
+/// Requires index.ensure_inverted() to have run. `pool` (nullable)
+/// parallelizes the decrement sweep of large picks.
+GreedyResult greedy_solve_decremental(const CoverageIndex& index,
+                                      GreedyScratch& scratch,
+                                      std::size_t max_sets,
+                                      std::size_t target_covered,
+                                      ThreadPool* pool);
+
+/// Weighted lazy greedy (gains are sums of slot_value over uncovered slots).
+/// Lazy only: a decremental double gain would accumulate floating-point
+/// subtraction error and drift from the rescan sums, breaking bit-for-bit
+/// reproducibility — integral gains have no such drift.
+WeightedGreedyResult greedy_solve_lazy_weighted(const CoverageIndex& index,
+                                                std::span<const double> slot_value,
+                                                GreedyScratch& scratch,
+                                                std::uint32_t k);
+
+}  // namespace covstream

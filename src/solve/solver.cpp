@@ -1,0 +1,47 @@
+#include "solve/solver.hpp"
+
+#include <utility>
+
+#include "core/subsample_sketch.hpp"
+#include "graph/coverage_instance.hpp"
+
+namespace covstream {
+
+Solver::Solver(const SketchView& view, ThreadPool* pool)
+    : index_(view), pool_(pool) {}
+
+Solver::Solver(CoverageIndex index, ThreadPool* pool)
+    : index_(std::move(index)), pool_(pool) {}
+
+Solver Solver::from_instance(const CoverageInstance& instance,
+                             ThreadPool* pool) {
+  return Solver(CoverageIndex::from_instance(instance), pool);
+}
+
+GreedyResult Solver::max_cover(std::uint32_t k, GreedyStrategy strategy) {
+  // An empty view has nothing to cover; target 1 keeps the loop shape (it
+  // never fires) and matches the seed greedy_max_cover exactly.
+  return run(k, index_.num_slots() == 0 ? 1 : index_.num_slots(), strategy);
+}
+
+GreedyResult Solver::cover_target(std::size_t max_sets,
+                                  std::size_t target_covered,
+                                  GreedyStrategy strategy) {
+  return run(max_sets, target_covered, strategy);
+}
+
+GreedyResult Solver::run(std::size_t max_sets, std::size_t target_covered,
+                         GreedyStrategy strategy) {
+  GreedyResult result;
+  if (strategy == GreedyStrategy::kDecremental) {
+    index_.ensure_inverted();
+    result = greedy_solve_decremental(index_, scratch_, max_sets,
+                                      target_covered, pool_);
+  } else {
+    result = greedy_solve_lazy(index_, scratch_, max_sets, target_covered);
+  }
+  meter_.set_current(space_words());
+  return result;
+}
+
+}  // namespace covstream

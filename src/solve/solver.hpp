@@ -1,0 +1,68 @@
+// Solver: the facade every solve path goes through (DESIGN.md §5.10).
+//
+// Owns a CoverageIndex over one finished view plus the reusable GreedyScratch,
+// so repeated solves on the same sketch (serve answering `solve k` per
+// request, the outliers ladder evaluating guesses) allocate nothing after the
+// first. Strategy selection, the tie-break contract, and the bit-for-bit
+// equivalence guarantee live in solve/greedy_engine.hpp; the default strategy
+// is decremental (O(edges) total instead of rescans, identical output).
+//
+// Lifetime: the Solver borrows the view's forward CSR — the view must
+// outlive the Solver (solvers built via from_instance own their copy).
+#pragma once
+
+#include <cstdint>
+
+#include "solve/coverage_index.hpp"
+#include "solve/greedy_engine.hpp"
+#include "util/space_meter.hpp"
+
+namespace covstream {
+
+class ThreadPool;
+
+class Solver {
+ public:
+  static constexpr GreedyStrategy kDefaultStrategy = GreedyStrategy::kDecremental;
+
+  /// Borrows `view`'s CSR. `pool` (nullable) parallelizes the decremental
+  /// strategy's large decrement sweeps; results are identical either way.
+  explicit Solver(const SketchView& view, ThreadPool* pool = nullptr);
+
+  /// Offline instances solve through the same engine (dense ElemId == slot).
+  static Solver from_instance(const CoverageInstance& instance,
+                              ThreadPool* pool = nullptr);
+
+  /// Picks up to k sets maximizing covered slots; stops early when no set
+  /// has positive marginal gain.
+  GreedyResult max_cover(std::uint32_t k,
+                         GreedyStrategy strategy = kDefaultStrategy);
+
+  /// Picks up to `max_sets` sets, stopping as soon as `target_covered` slots
+  /// are covered (Algorithm 4 / the multipass final stage).
+  GreedyResult cover_target(std::size_t max_sets, std::size_t target_covered,
+                            GreedyStrategy strategy = kDefaultStrategy);
+
+  const CoverageIndex& index() const { return index_; }
+
+  /// Solver-owned footprint: the index's inverted CSR (plus any owned
+  /// forward copy) and the solve scratch. The borrowed view is accounted by
+  /// its owner; `peak` is maintained across solves via SpaceMeter.
+  std::size_t space_words() const {
+    return index_.space_words() + scratch_.space_words();
+  }
+  std::size_t peak_space_words() const { return meter_.peak_words(); }
+
+ private:
+  Solver(CoverageIndex index, ThreadPool* pool);
+
+  GreedyResult run(std::size_t max_sets, std::size_t target_covered,
+                   GreedyStrategy strategy);
+
+  CoverageIndex index_;
+  GreedyScratch scratch_;
+  ThreadPool* pool_ = nullptr;
+  SpaceMeter meter_;
+};
+
+}  // namespace covstream

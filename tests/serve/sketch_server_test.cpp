@@ -176,6 +176,101 @@ TEST(SketchServer, StopEndsEarlyAndLeavesResumableCheckpoint) {
   std::remove(ck_path.c_str());
 }
 
+TEST(SketchServer, SolveIsolatedFromConcurrentIngest) {
+  // A solve answer is computed from one immutable handle: a burst of
+  // ingestion between two solves on the SAME handle cannot change a byte of
+  // the answer (snapshot-handle isolation), and server.solve() answers from
+  // the freshest handle without ever blocking the admit path.
+  const std::vector<Edge> edges = make_edges(40000);
+  SketchServer::Options options;
+  options.batch_edges = 512;
+  options.snapshot_every_chunks = 1;
+  SketchServer server(serve_params(), options);
+
+  // First pass: ingest a prefix by stopping early, grab a handle, solve.
+  VectorStream prefix(std::vector<Edge>(edges.begin(), edges.begin() + 8000));
+  server.start(prefix);
+  server.wait();
+  const std::shared_ptr<const SubsampleSketch> handle = server.snapshot();
+  ASSERT_NE(handle, nullptr);
+  const KCoverResult before = kcover_on_sketch(*handle, 4);
+
+  // Concurrent ingest burst: the rest of the stream lands while the caller
+  // still holds (and re-solves) the old handle.
+  VectorStream rest(std::vector<Edge>(edges.begin() + 8000, edges.end()));
+  server.start(rest);
+  const KCoverResult during = kcover_on_sketch(*handle, 4);
+  server.wait();
+  const KCoverResult after = kcover_on_sketch(*handle, 4);
+
+  EXPECT_EQ(during.solution, before.solution);
+  EXPECT_EQ(during.estimated_coverage, before.estimated_coverage);
+  EXPECT_EQ(after.solution, before.solution);
+  EXPECT_EQ(after.estimated_coverage, before.estimated_coverage);
+
+  // The server's own solve now answers from the freshest handle and equals
+  // a direct solve of a reference sketch over the whole stream.
+  SubsampleSketch reference(serve_params());
+  VectorStream ref_stream(edges);
+  const StreamEngine engine({512, nullptr});
+  engine.run(ref_stream, {}, [&](std::span<const Edge> chunk) {
+    reference.update_chunk(chunk);
+  });
+  const std::optional<KCoverResult> final_solve = server.solve(4);
+  ASSERT_TRUE(final_solve.has_value());
+  const KCoverResult expected = kcover_on_sketch(reference, 4);
+  EXPECT_EQ(final_solve->solution, expected.solution);
+  EXPECT_EQ(final_solve->estimated_coverage, expected.estimated_coverage);
+}
+
+TEST(SketchServer, SolveBeforeFirstPublishIsEmpty) {
+  SketchServer server(serve_params(), {});
+  EXPECT_FALSE(server.solve(4).has_value());
+}
+
+TEST(SketchServer, SaveResumeSolveMatchesUninterrupted) {
+  // save -> resume -> solve must answer exactly like a never-interrupted
+  // pass: the snapshot layer round-trips the sketch bit for bit, so the
+  // solver sees identical views.
+  const std::vector<Edge> edges = make_edges(50000);
+  const std::string ck_path =
+      testing::TempDir() + "covstream_server_solve_ck.snap";
+  SketchServer::Options options;
+  options.batch_edges = 256;
+  options.snapshot_every_chunks = 1;
+  options.checkpoint_every_chunks = 1;
+  options.checkpoint_path = ck_path;
+  SketchServer server(serve_params(), options);
+  VectorStream stream(edges);
+  server.stop();  // deterministic first-chunk stop (see the stop test above)
+  server.start(stream);
+  const StreamEngine::PassStats stats = server.wait();
+  ASSERT_LT(stats.edges_kept, edges.size());
+
+  std::string error;
+  std::optional<IngestCheckpoint> checkpoint =
+      load_snapshot<IngestCheckpoint>(ck_path, &error);
+  ASSERT_TRUE(checkpoint) << error;
+  SketchServer resumed(std::move(*checkpoint), options);
+  VectorStream again(edges);
+  resumed.start(again);
+  resumed.wait();
+
+  SubsampleSketch reference(serve_params());
+  VectorStream ref_stream(edges);
+  const StreamEngine engine({256, nullptr});
+  engine.run(ref_stream, {}, [&](std::span<const Edge> chunk) {
+    reference.update_chunk(chunk);
+  });
+  const std::optional<KCoverResult> resumed_solve = resumed.solve(6);
+  ASSERT_TRUE(resumed_solve.has_value());
+  const KCoverResult expected = kcover_on_sketch(reference, 6);
+  EXPECT_EQ(resumed_solve->solution, expected.solution);
+  EXPECT_EQ(resumed_solve->estimated_coverage, expected.estimated_coverage);
+  EXPECT_EQ(resumed_solve->p_star, expected.p_star);
+  std::remove(ck_path.c_str());
+}
+
 TEST(SketchServer, StatsAdvanceAndFinish) {
   const std::vector<Edge> edges = make_edges(20000);
   SketchServer::Options options;

@@ -1,0 +1,364 @@
+// The solver engine's bit-for-bit contract (DESIGN.md §5.10): both greedy
+// strategies — lazy heap and decremental — must produce EXACTLY the solution
+// sequence, marginal gains, and covered counts of the pre-refactor
+// greedy_impl (a std::priority_queue<pair> lazy greedy), on every view shape
+// the solve paths encounter: empty, single-set, all-ties, duplicate slots,
+// mid-solve exhaustion, weighted, and post-merge shard views. The seed
+// implementation is reproduced verbatim below as the reference.
+//
+// This suite runs in the CI ASan job (Solve* filter) so the decremental
+// strategy's inverted-CSR walks and scratch reuse are sanitizer-covered.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/greedy_on_sketch.hpp"
+#include "core/subsample_sketch.hpp"
+#include "core/weighted_sketch.hpp"
+#include "parallel/thread_pool.hpp"
+#include "solve/cover_tracker.hpp"
+#include "solve/solver.hpp"
+#include "stream/arrival_order.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+
+namespace covstream {
+namespace {
+
+// ------------------------------------------------------------ references --
+// The pre-refactor greedy_impl, verbatim (src/core/greedy_on_sketch.cpp at
+// PR 4): the oracle every strategy must match bit for bit.
+GreedyResult seed_greedy(const SketchView& view, std::size_t max_sets,
+                         std::size_t target_covered) {
+  GreedyResult result;
+  if (max_sets == 0 || view.num_sets == 0) return result;
+  BitVec covered(view.num_retained);
+  std::priority_queue<std::pair<std::size_t, SetId>> heap;
+  for (SetId s = 0; s < view.num_sets; ++s) {
+    const std::size_t degree = view.slots_of(s).size();
+    if (degree > 0) heap.emplace(degree, s);
+  }
+  auto current_gain = [&](SetId s) {
+    std::size_t gain = 0;
+    for (const std::uint32_t slot : view.slots_of(s)) {
+      if (!covered.test(slot)) ++gain;
+    }
+    return gain;
+  };
+  while (result.solution.size() < max_sets && result.covered < target_covered &&
+         !heap.empty()) {
+    const auto [cached, set] = heap.top();
+    heap.pop();
+    const std::size_t gain = current_gain(set);
+    if (gain == 0) continue;
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.emplace(gain, set);
+      continue;
+    }
+    for (const std::uint32_t slot : view.slots_of(set)) {
+      if (covered.set_if_clear(slot)) ++result.covered;
+    }
+    result.solution.push_back(set);
+    result.marginal_gains.push_back(gain);
+  }
+  return result;
+}
+
+// The pre-refactor weighted lazy greedy, verbatim (weighted_sketch.cpp).
+WeightedGreedyResult seed_weighted_greedy(const WeightedSketchView& view,
+                                          std::uint32_t k) {
+  WeightedGreedyResult result;
+  if (k == 0 || view.num_sets == 0) return result;
+  BitVec covered(view.num_retained);
+  std::priority_queue<std::pair<double, SetId>> heap;
+  for (SetId s = 0; s < view.num_sets; ++s) {
+    double total = 0.0;
+    for (const std::uint32_t slot : view.slots_of(s)) total += view.slot_value[slot];
+    if (total > 0.0) heap.emplace(total, s);
+  }
+  auto current_gain = [&](SetId s) {
+    double gain = 0.0;
+    for (const std::uint32_t slot : view.slots_of(s)) {
+      if (!covered.test(slot)) gain += view.slot_value[slot];
+    }
+    return gain;
+  };
+  while (result.solution.size() < k && !heap.empty()) {
+    const auto [cached, set] = heap.top();
+    heap.pop();
+    const double gain = current_gain(set);
+    if (gain <= 0.0) continue;
+    if (!heap.empty() && gain < heap.top().first) {
+      heap.emplace(gain, set);
+      continue;
+    }
+    for (const std::uint32_t slot : view.slots_of(set)) {
+      if (covered.set_if_clear(slot)) result.value += view.slot_value[slot];
+    }
+    result.solution.push_back(set);
+  }
+  return result;
+}
+
+// -------------------------------------------------------------- fixtures --
+SketchView make_view(SetId num_sets, std::size_t num_retained,
+                     const std::vector<std::vector<std::uint32_t>>& sets) {
+  SketchView view;
+  view.num_sets = num_sets;
+  view.num_retained = num_retained;
+  view.p_star = 1.0;
+  view.set_offsets.assign(num_sets + 1, 0);
+  for (SetId s = 0; s < num_sets; ++s) {
+    view.set_offsets[s + 1] = view.set_offsets[s] + sets[s].size();
+  }
+  for (SetId s = 0; s < num_sets; ++s) {
+    for (const std::uint32_t slot : sets[s]) view.set_slots.push_back(slot);
+  }
+  return view;
+}
+
+SketchView random_view(Rng& rng, SetId num_sets, std::size_t num_retained,
+                       bool allow_duplicates) {
+  std::vector<std::vector<std::uint32_t>> sets(num_sets);
+  for (SetId s = 0; s < num_sets; ++s) {
+    if (num_retained == 0) continue;
+    const std::size_t degree = rng.next_below(std::uint64_t{2} * num_retained + 1);
+    for (std::size_t i = 0; i < degree; ++i) {
+      sets[s].push_back(rng.next_below(static_cast<std::uint32_t>(num_retained)));
+    }
+    if (!allow_duplicates) {
+      std::sort(sets[s].begin(), sets[s].end());
+      sets[s].erase(std::unique(sets[s].begin(), sets[s].end()), sets[s].end());
+    }
+  }
+  return make_view(num_sets, num_retained, sets);
+}
+
+/// Asserts both strategies equal the seed reference on (max_sets, target) —
+/// solution order, marginal gains, and covered count, all bit for bit.
+void expect_all_equal(const SketchView& view, std::size_t max_sets,
+                      std::size_t target, ThreadPool* pool = nullptr) {
+  const GreedyResult expected = seed_greedy(view, max_sets, target);
+  Solver solver(view, pool);
+  for (const GreedyStrategy strategy :
+       {GreedyStrategy::kLazyHeap, GreedyStrategy::kDecremental}) {
+    const GreedyResult got = solver.cover_target(max_sets, target, strategy);
+    EXPECT_EQ(got.solution, expected.solution);
+    EXPECT_EQ(got.marginal_gains, expected.marginal_gains);
+    EXPECT_EQ(got.covered, expected.covered);
+  }
+}
+
+// ----------------------------------------------------------------- tests --
+TEST(SolveEquivalence, EmptyView) {
+  SketchView empty;
+  expect_all_equal(empty, 5, 1);
+  // Sets exist but nothing was retained.
+  Rng rng(1);
+  expect_all_equal(random_view(rng, 4, 0, false), 4, 1);
+}
+
+TEST(SolveEquivalence, SingleSet) {
+  const SketchView view = make_view(1, 6, {{0, 2, 4}});
+  expect_all_equal(view, 1, 6);
+  expect_all_equal(view, 3, 2);
+}
+
+TEST(SolveEquivalence, AllTies) {
+  // Every set has the same size; tie-breaks (gain desc, SetId desc, plus the
+  // lazy requeue rule) must agree across strategies AND with the seed.
+  const SketchView disjoint =
+      make_view(4, 8, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  expect_all_equal(disjoint, 4, 8);
+  const SketchView identical =
+      make_view(5, 3, {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2}, {0, 1, 2}});
+  expect_all_equal(identical, 5, 3);
+  // Overlapping ties where stale cached gains steer the pick order: the
+  // seed's requeue rule takes the set popped first among equal exact gains,
+  // which is NOT always the max SetId — the strategies must reproduce it.
+  const SketchView staircase =
+      make_view(4, 10, {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+                        {0, 1, 2, 3, 4, 5, 6, 7},
+                        {2, 3, 4, 5, 6, 7},
+                        {4, 5, 6, 7}});
+  expect_all_equal(staircase, 4, 10);
+}
+
+TEST(SolveEquivalence, MidSolveExhaustion) {
+  // Gains hit zero before max_sets/target do: the engine must drain stale
+  // heap entries identically to the seed.
+  const SketchView view = make_view(4, 4, {{0, 1, 2, 3}, {0, 1}, {2}, {3}});
+  expect_all_equal(view, 4, 4);   // one pick covers all; rest are stale zeros
+  expect_all_equal(view, 10, 9);  // target unreachable
+}
+
+TEST(SolveEquivalence, FuzzRandomViews) {
+  Rng rng(0x501e7);
+  for (int round = 0; round < 200; ++round) {
+    const SetId num_sets = static_cast<SetId>(rng.next_below(std::uint64_t{33}));
+    const std::size_t num_retained = rng.next_below(std::uint64_t{120});
+    const bool duplicates = rng.next_bool(0.3);
+    const SketchView view = random_view(rng, num_sets, num_retained, duplicates);
+    const std::size_t max_sets = rng.next_below(std::uint64_t{num_sets} + 2);
+    const std::size_t target =
+        rng.next_below(std::uint64_t{2} * num_retained + 2);
+    expect_all_equal(view, max_sets, target);
+    expect_all_equal(view, num_sets, num_retained == 0 ? 1 : num_retained);
+  }
+}
+
+TEST(SolveEquivalence, PooledDecrementSweepIsIdentical) {
+  // Large dense view + pool: the parallel decrement path must not change a
+  // single pick (decrements commute; asserted against the serial seed).
+  Rng rng(99);
+  ThreadPool pool(4);
+  const SketchView view = random_view(rng, 48, 4000, false);
+  expect_all_equal(view, 48, 4000, &pool);
+}
+
+TEST(SolveEquivalence, PostMergeShardView) {
+  // Shard a stream in two, merge the sketches, solve the merged view: the
+  // canonical distributed path (DESIGN.md §5.5) feeds the solver too.
+  const GeneratedInstance gen = make_uniform(40, 3000, 80, 17);
+  const std::vector<Edge> edges =
+      ordered_edges(gen.graph, ArrivalOrder::kRandom, 3);
+  SketchParams params;
+  params.num_sets = 40;
+  params.k = 8;
+  params.eps = 0.25;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 900;
+  params.hash_seed = 77;
+  SubsampleSketch left(params), right(params);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    (i % 2 == 0 ? left : right).update(edges[i]);
+  }
+  left.merge_from(right);
+  const SketchView view = left.view();
+  expect_all_equal(view, 8, view.num_retained);
+  expect_all_equal(view, 40, view.num_retained);
+}
+
+TEST(SolveEquivalence, WrappersMatchSeed) {
+  // greedy_max_cover / greedy_cover_target route through the Solver; pin
+  // them to the seed semantics directly.
+  Rng rng(0xFACE);
+  for (int round = 0; round < 50; ++round) {
+    const SketchView view = random_view(rng, 20, 60, round % 2 == 0);
+    const GreedyResult expected =
+        seed_greedy(view, 7, view.num_retained == 0 ? 1 : view.num_retained);
+    const GreedyResult got = greedy_max_cover(view, 7);
+    EXPECT_EQ(got.solution, expected.solution);
+    EXPECT_EQ(got.marginal_gains, expected.marginal_gains);
+    EXPECT_EQ(got.covered, expected.covered);
+  }
+}
+
+TEST(SolveEquivalence, WeightedMatchesSeed) {
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 100; ++round) {
+    const SetId num_sets = 1 + static_cast<SetId>(rng.next_below(std::uint64_t{16}));
+    const std::size_t num_retained = rng.next_below(std::uint64_t{80});
+    const SketchView base = random_view(rng, num_sets, num_retained, false);
+    WeightedSketchView view;
+    view.num_sets = base.num_sets;
+    view.num_retained = base.num_retained;
+    view.set_offsets = base.set_offsets;
+    view.set_slots = base.set_slots;
+    view.tau_star = 1.0;
+    view.slot_value.resize(num_retained);
+    for (double& v : view.slot_value) v = 0.25 + 4.0 * rng.next_unit();
+    // Exact ties in doubles happen when sets share identical slot lists —
+    // duplicate one set to force the requeue rule's tie path.
+    const std::uint32_t k =
+        1 + static_cast<std::uint32_t>(rng.next_below(std::uint64_t{num_sets}));
+    const WeightedGreedyResult expected = seed_weighted_greedy(view, k);
+    const WeightedGreedyResult got = weighted_greedy_max_cover(view, k);
+    EXPECT_EQ(got.solution, expected.solution);
+    EXPECT_EQ(got.value, expected.value);  // bit-for-bit: same sum order
+  }
+}
+
+TEST(SolveEquivalence, RepeatedSolvesOnOneSolverStayEqual) {
+  // The serve path solves the same index many times with reused scratch;
+  // every repetition must equal a fresh solve.
+  Rng rng(4242);
+  const SketchView view = random_view(rng, 24, 500, false);
+  Solver solver(view);
+  const GreedyResult first = solver.max_cover(8);
+  for (int i = 0; i < 5; ++i) {
+    const GreedyResult again = solver.max_cover(8);
+    EXPECT_EQ(again.solution, first.solution);
+    EXPECT_EQ(again.covered, first.covered);
+    const GreedyResult lazy = solver.max_cover(8, GreedyStrategy::kLazyHeap);
+    EXPECT_EQ(lazy.solution, first.solution);
+  }
+  EXPECT_GT(solver.space_words(), 0u);
+  EXPECT_GE(solver.peak_space_words(), solver.space_words());
+}
+
+TEST(SolveContract, CoverFractionEmptyView) {
+  // The empty-view contract, explicit (solve/greedy_engine.hpp): zero
+  // retained elements means cover_fraction is 1.0 even though covered == 0
+  // and the solution is empty — an empty sketch is vacuously fully covered,
+  // and Algorithm 4's feasibility gate relies on exactly that convention.
+  GreedyResult result;
+  EXPECT_EQ(result.covered, 0u);
+  EXPECT_TRUE(result.solution.empty());
+  EXPECT_DOUBLE_EQ(result.cover_fraction(0), 1.0);
+  // Solving an actually-empty view produces that result.
+  SketchView empty;
+  Solver solver(empty);
+  const GreedyResult solved = solver.max_cover(5);
+  EXPECT_TRUE(solved.solution.empty());
+  EXPECT_EQ(solved.covered, 0u);
+  EXPECT_DOUBLE_EQ(solved.cover_fraction(0), 1.0);
+  // And the non-degenerate direction still divides.
+  GreedyResult half;
+  half.covered = 30;
+  EXPECT_DOUBLE_EQ(half.cover_fraction(60), 0.5);
+}
+
+TEST(SolveContract, CoverTrackerBookkeeping) {
+  CoverTracker tracker(10);
+  EXPECT_EQ(tracker.covered(), 0u);
+  const std::vector<ElemId> family{1, 3, 5};
+  EXPECT_EQ(tracker.gain_of(std::span<const ElemId>(family)), 3u);
+  EXPECT_EQ(tracker.commit(std::span<const ElemId>(family)), 3u);
+  EXPECT_EQ(tracker.covered(), 3u);
+  EXPECT_TRUE(tracker.test(3));
+  EXPECT_FALSE(tracker.test(2));
+  EXPECT_FALSE(tracker.mark_if_clear(5));
+  EXPECT_TRUE(tracker.mark_if_clear(2));
+  EXPECT_EQ(tracker.covered(), 4u);
+  const std::vector<ElemId> overlap{2, 3, 7};
+  EXPECT_EQ(tracker.gain_of(std::span<const ElemId>(overlap)), 1u);
+  EXPECT_EQ(tracker.commit(std::span<const ElemId>(overlap)), 1u);
+  EXPECT_EQ(tracker.covered(), 5u);
+}
+
+TEST(SolveContract, MultiCoverTrackerSwapSemantics) {
+  MultiCoverTracker tracker(8);
+  const std::vector<ElemId> a{0, 1, 2};
+  const std::vector<ElemId> b{2, 3};
+  tracker.add_all(std::span<const ElemId>(a));
+  tracker.add_all(std::span<const ElemId>(b));
+  EXPECT_EQ(tracker.covered(), 4u);
+  EXPECT_TRUE(tracker.uniquely_covered(0));
+  EXPECT_FALSE(tracker.uniquely_covered(2));  // both kept sets have it
+  EXPECT_EQ(tracker.unique_count(std::span<const ElemId>(a)), 2u);
+  tracker.remove_all(std::span<const ElemId>(a));
+  EXPECT_EQ(tracker.covered(), 2u);  // {2, 3} remain via b
+  EXPECT_TRUE(tracker.uniquely_covered(2));
+  const std::vector<ElemId> probe{0, 2, 5};
+  EXPECT_EQ(tracker.gain_of(std::span<const ElemId>(probe)), 2u);
+}
+
+}  // namespace
+}  // namespace covstream

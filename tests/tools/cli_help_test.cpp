@@ -23,7 +23,7 @@ const std::string kHelp = cli_help_text();
 
 TEST(CliHelp, EveryCommandIsDocumented) {
   for (const char* cmd : {"generate", "stats", "convert", "kcover", "outliers",
-                          "setcover", "ingest", "query", "serve"}) {
+                          "setcover", "ingest", "query", "solve", "serve"}) {
     EXPECT_NE(kHelp.find(std::string("  ") + cmd), std::string::npos)
         << "command missing from help: " << cmd;
   }
@@ -38,14 +38,14 @@ TEST(CliHelp, EveryFlagTheCommandsReadIsDocumented) {
         "--alpha_elems", "--k", "--kstar", "--block", "--decoy", "--groups",
         "--cross", "--input", "--eps", "--lambda", "--rounds", "--merge_mark",
         "--threads", "--batch", "--checkpoint", "--checkpoint-every",
-        "--resume", "--snapshot", "--sets", "--snapshot-every"}) {
+        "--resume", "--snapshot", "--sets", "--snapshot-every", "--strategy"}) {
     EXPECT_NE(kHelp.find(flag), std::string::npos)
         << "flag missing from help: " << flag;
   }
 }
 
 TEST(CliHelp, ServeReplCommandsAreDocumented) {
-  for (const char* repl : {"estimate", "stats", "save", "wait", "quit"}) {
+  for (const char* repl : {"estimate", "solve", "stats", "save", "wait", "quit"}) {
     EXPECT_NE(kHelp.find(repl), std::string::npos)
         << "serve REPL command missing from help: " << repl;
   }
@@ -60,7 +60,7 @@ TEST(CliHelp, GoldenTextUnchanged) {
     hash ^= c;
     hash *= 0x100000001b3ULL;
   }
-  EXPECT_EQ(hash, 0x6bda5548b191dc46ULL)
+  EXPECT_EQ(hash, 0xb3380cc8a4b0eef4ULL)
       << "help text changed; review tools/covstream_help.hpp against the "
          "flags the commands read, then update this golden hash";
 }

@@ -9,6 +9,7 @@
 //   covstream_cli --cmd=convert  --input=g.bin --out=g.txt
 //   covstream_cli --cmd=ingest   --input=g.bin --n=500 --k=20 --out=g.snap
 //   covstream_cli --cmd=query    --snapshot=g.snap --sets=1,2,5
+//   covstream_cli --cmd=solve    --snapshot=g.snap --k=20
 //   covstream_cli --cmd=serve    --input=g.bin --n=500 --k=20   # stdin REPL
 //
 // The full flag reference lives in tools/covstream_help.hpp (printed by
@@ -28,10 +29,12 @@
 #include "parallel/thread_pool.hpp"
 #include "serve/sketch_server.hpp"
 #include "sketch/substrate/snapshot.hpp"
+#include "solve/solver.hpp"
 #include "stream/arrival_order.hpp"
 #include "stream/file_stream.hpp"
 #include "stream/stream_engine.hpp"
 #include "util/cli.hpp"
+#include "util/space_meter.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "workloads/generators.hpp"
@@ -169,8 +172,9 @@ int cmd_kcover(CliArgs& args) {
   for (const SetId s : result.solution) std::printf(" %u", s);
   std::printf("\n  sketch     : %zu elements / %zu edges, p*=%.5f\n",
               result.sketch_retained, result.sketch_edges, result.p_star);
-  std::printf("  space      : %zu words peak, %zu final\n", result.space_words,
-              result.final_space_words);
+  std::printf("  space      : %zu words peak, %zu final, solver %zu\n",
+              result.space_words, result.final_space_words,
+              result.solver_space_words);
   std::printf("  passes     : %zu, wall %.2fs\n", result.passes, timer.seconds());
   return 0;
 }
@@ -384,14 +388,10 @@ int cmd_ingest(CliArgs& args) {
   return 0;
 }
 
-int cmd_query(CliArgs& args) {
-  const std::string path = args.get_string("snapshot", "");
-  const std::string sets_arg = args.get_string("sets", "");
-  args.finish();
-  COVSTREAM_CHECK(!path.empty());
-
-  // Accept either a bare sketch snapshot or an ingest checkpoint: read the
-  // file once and dispatch on the header's object type.
+/// Loads a bare sketch snapshot or an ingest checkpoint (query and solve
+/// accept either): reads the file once and dispatches on the header's
+/// object type. Prints why on failure.
+std::optional<SubsampleSketch> load_sketch_or_checkpoint(const std::string& path) {
   SnapshotReader reader = SnapshotReader::from_file(path);
   std::optional<SubsampleSketch> sketch;
   if (reader.ok()) {
@@ -412,8 +412,19 @@ int cmd_query(CliArgs& args) {
   if (!sketch || !reader.ok()) {
     std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
                  reader.ok() ? "snapshot did not validate" : reader.error().c_str());
-    return 1;
+    return std::nullopt;
   }
+  return sketch;
+}
+
+int cmd_query(CliArgs& args) {
+  const std::string path = args.get_string("snapshot", "");
+  const std::string sets_arg = args.get_string("sets", "");
+  args.finish();
+  COVSTREAM_CHECK(!path.empty());
+
+  std::optional<SubsampleSketch> sketch = load_sketch_or_checkpoint(path);
+  if (!sketch) return 1;
   std::printf("%s: %zu elements / %zu edges, p*=%.5f, %zu words\n",
               path.c_str(), sketch->retained_elements(), sketch->stored_edges(),
               sketch->p_star(), sketch->space_words());
@@ -424,6 +435,47 @@ int cmd_query(CliArgs& args) {
     std::printf("estimate(%zu sets) = %.1f\n", family->size(),
                 sketch->estimate_coverage(*family));
   }
+  return 0;
+}
+
+int cmd_solve(CliArgs& args) {
+  const std::string path = args.get_string("snapshot", "");
+  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 10));
+  const std::string strategy_name = args.get_string("strategy", "decremental");
+  // --threads here parallelizes the decremental strategy's large decrement
+  // sweeps (no stream is read, so there is no --batch to set).
+  const std::size_t threads = args.get_size("threads", 0);
+  std::optional<ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+  args.finish();
+  COVSTREAM_CHECK(!path.empty() && k > 0);
+  GreedyStrategy strategy = GreedyStrategy::kDecremental;
+  if (strategy_name == "lazy") {
+    strategy = GreedyStrategy::kLazyHeap;
+  } else if (strategy_name != "decremental") {
+    std::fprintf(stderr, "unknown --strategy=%s (lazy|decremental)\n",
+                 strategy_name.c_str());
+    return 2;
+  }
+
+  std::optional<SubsampleSketch> sketch = load_sketch_or_checkpoint(path);
+  if (!sketch) return 1;
+  Timer timer;
+  const SketchView view = sketch->view();
+  Solver solver(view, pool.has_value() ? &*pool : nullptr);
+  const GreedyResult greedy = solver.max_cover(k, strategy);
+  const double estimate =
+      view.p_star > 0.0
+          ? static_cast<double>(greedy.covered) / view.p_star
+          : 0.0;
+  std::printf("solve (k=%u, %s): estimated coverage %.1f\n", k,
+              strategy_name.c_str(), estimate);
+  std::printf("  solution   :");
+  for (const SetId s : greedy.solution) std::printf(" %u", s);
+  std::printf("\n  covered    : %zu of %zu retained (%.4f)\n", greedy.covered,
+              view.num_retained, greedy.cover_fraction(view.num_retained));
+  std::printf("  solver     : %s (index + scratch), wall %.2fs\n",
+              format_words(solver.peak_space_words()).c_str(), timer.seconds());
   return 0;
 }
 
@@ -452,8 +504,8 @@ int cmd_serve(CliArgs& args) {
     server.emplace(*setup->fresh_params, options);
   }
   server->start(*stream);
-  std::printf("serving; commands: estimate <id,id,...> | stats | save <path> "
-              "| wait | quit\n");
+  std::printf("serving; commands: estimate <id,id,...> | solve <k> | stats | "
+              "save <path> | wait | quit\n");
   std::fflush(stdout);
 
   char line[4096];
@@ -501,6 +553,29 @@ int cmd_serve(CliArgs& args) {
           std::printf("estimate = %.1f\n", snapshot->estimate_coverage(*family));
         }  // bad ids: parse_set_list already printed why; keep serving
       }
+    } else if (text.rfind("solve ", 0) == 0) {
+      const std::string arg = text.substr(6);
+      char* rest = nullptr;
+      const unsigned long long k = std::strtoull(arg.c_str(), &rest, 10);
+      // The cast below truncates: a k past the SetId range must be rejected
+      // here, not wrapped (2^32 would become a silent k = 0).
+      if (rest == arg.c_str() || *rest != '\0' || k == 0 ||
+          k > 0xffffffffULL) {
+        std::printf("solve needs a positive 32-bit k (got '%s')\n", arg.c_str());
+      } else {
+        // Answered from the freshest published handle; ingestion continues
+        // untouched while the solve runs (serve/sketch_server.hpp).
+        const std::optional<KCoverResult> answer =
+            server->solve(static_cast<std::uint32_t>(k));
+        if (!answer) {
+          std::printf("no snapshot yet\n");
+        } else {
+          std::printf("solve k=%llu: estimated coverage %.1f; solution:", k,
+                      answer->estimated_coverage);
+          for (const SetId s : answer->solution) std::printf(" %u", s);
+          std::printf("\n");
+        }
+      }
     } else if (text.rfind("save ", 0) == 0) {
       std::string error;
       if (snapshot == nullptr) {
@@ -535,6 +610,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "setcover") return cmd_setcover(args);
   if (cmd == "ingest") return cmd_ingest(args);
   if (cmd == "query") return cmd_query(args);
+  if (cmd == "solve") return cmd_solve(args);
   if (cmd == "serve") return cmd_serve(args);
   std::fputs(cli_help_text(), stdout);
   return cmd == "help" ? 0 : 2;

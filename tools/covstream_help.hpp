@@ -44,9 +44,14 @@ inline const char* cli_help_text() {
       "             sketch parameters from the checkpoint, not the flags)\n"
       "  query      answer coverage queries from a sketch or checkpoint snapshot\n"
       "             --snapshot --sets=<id,id,...>\n"
+      "  solve      greedy max-k-cover on a sketch or checkpoint snapshot via\n"
+      "             the shared solver engine (DESIGN.md §5.10); reports the\n"
+      "             solution, covered fraction, and solver space\n"
+      "             --snapshot --k --strategy=decremental|lazy --threads\n"
       "  serve      ingest in the background while answering queries from\n"
       "             immutable snapshot handles; commands on stdin:\n"
-      "             estimate <id,id,...> | stats | save <path> | wait | quit\n"
+      "             estimate <id,id,...> | solve <k> | stats | save <path>\n"
+      "             | wait | quit\n"
       "             --input --n --k --eps --seed --batch --snapshot-every\n"
       "             --checkpoint --checkpoint-every --resume\n"
       "\n"
