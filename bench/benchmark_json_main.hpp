@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "hash/simd/cpu_features.hpp"
+
 namespace covstream::bench {
 
 /// Runs the registered benchmarks, emitting machine-readable results to
@@ -34,6 +36,12 @@ inline int run_benchmark_json_main(int argc, char** argv,
   int count = static_cast<int>(args.size());
   benchmark::Initialize(&count, args.data());
   if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  // Stamp the dispatched kernel tier into the JSON context: numbers from
+  // different tiers are not comparable, and tools/bench_diff.py refuses to
+  // diff files whose covstream_isa entries disagree.
+  benchmark::AddCustomContext("covstream_isa", isa_name(active_isa()));
+  benchmark::AddCustomContext("covstream_cpu_features",
+                              cpu_features().describe());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -10,7 +10,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "benchmark_json_main.hpp"
@@ -20,6 +22,7 @@
 #include "core/subsample_sketch.hpp"
 #include "core/weighted_sketch.hpp"
 #include "hash/hash64.hpp"
+#include "hash/simd/kernels.hpp"
 #include "hash/tabulation.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sketch/kmv.hpp"
@@ -27,6 +30,7 @@
 #include "stream/arrival_order.hpp"
 #include "stream/file_stream.hpp"
 #include "stream/stream_engine.hpp"
+#include "util/rng.hpp"
 #include "workloads/generators.hpp"
 
 namespace covstream {
@@ -51,6 +55,123 @@ void BM_TabulationHash(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TabulationHash);
+
+// --------------------------------------------------- kernel microbenches ----
+// Each SIMD kernel per forced tier (DESIGN.md §5.11), Arg(0) = scalar,
+// Arg(1) = avx2, over one engine-sized chunk — the same sweep shape the
+// admission path dispatches. The avx2 rows skip on machines without it.
+
+constexpr std::size_t kKernelChunk = StreamEngine::kDefaultBatchEdges;
+
+const simd::KernelTable* kernel_table_for_bench(benchmark::State& state) {
+  const IsaLevel level =
+      state.range(0) == 0 ? IsaLevel::kScalar : IsaLevel::kAvx2;
+  if (level == IsaLevel::kAvx2 && best_supported_isa() != IsaLevel::kAvx2) {
+    state.SkipWithError("CPU has no AVX2");
+    return nullptr;
+  }
+  state.SetLabel(isa_name(level));
+  return &simd::kernels_for(level);
+}
+
+std::vector<std::uint64_t> kernel_bench_elems() {
+  std::vector<std::uint64_t> elems(kKernelChunk);
+  Rng rng(0xBE7C4ULL);
+  for (std::uint64_t& e : elems) e = rng.next_below(std::uint64_t{1} << 40);
+  return elems;
+}
+
+void BM_KernelMix64Batch(benchmark::State& state) {
+  const simd::KernelTable* table = kernel_table_for_bench(state);
+  if (table == nullptr) return;
+  const std::vector<std::uint64_t> elems = kernel_bench_elems();
+  std::vector<std::uint64_t> keys(elems.size());
+  for (auto _ : state) {
+    table->mix64_batch(elems.data(), keys.data(), elems.size(), 0x9E3779B9ULL);
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * elems.size()));
+}
+BENCHMARK(BM_KernelMix64Batch)->Arg(0)->Arg(1);
+
+// The fused chunk-entry sweep: AoS elem extraction + set bounds check +
+// mix64, straight off the 16-byte Edge stride — what update_chunk actually
+// pays before admission.
+void BM_KernelHashEdges(benchmark::State& state) {
+  const simd::KernelTable* table = kernel_table_for_bench(state);
+  if (table == nullptr) return;
+  const std::vector<std::uint64_t> raw = kernel_bench_elems();
+  std::vector<Edge> edges(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    edges[i] = {static_cast<SetId>(i % 200), raw[i]};
+  }
+  std::vector<std::uint64_t> elems(edges.size());
+  std::vector<std::uint64_t> keys(edges.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table->hash_edges_u64(edges.data(), elems.data(), keys.data(),
+                              edges.size(), 0x9E3779B9ULL, 200));
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * edges.size()));
+}
+BENCHMARK(BM_KernelHashEdges)->Arg(0)->Arg(1);
+
+void BM_KernelTabulationBatch(benchmark::State& state) {
+  const simd::KernelTable* table = kernel_table_for_bench(state);
+  if (table == nullptr) return;
+  const std::vector<std::uint64_t> elems = kernel_bench_elems();
+  std::vector<std::uint64_t> keys(elems.size());
+  std::vector<std::uint64_t> tables(8 * 256);
+  Rng rng(0x7AB7ABULL);
+  for (std::uint64_t& entry : tables) entry = rng.next();
+  for (auto _ : state) {
+    table->tabulation_batch(tables.data(), elems.data(), keys.data(),
+                            elems.size());
+    benchmark::DoNotOptimize(keys.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * elems.size()));
+}
+BENCHMARK(BM_KernelTabulationBatch)->Arg(0)->Arg(1);
+
+/// Hashed keys plus a bound keeping ~1/1024 of them — the saturated
+/// regime's survivor density for the count/compact sweeps below.
+std::pair<std::vector<std::uint64_t>, std::uint64_t> saturated_keys() {
+  std::vector<std::uint64_t> keys(kKernelChunk);
+  const Mix64Hash hash(42);
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = hash(i);
+  return {std::move(keys), ~std::uint64_t{0} / 1024};
+}
+
+void BM_KernelCountBelow(benchmark::State& state) {
+  const simd::KernelTable* table = kernel_table_for_bench(state);
+  if (table == nullptr) return;
+  const auto [keys, bound] = saturated_keys();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table->count_below_u64(keys.data(), keys.size(), bound));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * keys.size()));
+}
+BENCHMARK(BM_KernelCountBelow)->Arg(0)->Arg(1);
+
+void BM_KernelCompactBelow(benchmark::State& state) {
+  const simd::KernelTable* table = kernel_table_for_bench(state);
+  if (table == nullptr) return;
+  const auto [keys, bound] = saturated_keys();
+  std::vector<std::uint32_t> out(keys.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table->compact_below_u64(keys.data(), keys.size(), bound, out.data()));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * keys.size()));
+}
+BENCHMARK(BM_KernelCompactBelow)->Arg(0)->Arg(1);
 
 /// Feeds `stream` through the chunk-vectorized admission path in
 /// engine-sized chunks — the path every StreamEngine consumer runs.
@@ -296,6 +417,8 @@ BENCHMARK(BM_KmvAdd);
 struct IngestFixture {
   std::string text_path;
   std::string bin_path;
+  std::size_t text_bytes = 0;
+  std::size_t bin_bytes = 0;
   std::vector<Edge> edges;
 };
 
@@ -310,9 +433,21 @@ const IngestFixture& ingest_fixture() {
     f.bin_path = dir + "/covstream_ingest_bench.bin";
     write_text_edges(f.text_path, f.edges);
     write_binary_edges(f.bin_path, f.edges);
+    f.text_bytes = std::filesystem::file_size(f.text_path);
+    f.bin_bytes = std::filesystem::file_size(f.bin_path);
     return f;
   }();
   return fixture;
+}
+
+/// Every file-ingest family reports ns/edge (items) AND MB/s off the file
+/// (bytes): the edge rate is what the paper's O~(1) claim is about, the
+/// byte rate is what disk-bound capacity planning needs.
+void set_ingest_counters(benchmark::State& state, std::size_t edges,
+                         std::size_t file_bytes) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * edges));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * file_bytes));
 }
 
 void BM_TextFileIngestLegacy(benchmark::State& state) {
@@ -331,8 +466,7 @@ void BM_TextFileIngestLegacy(benchmark::State& state) {
     std::fclose(file);
     benchmark::DoNotOptimize(edges);
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+  set_ingest_counters(state, fx.edges.size(), fx.text_bytes);
 }
 BENCHMARK(BM_TextFileIngestLegacy);
 
@@ -346,8 +480,7 @@ void BM_TextFileIngestPerEdge(benchmark::State& state) {
     while (stream.next(edge)) ++edges;
     benchmark::DoNotOptimize(edges);
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+  set_ingest_counters(state, fx.edges.size(), fx.text_bytes);
 }
 BENCHMARK(BM_TextFileIngestPerEdge);
 
@@ -361,8 +494,7 @@ void BM_TextFileIngestBatched(benchmark::State& state) {
     while ((got = stream.next_batch(block.data(), block.size())) > 0) edges += got;
     benchmark::DoNotOptimize(edges);
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+  set_ingest_counters(state, fx.edges.size(), fx.text_bytes);
 }
 BENCHMARK(BM_TextFileIngestBatched)->Arg(1 << 12)->Arg(1 << 15);
 
@@ -382,8 +514,7 @@ void BM_BinaryFileIngestLegacy(benchmark::State& state) {
     std::fclose(file);
     benchmark::DoNotOptimize(edges);
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+  set_ingest_counters(state, fx.edges.size(), fx.bin_bytes);
 }
 BENCHMARK(BM_BinaryFileIngestLegacy);
 
@@ -397,8 +528,7 @@ void BM_BinaryFileIngestBatched(benchmark::State& state) {
     while ((got = stream.next_batch(block.data(), block.size())) > 0) edges += got;
     benchmark::DoNotOptimize(edges);
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+  set_ingest_counters(state, fx.edges.size(), fx.bin_bytes);
 }
 BENCHMARK(BM_BinaryFileIngestBatched)->Arg(1 << 12)->Arg(1 << 15);
 
@@ -421,8 +551,7 @@ void BM_EngineSketchFromBinaryFile(benchmark::State& state) {
     });
     benchmark::DoNotOptimize(sketch.stored_edges());
   }
-  state.SetItemsProcessed(
-      static_cast<std::int64_t>(state.iterations() * fx.edges.size()));
+  set_ingest_counters(state, fx.edges.size(), fx.bin_bytes);
 }
 BENCHMARK(BM_EngineSketchFromBinaryFile)->Arg(1 << 12)->Arg(1 << 15);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hash/simd/kernels.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace covstream {
@@ -50,10 +51,15 @@ void SketchLadder::update_chunk(std::span<const Edge> edges) {
     for (std::size_t at = 0; at < edges.size(); at += block) {
       const std::size_t len = std::min(block, edges.size() - at);
       const std::span<const Edge> part = edges.subspan(at, len);
-      for (std::size_t i = 0; i < len; ++i) {
-        COVSTREAM_CHECK(part[i].set < num_sets);
-        elem_scratch_[i] = part[i].elem;
-        key_scratch_[i] = hash(elem_scratch_[i]);
+      // One fused kernel sweep per block (DESIGN.md §5.11): elem extraction
+      // off the Edge stride, the shared bounds check, and 4-lane mix64
+      // under AVX2 — instead of a per-edge extract loop plus a hash call.
+      if (!simd::kernels().hash_edges_u64(part.data(), elem_scratch_.data(),
+                                          key_scratch_.data(), len,
+                                          hash.salt(), num_sets)) {
+        for (const Edge& edge : part) {
+          COVSTREAM_CHECK(edge.set < num_sets);
+        }
       }
       const std::span<const ElemId> elems(elem_scratch_.data(), len);
       const std::span<const std::uint64_t> keys(key_scratch_.data(), len);
@@ -68,17 +74,18 @@ void SketchLadder::update_chunk(std::span<const Edge> edges) {
         max_cutoff = std::max(max_cutoff, rung.admission_cutoff());
       }
       if (max_cutoff != ~0ULL) {
-        candidate_scratch_.clear();
-        for (std::size_t i = 0; i < len; ++i) {
-          if (key_scratch_[i] < max_cutoff) {
-            candidate_scratch_.push_back(static_cast<std::uint32_t>(i));
-          }
-        }
+        // The dispatched compare+compact kernel filters the block in one
+        // sweep; the scratch is sized to the block because the AVX2 tier
+        // stores 4-wide (entries past `kept` are scratch, never past len).
+        if (candidate_scratch_.size() < len) candidate_scratch_.resize(len);
+        const std::size_t kept = simd::kernels().compact_below_u64(
+            key_scratch_.data(), len, max_cutoff, candidate_scratch_.data());
         // Fully rejected block — the dominant case once saturated. Nothing
         // can mutate any rung (and every saturated rung's peak was already
         // recorded at its evictions), so skip the per-rung fan-out.
-        if (candidate_scratch_.empty()) continue;
-        const std::span<const std::uint32_t> candidates(candidate_scratch_);
+        if (kept == 0) continue;
+        const std::span<const std::uint32_t> candidates(
+            candidate_scratch_.data(), kept);
         parallel_for_blocked(
             pool_, rungs_.size(),
             [this, part, elems, keys, candidates](std::size_t begin,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hash/simd/kernels.hpp"
 #include "stream/stream_engine.hpp"
 
 namespace covstream {
@@ -39,28 +40,24 @@ void SubsampleSketch::update(const Edge& edge) {
 }
 
 void SubsampleSketch::update_chunk(std::span<const Edge> edges) {
-  // Unsaturated prefix: every edge survives the (infinite) cutoff, so the
-  // scratch hash sweep would only be overhead — per-edge updates are the
-  // dense fast path. The moment the first eviction sets a finite cutoff,
-  // the remainder of the chunk flips to the batched pre-filter path.
-  std::size_t start = 0;
-  if (!core_.saturated()) {
-    while (start < edges.size()) {
-      update(edges[start]);
-      ++start;
-      if (core_.saturated()) break;
+  // One fused kernel sweep per chunk (hash/simd/kernels.hpp, DESIGN.md
+  // §5.11): elem extraction off the 16-byte Edge stride, the set bounds
+  // check, and the mix64 hash in a single pass. Both admission regimes run
+  // off the precomputed spans — admit_batch's dense sweep covers the
+  // unsaturated case (and its live cutoff check keeps a mid-chunk
+  // saturation exact), its count/compact pre-filter the saturated one.
+  elem_scratch_.resize(edges.size());
+  key_scratch_.resize(edges.size());
+  if (!simd::kernels().hash_edges_u64(edges.data(), elem_scratch_.data(),
+                                      key_scratch_.data(), edges.size(),
+                                      hash_.salt(), params_.num_sets)) {
+    // The fused sweep only reports THAT a set was out of bounds; re-run the
+    // per-edge check to fail on the offending edge.
+    for (const Edge& edge : edges) {
+      COVSTREAM_CHECK(edge.set < params_.num_sets);
     }
-    if (start == edges.size()) return;
   }
-  const std::span<const Edge> rest = edges.subspan(start);
-  elem_scratch_.resize(rest.size());
-  key_scratch_.resize(rest.size());
-  for (std::size_t i = 0; i < rest.size(); ++i) {
-    COVSTREAM_CHECK(rest[i].set < params_.num_sets);
-    elem_scratch_[i] = rest[i].elem;
-    key_scratch_[i] = hash_(rest[i].elem);
-  }
-  update_chunk_with_keys(rest, elem_scratch_, key_scratch_);
+  update_chunk_with_keys(edges, elem_scratch_, key_scratch_);
 }
 
 void SubsampleSketch::update_chunk_with_keys(std::span<const Edge> edges,

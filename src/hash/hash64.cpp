@@ -1,14 +1,12 @@
 #include "hash/hash64.hpp"
 
+#include "hash/simd/kernels.hpp"
+
 namespace covstream {
 
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
+void Mix64Hash::hash_batch(const ElemId* elems, std::uint64_t* keys,
+                           std::size_t n) const {
+  simd::kernels().mix64_batch(elems, keys, n, salt_);
 }
 
 }  // namespace covstream

@@ -7,32 +7,65 @@
 //  * TabulationHash (hash/tabulation.hpp) — 3-independent simple tabulation,
 //    for tests that want a provable independence family.
 //
+// This header is the canonical home of the repo's mix64-style finalizers:
+// mix64 (Murmur3 fmix64 constants, used by the sketches and the flat table)
+// and splitmix64_mix (SplitMix64 constants, used by Rng seeding). Every
+// other site calls these — one definition, so the scalar reference the SIMD
+// kernels must match bit-for-bit exists exactly once.
+//
 // Unit-interval comparisons are done on the raw 64-bit hash (h(u) <= p iff
 // hash64(u) <= p * 2^64), which avoids double rounding in the hot path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/common.hpp"
 
 namespace covstream {
 
-/// Stateless strong 64->64 bit mixer (Murmur3 fmix64 variant, xor-seeded).
-std::uint64_t mix64(std::uint64_t x);
+/// 2^64 / phi — the SplitMix64 increment, also Mix64Hash's seed spreader.
+constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+/// Stateless strong 64->64 bit mixer (Murmur3 fmix64 variant).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// The SplitMix64 output finalizer (Stafford mix13 constants).
+constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// Seeded element hash; the seed is the "choice of random function h".
 class Mix64Hash {
  public:
-  explicit Mix64Hash(std::uint64_t seed = 0) : seed_(seed) {}
+  explicit Mix64Hash(std::uint64_t seed = 0)
+      : seed_(seed), salt_(seed * kGoldenGamma + 0x632be59bd9b4e019ULL) {}
 
-  std::uint64_t operator()(ElemId id) const {
-    return mix64(id ^ (seed_ * 0x9e3779b97f4a7c15ULL + 0x632be59bd9b4e019ULL));
-  }
+  std::uint64_t operator()(ElemId id) const { return mix64(id ^ salt_); }
+
+  /// keys[i] = (*this)(elems[i]) for a whole chunk, through the dispatched
+  /// SIMD kernel (hash/simd/kernels.hpp) — bit-for-bit equal to the
+  /// per-element operator() on every ISA tier.
+  void hash_batch(const ElemId* elems, std::uint64_t* keys,
+                  std::size_t n) const;
 
   std::uint64_t seed() const { return seed_; }
 
+  /// The per-seed xor salt; the batched kernels take it directly.
+  std::uint64_t salt() const { return salt_; }
+
  private:
   std::uint64_t seed_;
+  std::uint64_t salt_;
 };
 
 /// Maps a raw 64-bit hash to a double in [0, 1).

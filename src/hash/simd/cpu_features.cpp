@@ -1,0 +1,135 @@
+#include "hash/simd/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "hash/simd/kernels.hpp"
+
+namespace covstream {
+namespace {
+
+// The resolved (already hardware-clamped) request. kUnset makes the first
+// reader consult COVSTREAM_ISA; after that only set_isa_override writes.
+constexpr int kUnset = -1;
+std::atomic<int> g_active{kUnset};
+std::once_flag g_env_once;
+
+std::string& fallback_notice_storage() {
+  static std::string notice;
+  return notice;
+}
+
+/// Clamps a request to hardware support, recording why when it loses.
+IsaLevel clamp_to_hardware(IsaLevel requested) {
+  const IsaLevel best = best_supported_isa();
+  if (static_cast<int>(requested) <= static_cast<int>(best)) {
+    fallback_notice_storage().clear();
+    return requested;
+  }
+  fallback_notice_storage() =
+      std::string("requested isa '") + isa_name(requested) +
+      "' is not supported by this CPU; falling back to '" + isa_name(best) +
+      "'";
+  return best;
+}
+
+void init_from_env() {
+  const char* env = std::getenv("COVSTREAM_ISA");
+  IsaLevel level = best_supported_isa();
+  if (env != nullptr && *env != '\0') {
+    std::string_view name(env);
+    if (name == "scalar") {
+      level = IsaLevel::kScalar;
+    } else if (name == "avx2") {
+      level = clamp_to_hardware(IsaLevel::kAvx2);
+    } else {
+      fallback_notice_storage() =
+          std::string("unknown COVSTREAM_ISA value '") + env +
+          "' (want scalar|avx2); using '" + isa_name(level) + "'";
+    }
+  }
+  int expected = kUnset;
+  // An explicit set_isa_override racing init wins: never clobber it.
+  g_active.compare_exchange_strong(expected, static_cast<int>(level),
+                                   std::memory_order_acq_rel);
+}
+
+}  // namespace
+
+std::string CpuFeatures::describe() const {
+  std::string out;
+  const auto add = [&out](bool on, const char* name) {
+    if (!on) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  add(sse42, "sse4.2");
+  add(avx, "avx");
+  add(avx2, "avx2");
+  add(bmi2, "bmi2");
+  if (out.empty()) out = "baseline";
+  return out;
+}
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+    f.avx = __builtin_cpu_supports("avx") != 0;
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.bmi2 = __builtin_cpu_supports("bmi2") != 0;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+IsaLevel best_supported_isa() {
+  // The AVX2 table is nullptr when this build target has no AVX2 kernels
+  // (non-x86), so scalar-only machines and ports dispatch scalar silently.
+  if (simd::avx2_kernel_table() != nullptr && cpu_features().avx2) {
+    return IsaLevel::kAvx2;
+  }
+  return IsaLevel::kScalar;
+}
+
+IsaLevel active_isa() {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<IsaLevel>(g_active.load(std::memory_order_acquire));
+}
+
+IsaLevel set_isa_override(IsaLevel level) {
+  const IsaLevel bound = clamp_to_hardware(level);
+  // Mark env resolution done so a later active_isa() cannot overwrite this.
+  std::call_once(g_env_once, [] {});
+  g_active.store(static_cast<int>(bound), std::memory_order_release);
+  return bound;
+}
+
+bool set_isa_override(std::string_view name) {
+  if (name == "scalar") {
+    set_isa_override(IsaLevel::kScalar);
+    return true;
+  }
+  if (name == "avx2") {
+    set_isa_override(IsaLevel::kAvx2);
+    return true;
+  }
+  return false;
+}
+
+const std::string& last_fallback_notice() { return fallback_notice_storage(); }
+
+const char* isa_name(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+}  // namespace covstream

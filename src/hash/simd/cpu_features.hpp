@@ -1,0 +1,62 @@
+// Runtime CPU feature detection and ISA dispatch policy (DESIGN.md §5.11).
+//
+// The admission/hashing kernels (hash/simd/kernels.hpp) ship in two builds:
+// a scalar reference and an AVX2 implementation, bit-for-bit identical by
+// construction (all-integer math). Which one runs is a process-wide choice:
+//
+//   active_isa() = min(requested level, best level this CPU supports)
+//
+// The requested level defaults to "everything the CPU has" and can be pinned
+// two ways — the COVSTREAM_ISA environment variable (scalar|avx2), read once
+// before the first dispatch, and set_isa_override(), which the CLI's --isa
+// flag and the forced-ISA equivalence tests call at runtime. Requesting a
+// level the CPU lacks is not an error: the dispatch clamps down and
+// last_fallback_notice() records why, so CI on a scalar-only runner passes
+// with a visible notice instead of dying on SIGILL.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace covstream {
+
+/// Dispatchable kernel tiers, ordered: a higher level strictly extends the
+/// instruction set of the ones below it.
+enum class IsaLevel { kScalar = 0, kAvx2 = 1 };
+
+/// What the CPU we are running on can execute (detected once, cached).
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool bmi2 = false;
+
+  /// Human-readable feature list, e.g. "sse4.2 avx avx2 bmi2" (or "baseline"
+  /// when none of the probed extensions are present).
+  std::string describe() const;
+};
+
+const CpuFeatures& cpu_features();
+
+/// Highest kernel tier the CPU can execute.
+IsaLevel best_supported_isa();
+
+/// The tier the dispatch table currently binds (request clamped to support).
+IsaLevel active_isa();
+
+/// Pins the requested tier (clamped to hardware support). Returns the tier
+/// actually bound.
+IsaLevel set_isa_override(IsaLevel level);
+
+/// Parses "scalar" / "avx2" and pins it; returns false (state unchanged) on
+/// an unknown name. A request clamped down by missing hardware support still
+/// returns true — check last_fallback_notice() for the message.
+bool set_isa_override(std::string_view name);
+
+/// Non-empty when the most recent request (flag, env var, or override call)
+/// asked for a tier the CPU lacks; explains the clamp-down.
+const std::string& last_fallback_notice();
+
+const char* isa_name(IsaLevel level);
+
+}  // namespace covstream

@@ -1,0 +1,90 @@
+// Scalar reference kernels + the process-wide dispatch table.
+//
+// The scalar tier is the semantic definition of every kernel: the AVX2 tier
+// (kernels_avx2.cpp) must agree bit-for-bit, which the forced-ISA
+// equivalence tests fuzz. Keep these loops boring — any cleverness belongs
+// in the vector tier where the dispatch can fall back from it.
+#include "hash/simd/kernels.hpp"
+
+#include "hash/hash64.hpp"
+
+namespace covstream::simd {
+namespace {
+
+void mix64_batch_scalar(const std::uint64_t* elems, std::uint64_t* keys,
+                        std::size_t n, std::uint64_t salt) {
+  for (std::size_t i = 0; i < n; ++i) keys[i] = mix64(elems[i] ^ salt);
+}
+
+bool hash_edges_scalar(const Edge* edges, std::uint64_t* elems,
+                       std::uint64_t* keys, std::size_t n, std::uint64_t salt,
+                       std::uint32_t set_bound) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (edges[i].set >= set_bound) return false;
+    const std::uint64_t e = edges[i].elem;
+    elems[i] = e;
+    keys[i] = mix64(e ^ salt);
+  }
+  return true;
+}
+
+void tabulation_batch_scalar(const std::uint64_t* tables,
+                             const std::uint64_t* elems, std::uint64_t* keys,
+                             std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = elems[i];
+    std::uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= tables[byte * 256 + ((x >> (8 * byte)) & 0xff)];
+    }
+    keys[i] = h;
+  }
+}
+
+std::size_t count_below_scalar(const std::uint64_t* keys, std::size_t n,
+                               std::uint64_t bound) {
+  // Four independent accumulators break the loop-carried dependency so the
+  // sweep runs at load+compare throughput (the pre-kernel MinHashCore loop).
+  std::size_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    h0 += static_cast<std::size_t>(keys[i] < bound);
+    h1 += static_cast<std::size_t>(keys[i + 1] < bound);
+    h2 += static_cast<std::size_t>(keys[i + 2] < bound);
+    h3 += static_cast<std::size_t>(keys[i + 3] < bound);
+  }
+  for (; i < n; ++i) h0 += static_cast<std::size_t>(keys[i] < bound);
+  return h0 + h1 + h2 + h3;
+}
+
+std::size_t compact_below_scalar(const std::uint64_t* keys, std::size_t n,
+                                 std::uint64_t bound, std::uint32_t* out) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keys[i] < bound) out[kept++] = static_cast<std::uint32_t>(i);
+  }
+  return kept;
+}
+
+constexpr KernelTable kScalarTable = {
+    IsaLevel::kScalar,
+    mix64_batch_scalar,
+    hash_edges_scalar,
+    tabulation_batch_scalar,
+    count_below_scalar,
+    compact_below_scalar,
+};
+
+}  // namespace
+
+const KernelTable& kernels() { return kernels_for(active_isa()); }
+
+const KernelTable& kernels_for(IsaLevel level) {
+  if (level == IsaLevel::kAvx2) {
+    const KernelTable* avx2 = avx2_kernel_table();
+    if (avx2 != nullptr) return *avx2;
+  }
+  return kScalarTable;
+}
+
+}  // namespace covstream::simd

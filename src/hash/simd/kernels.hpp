@@ -1,0 +1,77 @@
+// The SIMD kernel layer behind batched admission and hashing (DESIGN.md
+// §5.11): five flat-array sweeps, each shipped as a scalar reference and an
+// AVX2 implementation selected through a process-wide dispatch table.
+//
+// Every kernel is pure integer math over contiguous arrays, so the two
+// builds are bit-for-bit identical — the scalar tier is the *definition*,
+// not an approximation, and the forced-ISA equivalence tests
+// (tests/core/batch_equivalence_test.cpp) fuzz that equality including
+// misaligned heads/tails. Pointers carry no alignment requirement beyond
+// the element type's natural one; AVX2 kernels use unaligned loads/stores
+// and handle tails scalar.
+//
+// Dispatch: kernels() rebinds on every call from the active ISA
+// (hash/simd/cpu_features.hpp — CPUID-clamped, COVSTREAM_ISA/--isa
+// overridable), so a mid-process override flips every subsequent chunk;
+// kernels_for() pins a tier explicitly (microbenches, equivalence tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/simd/cpu_features.hpp"
+#include "util/common.hpp"
+
+namespace covstream::simd {
+
+struct KernelTable {
+  IsaLevel isa;
+
+  /// keys[i] = mix64(elems[i] ^ salt) — the Mix64Hash chunk sweep.
+  void (*mix64_batch)(const std::uint64_t* elems, std::uint64_t* keys,
+                      std::size_t n, std::uint64_t salt);
+
+  /// The fused chunk-entry sweep straight off the edge stream's AoS layout:
+  /// elems[i] = edges[i].elem, keys[i] = mix64(elems[i] ^ salt), while
+  /// verifying every edges[i].set < set_bound. Returns false when some set
+  /// is out of bounds — the outputs are then scratch, and the caller
+  /// re-runs its precise per-edge bounds check to fail on the offending
+  /// edge (the tiers need not agree on partial output for invalid input;
+  /// for valid input elems/keys are bit-for-bit across tiers).
+  bool (*hash_edges_u64)(const Edge* edges, std::uint64_t* elems,
+                         std::uint64_t* keys, std::size_t n,
+                         std::uint64_t salt, std::uint32_t set_bound);
+
+  /// keys[i] = XOR of 8 per-byte table words (simple tabulation);
+  /// `tables` is the 8x256 word block, tables[byte * 256 + byte_value].
+  void (*tabulation_batch)(const std::uint64_t* tables,
+                           const std::uint64_t* elems, std::uint64_t* keys,
+                           std::size_t n);
+
+  /// Number of keys strictly below `bound` — the saturated-regime
+  /// "anything to do?" reduction over a chunk.
+  std::size_t (*count_below_u64)(const std::uint64_t* keys, std::size_t n,
+                                 std::uint64_t bound);
+
+  /// Writes the indices i (ascending) with keys[i] < bound into `out` and
+  /// returns how many — survivor compaction feeding admit_selected. `out`
+  /// must hold n entries; the AVX2 build stores 4-wide through a
+  /// movemask-indexed shuffle table, so entries past the returned count
+  /// (never past n) are scratch.
+  std::size_t (*compact_below_u64)(const std::uint64_t* keys, std::size_t n,
+                                   std::uint64_t bound, std::uint32_t* out);
+};
+
+/// The table for the process-wide active ISA (re-read per call).
+const KernelTable& kernels();
+
+/// The table for an explicit tier. Asking for a tier the CPU cannot run is
+/// the caller's responsibility (the equivalence tests gate on
+/// best_supported_isa() first).
+const KernelTable& kernels_for(IsaLevel level);
+
+/// The AVX2 table, or nullptr when this build target has no AVX2 kernels
+/// (non-x86). Consulted by best_supported_isa(); not a public entry point.
+const KernelTable* avx2_kernel_table();
+
+}  // namespace covstream::simd

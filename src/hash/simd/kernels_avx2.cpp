@@ -1,0 +1,294 @@
+// AVX2 kernel tier (DESIGN.md §5.11). Compiled into every x86-64 build via
+// per-function target("avx2") attributes — the surrounding translation unit
+// and the rest of the library stay baseline-ISA, and nothing here executes
+// unless CPUID reported AVX2 (hash/simd/cpu_features.cpp clamps the
+// dispatch), so scalar-only machines never fetch a VEX instruction.
+//
+// All five kernels are pure integer math, so they match the scalar
+// reference in kernels.cpp bit-for-bit:
+//  * mix64_batch      — 4-lane Murmur3 fmix64; the 64x64->64 multiply is
+//                       composed from _mm256_mul_epu32 partial products
+//                       (AVX2 has no 64-bit mullo).
+//  * hash_edges_u64   — mix64_batch fused with the AoS chunk-entry sweep:
+//                       elems come out of the 16-byte Edge stride via
+//                       unpackhi + a lane permute, sets are range-checked
+//                       4-wide (any violation → false, caller re-checks
+//                       scalar for the precise failure).
+//  * tabulation_batch — per input byte, one 4-lane _mm256_i64gather_epi64
+//                       into that byte's 256-word table, XOR-accumulated.
+//  * count_below_u64  — sign-flipped signed compares (AVX2 has no unsigned
+//                       64-bit compare), 4 independent vector accumulators.
+//  * compact_below_u64— compare -> movemask -> a 16-entry shuffle table of
+//                       lane indices, stored 4-wide at the write cursor.
+//
+// Loads and stores are unaligned (loadu/storeu) on purpose: callers hand us
+// interior spans of std::vector buffers with arbitrary 32-byte phase, and
+// the equivalence fuzz covers misaligned heads/tails explicitly.
+#include "hash/simd/kernels.hpp"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include "hash/hash64.hpp"
+
+namespace covstream::simd {
+namespace {
+
+#define COVSTREAM_AVX2 __attribute__((target("avx2")))
+
+/// Low 64 bits of a*b per lane: a_lo*b_lo + ((a_lo*b_hi + a_hi*b_lo) << 32).
+COVSTREAM_AVX2 inline __m256i mul64_lo(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);
+  const __m256i cross = _mm256_add_epi64(lh, hl);
+  return _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32));
+}
+
+COVSTREAM_AVX2 inline __m256i fmix64(__m256i x) {
+  const __m256i c1 = _mm256_set1_epi64x(
+      static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m256i c2 = _mm256_set1_epi64x(
+      static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mul64_lo(x, c1);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mul64_lo(x, c2);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+}
+
+COVSTREAM_AVX2 void mix64_batch_avx2(const std::uint64_t* elems,
+                                     std::uint64_t* keys, std::size_t n,
+                                     std::uint64_t salt) {
+  const __m256i vsalt = _mm256_set1_epi64x(static_cast<long long>(salt));
+  std::size_t i = 0;
+  // Two independent 4-lane pipes per iteration: fmix64 is a serial chain of
+  // shifts and multiplies, so a second pipe hides most of its latency.
+  for (; i + 8 <= n; i += 8) {
+    __m256i x0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(elems + i));
+    __m256i x1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(elems + i + 4));
+    x0 = fmix64(_mm256_xor_si256(x0, vsalt));
+    x1 = fmix64(_mm256_xor_si256(x1, vsalt));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i), x0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i + 4), x1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(elems + i));
+    x = fmix64(_mm256_xor_si256(x, vsalt));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i), x);
+  }
+  for (; i < n; ++i) keys[i] = mix64(elems[i] ^ salt);
+}
+
+// The AoS extraction below hard-codes Edge's layout: 16-byte stride, the
+// 32-bit set in the low quadword, the 64-bit elem in the high quadword.
+static_assert(sizeof(Edge) == 16);
+static_assert(offsetof(Edge, set) == 0 && sizeof(SetId) == 4);
+static_assert(offsetof(Edge, elem) == 8 && sizeof(ElemId) == 8);
+
+COVSTREAM_AVX2 bool hash_edges_avx2(const Edge* edges, std::uint64_t* elems,
+                                    std::uint64_t* keys, std::size_t n,
+                                    std::uint64_t salt,
+                                    std::uint32_t set_bound) {
+  const __m256i vsalt = _mm256_set1_epi64x(static_cast<long long>(salt));
+  const __m256i set_mask = _mm256_set1_epi64x(0xffffffffLL);
+  // Sets are < 2^32 after masking and the bound is < 2^32, so the signed
+  // 64-bit compare is already the unsigned one — no sign-bit flip needed.
+  const __m256i vbound =
+      _mm256_set1_epi64x(static_cast<long long>(set_bound));
+  __m256i all_ok = _mm256_set1_epi64x(-1);
+  std::size_t i = 0;
+  // Each 256-bit load covers two edges: lanes (set|pad, elem, set|pad,
+  // elem). unpacklo pairs the set lanes of four edges (order s0,s2,s1,s3 —
+  // irrelevant for an any-violation test), unpackhi pairs the elems as
+  // (e0,e2,e1,e3), put back in order by permute4x64(0,2,1,3). Two 4-edge
+  // pipes per iteration hide most of fmix64's serial latency, exactly like
+  // mix64_batch.
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(edges + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(edges + i + 2));
+    const __m256i v2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(edges + i + 4));
+    const __m256i v3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(edges + i + 6));
+    const __m256i sets0 =
+        _mm256_and_si256(_mm256_unpacklo_epi64(v0, v1), set_mask);
+    const __m256i sets1 =
+        _mm256_and_si256(_mm256_unpacklo_epi64(v2, v3), set_mask);
+    all_ok = _mm256_and_si256(all_ok, _mm256_cmpgt_epi64(vbound, sets0));
+    all_ok = _mm256_and_si256(all_ok, _mm256_cmpgt_epi64(vbound, sets1));
+    const __m256i e0 = _mm256_permute4x64_epi64(
+        _mm256_unpackhi_epi64(v0, v1), _MM_SHUFFLE(3, 1, 2, 0));
+    const __m256i e1 = _mm256_permute4x64_epi64(
+        _mm256_unpackhi_epi64(v2, v3), _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(elems + i), e0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(elems + i + 4), e1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i),
+                        fmix64(_mm256_xor_si256(e0, vsalt)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i + 4),
+                        fmix64(_mm256_xor_si256(e1, vsalt)));
+  }
+  bool ok = _mm256_movemask_epi8(all_ok) == -1;
+  for (; i < n; ++i) {
+    if (edges[i].set >= set_bound) return false;
+    const std::uint64_t e = edges[i].elem;
+    elems[i] = e;
+    keys[i] = mix64(e ^ salt);
+  }
+  return ok;
+}
+
+COVSTREAM_AVX2 void tabulation_batch_avx2(const std::uint64_t* tables,
+                                          const std::uint64_t* elems,
+                                          std::uint64_t* keys, std::size_t n) {
+  const __m256i byte_mask = _mm256_set1_epi64x(0xff);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(elems + i));
+    __m256i h = _mm256_setzero_si256();
+    for (int byte = 0; byte < 8; ++byte) {
+      const __m256i idx = _mm256_and_si256(
+          _mm256_srli_epi64(x, 8 * byte), byte_mask);
+      const __m256i lane = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(tables + byte * 256), idx, 8);
+      h = _mm256_xor_si256(h, lane);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i), h);
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t x = elems[i];
+    std::uint64_t h = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= tables[byte * 256 + ((x >> (8 * byte)) & 0xff)];
+    }
+    keys[i] = h;
+  }
+}
+
+/// keys[lane] < bound as an all-ones/all-zeros 64-bit lane mask. AVX2 only
+/// has signed 64-bit compares; XOR with the sign bit maps unsigned order
+/// onto signed order.
+COVSTREAM_AVX2 inline __m256i below_mask(__m256i keys, __m256i bound_flipped,
+                                         __m256i sign) {
+  return _mm256_cmpgt_epi64(bound_flipped, _mm256_xor_si256(keys, sign));
+}
+
+COVSTREAM_AVX2 std::size_t count_below_avx2(const std::uint64_t* keys,
+                                            std::size_t n,
+                                            std::uint64_t bound) {
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i vbound =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(bound)), sign);
+  // A true lane is -1, so subtracting the mask increments the accumulator;
+  // four accumulators (16 keys/iteration) keep the loop throughput-bound.
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  __m256i acc2 = _mm256_setzero_si256();
+  __m256i acc3 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i k0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i k1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i + 4));
+    const __m256i k2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i + 8));
+    const __m256i k3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i + 12));
+    acc0 = _mm256_sub_epi64(acc0, below_mask(k0, vbound, sign));
+    acc1 = _mm256_sub_epi64(acc1, below_mask(k1, vbound, sign));
+    acc2 = _mm256_sub_epi64(acc2, below_mask(k2, vbound, sign));
+    acc3 = _mm256_sub_epi64(acc3, below_mask(k3, vbound, sign));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    acc0 = _mm256_sub_epi64(acc0, below_mask(k, vbound, sign));
+  }
+  const __m256i acc = _mm256_add_epi64(_mm256_add_epi64(acc0, acc1),
+                                       _mm256_add_epi64(acc2, acc3));
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) count += static_cast<std::size_t>(keys[i] < bound);
+  return count;
+}
+
+/// kCompactLanes[mask] lists the positions of mask's set bits, ascending;
+/// the unused tail entries are never read (the write cursor advances by
+/// popcount only).
+alignas(16) constexpr std::uint32_t kCompactLanes[16][4] = {
+    {0, 0, 0, 0}, {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0},
+    {2, 0, 0, 0}, {0, 2, 0, 0}, {1, 2, 0, 0}, {0, 1, 2, 0},
+    {3, 0, 0, 0}, {0, 3, 0, 0}, {1, 3, 0, 0}, {0, 1, 3, 0},
+    {2, 3, 0, 0}, {0, 2, 3, 0}, {1, 2, 3, 0}, {0, 1, 2, 3},
+};
+
+COVSTREAM_AVX2 std::size_t compact_below_avx2(const std::uint64_t* keys,
+                                              std::size_t n,
+                                              std::uint64_t bound,
+                                              std::uint32_t* out) {
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i vbound =
+      _mm256_xor_si256(_mm256_set1_epi64x(static_cast<long long>(bound)), sign);
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  // Each 4-key block stores a full 16-byte lane-index vector at the cursor;
+  // only the first popcount(mask) entries are kept (the next store lands on
+  // the rest). kept <= i always, so the 16-byte store never passes out + n.
+  for (; i + 4 <= n; i += 4) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const int mask = _mm256_movemask_pd(
+        _mm256_castsi256_pd(below_mask(k, vbound, sign)));
+    const __m128i lanes = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kCompactLanes[mask]));
+    const __m128i base = _mm_set1_epi32(static_cast<int>(i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + kept),
+                     _mm_add_epi32(lanes, base));
+    kept += static_cast<std::size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+  }
+  for (; i < n; ++i) {
+    if (keys[i] < bound) out[kept++] = static_cast<std::uint32_t>(i);
+  }
+  return kept;
+}
+
+#undef COVSTREAM_AVX2
+
+constexpr KernelTable kAvx2Table = {
+    IsaLevel::kAvx2,
+    mix64_batch_avx2,
+    hash_edges_avx2,
+    tabulation_batch_avx2,
+    count_below_avx2,
+    compact_below_avx2,
+};
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() { return &kAvx2Table; }
+
+}  // namespace covstream::simd
+
+#else  // !__x86_64__
+
+namespace covstream::simd {
+
+const KernelTable* avx2_kernel_table() { return nullptr; }
+
+}  // namespace covstream::simd
+
+#endif

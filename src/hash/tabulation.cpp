@@ -1,5 +1,6 @@
 #include "hash/tabulation.hpp"
 
+#include "hash/simd/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace covstream {
@@ -9,6 +10,12 @@ TabulationHash::TabulationHash(std::uint64_t seed) {
   for (auto& table : tables_) {
     for (auto& entry : table) entry = rng.next();
   }
+}
+
+void TabulationHash::hash_batch(const ElemId* elems, std::uint64_t* keys,
+                                std::size_t n) const {
+  // std::array<std::array<...>> is one contiguous 8x256 block.
+  simd::kernels().tabulation_batch(tables_[0].data(), elems, keys, n);
 }
 
 }  // namespace covstream

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "util/common.hpp"
@@ -22,6 +23,11 @@ class TabulationHash {
     }
     return h;
   }
+
+  /// keys[i] = (*this)(elems[i]) through the dispatched kernel (AVX2:
+  /// gathered table lanes); bit-for-bit equal to operator() per element.
+  void hash_batch(const ElemId* elems, std::uint64_t* keys,
+                  std::size_t n) const;
 
  private:
   std::array<std::array<std::uint64_t, 256>, 8> tables_;

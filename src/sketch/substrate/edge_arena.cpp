@@ -47,12 +47,9 @@ void EdgeArena::grow(Span& span) {
   span.cap_log2 = static_cast<std::uint8_t>(new_log2);
 }
 
-void EdgeArena::append(Span& span, SetId value) {
+void EdgeArena::append_spilled(Span& span, SetId value) {
+  // The header fast path already handled the inline-with-room case.
   if (!span.spilled) {
-    if (span.size < Span::kInlineCap) {
-      span.words[span.size++] = value;
-      return;
-    }
     spill(span);
   } else if (span.size == (1u << span.cap_log2)) {
     grow(span);
@@ -61,24 +58,10 @@ void EdgeArena::append(Span& span, SetId value) {
   ++span.size;
 }
 
-bool EdgeArena::insert_sorted(Span& span, SetId value) {
-  if (!span.spilled) {
-    // Inline fast path: at most two resident sets, compared in place.
-    if (span.size == 0) {
-      span.words[0] = value;
-      span.size = 1;
-      return true;
-    }
-    if (span.size == 1) {
-      if (span.words[0] == value) return false;
-      span.words[1] = std::max(span.words[0], value);
-      span.words[0] = std::min(span.words[0], value);
-      span.size = 2;
-      return true;
-    }
-    if (span.words[0] == value || span.words[1] == value) return false;
-    spill(span);
-  }
+bool EdgeArena::insert_sorted_spilled(Span& span, SetId value) {
+  // The header fast path already resolved every inline outcome except a
+  // full inline list taking a third distinct set.
+  if (!span.spilled) spill(span);
   std::uint32_t* const begin = data_.data() + span.words[0];
   std::uint32_t* const end = begin + span.size;
   std::uint32_t* const pos = std::lower_bound(begin, end, value);

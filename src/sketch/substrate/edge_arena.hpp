@@ -19,6 +19,7 @@
 // the slab.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -64,10 +65,38 @@ class EdgeArena {
   }
 
   /// Appends `value` (grows inline -> slab block as needed). No ordering.
-  void append(Span& span, SetId value);
+  /// The inline-resident case — the overwhelmingly common degree <= 2
+  /// element on the admission hot path — stays in the header so the caller
+  /// pays no call for it.
+  void append(Span& span, SetId value) {
+    if (!span.spilled && span.size < Span::kInlineCap) {
+      span.words[span.size++] = value;
+      return;
+    }
+    append_spilled(span, value);
+  }
 
   /// Inserts `value` keeping the list sorted; returns false on duplicate.
-  bool insert_sorted(Span& span, SetId value);
+  /// Same header fast path as append: both inline outcomes (insert or
+  /// duplicate) resolve without touching the slab or making a call.
+  bool insert_sorted(Span& span, SetId value) {
+    if (!span.spilled) {
+      if (span.size == 0) {
+        span.words[0] = value;
+        span.size = 1;
+        return true;
+      }
+      if (span.size == 1) {
+        if (span.words[0] == value) return false;
+        span.words[1] = std::max(span.words[0], value);
+        span.words[0] = std::min(span.words[0], value);
+        span.size = 2;
+        return true;
+      }
+      if (span.words[0] == value || span.words[1] == value) return false;
+    }
+    return insert_sorted_spilled(span, value);
+  }
 
   /// Replaces the contents with `values` (caller guarantees any required
   /// ordering/dedupe). `values` must NOT alias this arena's own slab or the
@@ -100,6 +129,11 @@ class EdgeArena {
   bool load(SnapshotReader& reader, std::vector<bool>* claimed = nullptr);
 
  private:
+  /// Out-of-line tails of the header fast paths: spill the inline list if
+  /// needed, then operate on the slab block.
+  void append_spilled(Span& span, SetId value);
+  bool insert_sorted_spilled(Span& span, SetId value);
+
   std::uint32_t allocate(std::uint32_t cap_log2);
   /// Moves an inline list into its first slab block (capacity 4).
   void spill(Span& span);

@@ -1,5 +1,7 @@
 #include "sketch/substrate/flat_table.hpp"
 
+#include "hash/simd/kernels.hpp"
+
 namespace covstream {
 namespace {
 constexpr std::size_t kInitialBuckets = 16;  // power of two
@@ -21,19 +23,19 @@ std::uint32_t FlatElemTable::find(ElemId key) const {
   return kNoSlot;
 }
 
-std::pair<std::uint32_t, bool> FlatElemTable::find_or_insert(
-    ElemId key, std::uint32_t slot_if_new) {
+std::pair<std::uint32_t, bool> FlatElemTable::find_or_insert_hashed(
+    ElemId key, std::uint32_t slot_if_new, std::uint64_t hash) {
   COVSTREAM_CHECK(slot_if_new != kNoSlot);
-  std::size_t i = index_of(key);
+  std::size_t i = hash & mask_;
   while (slot_at(i) != kNoSlot) {
     if (key_at(i) == key) return {slot_at(i), false};
     i = (i + 1) & mask_;
   }
   // Grow only on the insert path — a lookup hit must never rehash. The
-  // probe position is stale after a grow, so re-probe.
+  // probe position is stale after a grow (the hash is not), so re-probe.
   if ((size_ + 1) * 4 > buckets_ * 3) {
     grow();
-    i = index_of(key);
+    i = hash & mask_;
     while (slot_at(i) != kNoSlot) i = (i + 1) & mask_;
   }
   store(i, key, slot_if_new);
@@ -140,11 +142,31 @@ void FlatElemTable::grow() {
     std::memcpy(&slot, old_bytes.data() + b * kBucketBytes + 8, sizeof slot);
     return slot;
   };
+  // The rehash is a random scatter over a slab that just doubled, so cache
+  // misses dominate a naive hash-probe-store loop. Gather the live records
+  // in old-bucket order (that order is part of the table's deterministic
+  // layout — keep it), batch-hash them through the dispatched SIMD kernel
+  // (mix64 with salt 0 IS bucket_hash), then scatter with each record's
+  // probe line prefetched a few records ahead.
+  std::vector<ElemId> keys;
+  std::vector<std::uint32_t> slots;
+  keys.reserve(size_);
+  slots.reserve(size_);
   for (std::size_t b = 0; b < old_buckets; ++b) {
     if (old_slot(b) == kNoSlot) continue;
-    std::size_t i = index_of(old_key(b));
+    keys.push_back(old_key(b));
+    slots.push_back(old_slot(b));
+  }
+  std::vector<std::uint64_t> hashes(keys.size());
+  simd::kernels().mix64_batch(keys.data(), hashes.data(), keys.size(), 0);
+  constexpr std::size_t kPrefetchAhead = 8;
+  for (std::size_t j = 0; j < keys.size(); ++j) {
+    if (j + kPrefetchAhead < keys.size()) {
+      prefetch_hashed(hashes[j + kPrefetchAhead]);
+    }
+    std::size_t i = hashes[j] & mask_;
     while (slot_at(i) != kNoSlot) i = (i + 1) & mask_;
-    store(i, old_key(b), old_slot(b));
+    store(i, keys[j], slots[j]);
   }
 }
 

@@ -35,22 +35,42 @@ class FlatElemTable {
   /// Slot stored for `key`, or kNoSlot.
   std::uint32_t find(ElemId key) const;
 
-  /// Hints the cache that `key`'s probe bucket is about to be touched.
-  /// Used by the batched admission path to hide the table's dependent load
-  /// latency behind the survivors ahead of it in the chunk. Purely advisory:
-  /// a rehash between the hint and the access only wastes the hint.
-  void prefetch(ElemId key) const {
+  /// The bucket hash behind index_of. Geometry-independent, so batched
+  /// callers can precompute it for a whole chunk (it is exactly the SIMD
+  /// mix64 sweep with salt 0) and feed the *_hashed entry points — the
+  /// probe then never re-derives the hash per edge, and the hint survives
+  /// a rehash between computation and use.
+  static std::uint64_t bucket_hash(ElemId key) { return mix64(key); }
+
+  /// Hints the cache that the probe bucket for a key hashing to `hash` is
+  /// about to be touched. Used by the batched admission path to hide the
+  /// table's dependent load latency behind the edges ahead in the chunk.
+  /// Purely advisory: a rehash between the hint and the access only wastes
+  /// the hint.
+  void prefetch_hashed(std::uint64_t hash) const {
 #if defined(__GNUC__) || defined(__clang__)
-    __builtin_prefetch(bytes_.data() + index_of(key) * kBucketBytes);
+    __builtin_prefetch(bytes_.data() + (hash & mask_) * kBucketBytes);
 #else
-    (void)key;
+    (void)hash;
 #endif
   }
+
+  /// prefetch_hashed for callers without a precomputed hash.
+  void prefetch(ElemId key) const { prefetch_hashed(bucket_hash(key)); }
 
   /// One-probe upsert: returns the existing slot for `key`, or stores and
   /// returns `slot_if_new`. The bool reports whether an insert happened.
   std::pair<std::uint32_t, bool> find_or_insert(ElemId key,
-                                                std::uint32_t slot_if_new);
+                                                std::uint32_t slot_if_new) {
+    return find_or_insert_hashed(key, slot_if_new, bucket_hash(key));
+  }
+
+  /// find_or_insert with the caller's precomputed bucket_hash(key) — the
+  /// batched admission path hashes whole chunks through the SIMD kernels
+  /// instead of once per probe.
+  std::pair<std::uint32_t, bool> find_or_insert_hashed(ElemId key,
+                                                       std::uint32_t slot_if_new,
+                                                       std::uint64_t hash);
 
   /// Inserts a mapping; `key` must not already be present.
   void insert(ElemId key, std::uint32_t slot);

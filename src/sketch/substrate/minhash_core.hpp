@@ -37,11 +37,14 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "hash/simd/kernels.hpp"
 #include "sketch/substrate/edge_arena.hpp"
 #include "sketch/substrate/flat_table.hpp"
 #include "sketch/substrate/slot_heap.hpp"
@@ -55,6 +58,13 @@ class MinHashCore {
  public:
   static constexpr std::uint32_t kNoSlot = FlatElemTable::kNoSlot;
 
+  /// Cap on the constructor's table pre-size, in elements — the admission
+  /// chunk scale (StreamEngine::kDefaultBatchEdges, restated here because
+  /// the substrate cannot include the engine): at most one chunk of new
+  /// elements arrives between admission sweeps, so pre-sizing past this
+  /// buys nothing the first chunk can't trigger organically.
+  static constexpr std::size_t kTablePresizeElems = 4096;
+
   /// `base_space_words` is the owning policy's fixed overhead (header
   /// fields); it seeds the tracked counter so sketch-level space is a single
   /// member read.
@@ -64,8 +74,27 @@ class MinHashCore {
         edge_budget_(edge_budget),
         infinite_key_(infinite_key),
         cutoff_(infinite_key),
-        base_space_words_(base_space_words),
-        tracked_space_words_(base_space_words + table_.space_words()) {}
+        base_space_words_(base_space_words) {
+    // Pre-size the element index for the expected population, capped at one
+    // admission chunk's worth of inserts (kDefaultBatchEdges-scale), so a
+    // sketch that will hold thousands of elements skips the chain of small
+    // rehash doublings — the dominant cost of a fresh table's insert phase
+    // — while a tiny-budget sketch stays tiny and a huge-budget sketch
+    // never pre-pays more than one chunk. Done in the constructor so every
+    // feed shape (per-edge, chunked, candidate list) starts from the same
+    // geometry and their results stay bit-for-bit identical.
+    const std::size_t presize =
+        std::min<std::size_t>(edge_budget_, kTablePresizeElems);
+    table_.reserve(presize);
+    // Capacity-only reserves for the per-slot arrays: their footprint is
+    // metered analytically by SIZE (commit_slot's +4 words), so spare
+    // capacity is invisible to the space meter — this only removes the
+    // push_back reallocation copies from the insert phase.
+    elem_.reserve(presize);
+    span_.reserve(presize);
+    key_slot_.reserve(presize);
+    tracked_space_words_ = base_space_words + table_.space_words();
+  }
 
   // ------------------------------------------------------------ hot path --
   /// Admits `elem` with admission key `key`: returns its slot (creating one
@@ -73,9 +102,18 @@ class MinHashCore {
   /// above the cutoff — the element was evicted before, or would be evicted
   /// immediately.
   std::uint32_t admit(ElemId elem, Key key, bool& created) {
+    return admit_hashed(elem, key, FlatElemTable::bucket_hash(elem), created);
+  }
+
+  /// admit() with the caller's precomputed table bucket hash — the dense
+  /// batched sweep hashes whole chunks through the SIMD kernels instead of
+  /// once per probe. Bit-for-bit identical to admit().
+  std::uint32_t admit_hashed(ElemId elem, Key key, std::uint64_t bucket_hash,
+                             bool& created) {
     if (key >= cutoff_) return kNoSlot;
     const std::size_t table_before = table_.space_words();
-    const auto [slot, inserted] = table_.find_or_insert(elem, next_slot_id());
+    const auto [slot, inserted] =
+        table_.find_or_insert_hashed(elem, next_slot_id(), bucket_hash);
     created = inserted;
     if (inserted) {
       adjust_space(delta(table_before, table_.space_words()));
@@ -102,31 +140,52 @@ class MinHashCore {
     COVSTREAM_CHECK(elems.size() == keys.size());
     const std::size_t n = keys.size();
     // Dense regime (unsaturated: the cutoff is infinite, everything
-    // survives): compaction and prefetch would only add indirection, so run
-    // the plain serial admission sweep. If the sketch saturates mid-chunk
-    // the live cutoff check inside the loop still rejects exactly.
+    // survives): compaction would only add indirection, so run the serial
+    // admission sweep. Every admission probes the flat table at a
+    // hash-random bucket, so the bucket hashes for the whole chunk are
+    // computed up front with one SIMD sweep (mix64 with salt 0 IS
+    // FlatElemTable::bucket_hash) and fed to both the prefetch — issued a
+    // few edges ahead to hide the probe's dependent load — and the probe
+    // itself, which then never re-derives a hash. If the sketch saturates
+    // mid-chunk the live cutoff check inside the loop still rejects
+    // exactly.
     if (!saturated()) {
+      constexpr std::size_t kPrefetchAhead = 8;
+      if (bucket_hashes_.size() < n) bucket_hashes_.resize(n);
+      simd::kernels().mix64_batch(elems.data(), bucket_hashes_.data(), n, 0);
       for (std::size_t i = 0; i < n; ++i) {
+        if (i + kPrefetchAhead < n) {
+          table_.prefetch_hashed(bucket_hashes_[i + kPrefetchAhead]);
+        }
         const Key key = keys[i];
         if (key >= cutoff_) continue;
         bool created = false;
-        const std::uint32_t slot = admit(elems[i], key, created);
+        const std::uint32_t slot =
+            admit_hashed(elems[i], key, bucket_hashes_[i], created);
         on_admit(i, slot, created);
       }
       return;
     }
     // Sparse regime (saturated: almost every edge dies on the cutoff
-    // compare): first an unrolled branch-free survivor count — the common
+    // compare): first a branch-free survivor count — the common
     // all-rejected chunk finishes right there — then compact survivor
     // indices against the chunk-entry cutoff (non-increasing during the
-    // pass, so entry-cutoff rejection is exact) and admit them.
+    // pass, so entry-cutoff rejection is exact) and admit them. uint64
+    // keys run both sweeps through the dispatched SIMD kernels
+    // (hash/simd/kernels.hpp, DESIGN.md §5.11); the scalar tier is
+    // bit-for-bit the generic loops below.
     if (count_below(keys, cutoff_) == 0) return;
     if (survivors_.size() < n) survivors_.resize(n);
     const Key entry_cutoff = cutoff_;
     std::size_t kept = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (keys[i] < entry_cutoff) {
-        survivors_[kept++] = static_cast<std::uint32_t>(i);
+    if constexpr (std::is_same_v<Key, std::uint64_t>) {
+      kept = simd::kernels().compact_below_u64(keys.data(), n, entry_cutoff,
+                                               survivors_.data());
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (keys[i] < entry_cutoff) {
+          survivors_[kept++] = static_cast<std::uint32_t>(i);
+        }
       }
     }
     admit_selected(elems, keys,
@@ -135,20 +194,26 @@ class MinHashCore {
   }
 
   /// Counts keys strictly below `bound` — the chunk pre-filter's fast
-  /// "anything to do?" reduction. Four independent accumulators break the
-  /// loop-carried dependency so the sweep runs at load+compare throughput.
+  /// "anything to do?" reduction. uint64 keys dispatch to the SIMD kernel
+  /// layer (AVX2 compare+movemask when available); other key types (the
+  /// weighted sketch's double clocks) keep the four-accumulator scalar
+  /// sweep that breaks the loop-carried dependency.
   static std::size_t count_below(std::span<const Key> keys, Key bound) {
-    std::size_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;
-    const std::size_t n = keys.size();
-    std::size_t i = 0;
-    for (; i + 4 <= n; i += 4) {
-      h0 += static_cast<std::size_t>(keys[i] < bound);
-      h1 += static_cast<std::size_t>(keys[i + 1] < bound);
-      h2 += static_cast<std::size_t>(keys[i + 2] < bound);
-      h3 += static_cast<std::size_t>(keys[i + 3] < bound);
+    if constexpr (std::is_same_v<Key, std::uint64_t>) {
+      return simd::kernels().count_below_u64(keys.data(), keys.size(), bound);
+    } else {
+      std::size_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;
+      const std::size_t n = keys.size();
+      std::size_t i = 0;
+      for (; i + 4 <= n; i += 4) {
+        h0 += static_cast<std::size_t>(keys[i] < bound);
+        h1 += static_cast<std::size_t>(keys[i + 1] < bound);
+        h2 += static_cast<std::size_t>(keys[i + 2] < bound);
+        h3 += static_cast<std::size_t>(keys[i + 3] < bound);
+      }
+      for (; i < n; ++i) h0 += static_cast<std::size_t>(keys[i] < bound);
+      return h0 + h1 + h2 + h3;
     }
-    for (; i < n; ++i) h0 += static_cast<std::size_t>(keys[i] < bound);
-    return h0 + h1 + h2 + h3;
   }
 
   /// Admits an externally compacted candidate list (chunk indices into the
@@ -760,9 +825,10 @@ class MinHashCore {
   std::size_t peak_space_words_ = 0;
 
   // Reusable scratch (not part of the sketch's analytic footprint):
-  // admit_batch survivor indices, merge_from union staging, build_csr
-  // compaction map and per-set cursors.
+  // admit_batch survivor indices and dense-sweep bucket hashes, merge_from
+  // union staging, build_csr compaction map and per-set cursors.
   std::vector<std::uint32_t> survivors_;
+  std::vector<std::uint64_t> bucket_hashes_;
   std::vector<SetId> merge_scratch_;
   mutable std::vector<std::uint32_t> csr_compact_;
   mutable std::vector<std::size_t> csr_cursor_;

@@ -9,17 +9,16 @@
 #include <unordered_set>
 #include <vector>
 
+#include "hash/hash64.hpp"
 #include "util/common.hpp"
 
 namespace covstream {
 
-/// SplitMix64 step; also usable as a standalone 64-bit mixer.
+/// SplitMix64 step: golden-gamma increment + the canonical finalizer
+/// (hash/hash64.hpp holds the one definition of the mixer constants).
 constexpr std::uint64_t splitmix64(std::uint64_t& state) {
-  state += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
+  state += kGoldenGamma;
+  return splitmix64_mix(state);
 }
 
 /// xoshiro256** generator. Not cryptographic; plenty for sketching.

@@ -5,6 +5,13 @@
 // chunks that cross the saturation point mid-chunk. Also pins the ladder's
 // shared-key sweep against per-rung hashing, and the substrate's
 // incremental space counter against the audit re-sum.
+//
+// The SimdEquivalence suite is the forced-ISA leg (DESIGN.md §5.11): the
+// same fuzz corpus run once per kernel tier (scalar, AVX2) must produce
+// bit-for-bit identical sketches, and the four raw kernels must agree on
+// misaligned spans of every awkward length. CI runs the whole file twice
+// under COVSTREAM_ISA=scalar and =avx2; the direct cross-tier tests skip
+// visibly on machines without AVX2.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -15,6 +22,7 @@
 #include "core/sketch_ladder.hpp"
 #include "core/subsample_sketch.hpp"
 #include "core/weighted_sketch.hpp"
+#include "hash/simd/kernels.hpp"
 #include "sketch/substrate/minhash_core.hpp"
 #include "stream/arrival_order.hpp"
 #include "util/rng.hpp"
@@ -317,6 +325,199 @@ TEST(BatchEquivalence, TrackedSpaceMatchesAuditUnderChurn) {
     core.enforce_budget();
     ASSERT_EQ(core.tracked_space_words(), core.space_words());
     ASSERT_GE(core.peak_space_words(), core.tracked_space_words());
+  }
+}
+
+// ------------------------------------------------------- forced-ISA leg --
+
+/// Pins the process-wide kernel dispatch to one tier for a scope, restoring
+/// the previous tier on exit (other suites in this binary must keep running
+/// under whatever COVSTREAM_ISA selected).
+class IsaGuard {
+ public:
+  explicit IsaGuard(IsaLevel level) : prev_(active_isa()) {
+    set_isa_override(level);
+  }
+  ~IsaGuard() { set_isa_override(prev_); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+
+ private:
+  IsaLevel prev_;
+};
+
+// Every awkward sweep length: below one vector, exactly one vector, odd
+// head+tail around the 4/8/16-lane strides, and a full L1 block.
+constexpr std::size_t kSweepSizes[] = {1, 3, 7, 8, 31, 4096};
+
+TEST(SimdEquivalence, KernelSweepsMatchScalarOnMisalignedSpans) {
+  if (best_supported_isa() != IsaLevel::kAvx2) {
+    GTEST_SKIP() << "CPU has no AVX2; the scalar tier is the only tier here";
+  }
+  const simd::KernelTable& scalar = simd::kernels_for(IsaLevel::kScalar);
+  const simd::KernelTable& avx2 = simd::kernels_for(IsaLevel::kAvx2);
+  ASSERT_EQ(avx2.isa, IsaLevel::kAvx2);
+
+  Rng rng(0x51D0FACEULL);
+  std::vector<std::uint64_t> tables(8 * 256);
+  for (std::uint64_t& entry : tables) entry = rng.next();
+
+  for (const std::size_t size : kSweepSizes) {
+    // Offsetting the span start breaks any 32-byte phase the buffer had:
+    // the vector loops must handle unaligned loads and scalar tails.
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+      if (offset >= size) continue;
+      const std::size_t n = size - offset;
+      std::vector<std::uint64_t> elems(size);
+      for (std::uint64_t& e : elems) {
+        // Mostly small ids (realistic element universe) with occasional
+        // full-width values to exercise every byte lane of the tabulation.
+        e = rng.next_bool(0.25) ? rng.next() : rng.next_below(std::uint64_t{100000});
+      }
+      const std::uint64_t* in = elems.data() + offset;
+      const std::uint64_t salt = rng.next();
+      std::vector<std::uint64_t> keys_scalar(n), keys_avx2(n);
+
+      scalar.mix64_batch(in, keys_scalar.data(), n, salt);
+      avx2.mix64_batch(in, keys_avx2.data(), n, salt);
+      ASSERT_EQ(keys_scalar, keys_avx2) << "mix64 n=" << n << " off=" << offset;
+
+      scalar.tabulation_batch(tables.data(), in, keys_scalar.data(), n);
+      avx2.tabulation_batch(tables.data(), in, keys_avx2.data(), n);
+      ASSERT_EQ(keys_scalar, keys_avx2)
+          << "tabulation n=" << n << " off=" << offset;
+
+      // The fused AoS sweep: in-bounds edges must reproduce mix64_batch's
+      // keys (plus the extracted elems) on both tiers; one out-of-bounds
+      // set anywhere must turn the return value false on both tiers.
+      const std::uint32_t set_bound =
+          1 + static_cast<std::uint32_t>(rng.next_below(std::uint64_t{5000}));
+      std::vector<Edge> edges(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        edges[i] = {static_cast<SetId>(rng.next_below(set_bound)), in[i]};
+      }
+      std::vector<std::uint64_t> elems_scalar(n), elems_avx2(n);
+      ASSERT_TRUE(scalar.hash_edges_u64(edges.data(), elems_scalar.data(),
+                                        keys_scalar.data(), n, salt,
+                                        set_bound));
+      ASSERT_TRUE(avx2.hash_edges_u64(edges.data(), elems_avx2.data(),
+                                      keys_avx2.data(), n, salt, set_bound));
+      ASSERT_EQ(keys_scalar, keys_avx2)
+          << "hash_edges keys n=" << n << " off=" << offset;
+      ASSERT_EQ(elems_scalar, elems_avx2)
+          << "hash_edges elems n=" << n << " off=" << offset;
+      std::vector<std::uint64_t> keys_ref(n);
+      scalar.mix64_batch(elems_scalar.data(), keys_ref.data(), n, salt);
+      ASSERT_EQ(keys_ref, keys_scalar)
+          << "hash_edges vs mix64_batch n=" << n << " off=" << offset;
+      edges[rng.next_below(n)].set = set_bound;
+      ASSERT_FALSE(scalar.hash_edges_u64(edges.data(), elems_scalar.data(),
+                                         keys_scalar.data(), n, salt,
+                                         set_bound));
+      ASSERT_FALSE(avx2.hash_edges_u64(edges.data(), elems_avx2.data(),
+                                       keys_avx2.data(), n, salt, set_bound));
+
+      // Bounds spanning empty, everything, and a mid-distribution cut.
+      for (const std::uint64_t bound :
+           {std::uint64_t{0}, ~std::uint64_t{0}, keys_scalar[n / 2],
+            rng.next()}) {
+        ASSERT_EQ(scalar.count_below_u64(keys_scalar.data(), n, bound),
+                  avx2.count_below_u64(keys_scalar.data(), n, bound))
+            << "count n=" << n << " off=" << offset << " bound=" << bound;
+        std::vector<std::uint32_t> out_scalar(n), out_avx2(n);
+        const std::size_t kept_scalar = scalar.compact_below_u64(
+            keys_scalar.data(), n, bound, out_scalar.data());
+        const std::size_t kept_avx2 = avx2.compact_below_u64(
+            keys_scalar.data(), n, bound, out_avx2.data());
+        ASSERT_EQ(kept_scalar, kept_avx2)
+            << "compact n=" << n << " off=" << offset << " bound=" << bound;
+        out_scalar.resize(kept_scalar);
+        out_avx2.resize(kept_avx2);
+        ASSERT_EQ(out_scalar, out_avx2)
+            << "compact n=" << n << " off=" << offset << " bound=" << bound;
+      }
+    }
+  }
+}
+
+TEST(SimdEquivalence, ForcedIsaSketchesMatchBitForBit) {
+  if (best_supported_isa() != IsaLevel::kAvx2) {
+    GTEST_SKIP() << "CPU has no AVX2; the scalar tier is the only tier here";
+  }
+  Rng rng(0x151A2B3CULL);
+  for (int trial = 0; trial < 12; ++trial) {
+    const SetId n = 5 + static_cast<SetId>(rng.next_below(std::uint64_t{40}));
+    const ElemId m = 10 + rng.next_below(std::uint64_t{600});
+    const GeneratedInstance gen =
+        make_uniform(n, m, 1 + rng.next_below(std::uint64_t{30}), rng.next());
+    const bool dedupe = trial % 2 == 0;
+    SketchParams params = fuzz_params(rng, n, dedupe);
+    // Half the trials get a tiny budget so the cutoff falls mid-chunk and
+    // the saturated (kernel-filtered) path dominates under both tiers.
+    if (trial % 2 == 1) {
+      params.explicit_budget = 8 + rng.next_below(std::uint64_t{20});
+    }
+    std::vector<Edge> edges =
+        ordered_edges(gen.graph, ArrivalOrder::kRandom, rng.next());
+    for (std::size_t d = rng.next_below(std::uint64_t{20});
+         d > 0 && !edges.empty(); --d) {
+      edges.push_back(edges[rng.next_below(edges.size())]);
+    }
+
+    for (const std::size_t chunk : kSweepSizes) {
+      SubsampleSketch with_scalar(params);
+      SubsampleSketch with_avx2(params);
+      {
+        IsaGuard guard(IsaLevel::kScalar);
+        feed_chunked(with_scalar, edges, chunk);
+      }
+      {
+        IsaGuard guard(IsaLevel::kAvx2);
+        feed_chunked(with_avx2, edges, chunk);
+      }
+      expect_same_sketch(with_scalar, with_avx2, edges, "forced-isa chunk");
+    }
+  }
+}
+
+TEST(SimdEquivalence, ForcedIsaLadderSharedPreFilterMatches) {
+  if (best_supported_isa() != IsaLevel::kAvx2) {
+    GTEST_SKIP() << "CPU has no AVX2; the scalar tier is the only tier here";
+  }
+  // The all-saturated shared-candidate shape: tiny budgets saturate every
+  // rung early, so the block pre-filter against the max rung cutoff (the
+  // compact kernel) carries the run under both tiers.
+  const GeneratedInstance gen = make_uniform(30, 3000, 80, 53);
+  const auto edges = ordered_edges(gen.graph, ArrivalOrder::kRandom, 13);
+  std::vector<SketchParams> rung_params;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    SketchParams params;
+    params.num_sets = 30;
+    params.k = k;
+    params.eps = 0.25;
+    params.budget_mode = BudgetMode::kExplicit;
+    params.explicit_budget = 30 + 15 * k;
+    params.hash_seed = 0x5EEDULL;
+    rung_params.push_back(params);
+  }
+
+  SketchLadder with_scalar(rung_params, nullptr);
+  SketchLadder with_avx2(rung_params, nullptr);
+  ASSERT_TRUE(with_scalar.shares_keys());
+  {
+    IsaGuard guard(IsaLevel::kScalar);
+    VectorStream stream(edges);
+    with_scalar.consume(stream, {}, 512);
+  }
+  {
+    IsaGuard guard(IsaLevel::kAvx2);
+    VectorStream stream(edges);
+    with_avx2.consume(stream, {}, 512);
+  }
+  for (std::size_t r = 0; r < rung_params.size(); ++r) {
+    ASSERT_TRUE(with_avx2.rung(r).saturated()) << "rung " << r;
+    expect_same_sketch(with_scalar.rung(r), with_avx2.rung(r), edges,
+                       "forced-isa ladder rung");
   }
 }
 

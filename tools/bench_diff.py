@@ -24,11 +24,38 @@ diff against the committed file, and commit the new JSON alongside the
 change that explains it. CI runs this script as a non-blocking step —
 shared-runner noise makes hard gating counterproductive, but the log keeps
 the trend visible on every PR.
+
+Each JSON records the dispatched SIMD tier in its context
+("covstream_isa", stamped by bench/benchmark_json_main.hpp). Comparing a
+scalar run against an avx2 baseline (or vice versa) measures the dispatch
+choice, not the change under review, so mismatched files are refused —
+rerun with COVSTREAM_ISA set to the baseline's tier instead.
 """
 
 import argparse
 import json
 import sys
+
+
+def load_isa(path):
+    """The 'covstream_isa' context entry, or None for pre-kernel JSONs."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return data.get("context", {}).get("covstream_isa")
+
+
+def check_same_isa(fresh_path, baseline_path):
+    """Refuses cross-ISA comparisons; files without the key pass (legacy)."""
+    fresh_isa = load_isa(fresh_path)
+    base_isa = load_isa(baseline_path)
+    if fresh_isa and base_isa and fresh_isa != base_isa:
+        print(f"refusing to compare across SIMD tiers: {fresh_path} was "
+              f"measured under '{fresh_isa}' but {baseline_path} under "
+              f"'{base_isa}'. Rerun the benchmark with "
+              f"COVSTREAM_ISA={base_isa} (or refresh the baseline).",
+              file=sys.stderr)
+        return False
+    return True
 
 
 def load_family_times(path):
@@ -104,6 +131,9 @@ def main():
         return emit_doc_rows(args.baseline)
     if args.fresh is None:
         parser.error("fresh JSON required unless --doc is given")
+
+    if not check_same_isa(args.fresh, args.baseline):
+        return 1
 
     fresh = load_family_times(args.fresh)
     base = load_family_times(args.baseline)

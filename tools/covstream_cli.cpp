@@ -26,6 +26,7 @@
 #include "core/setcover_outliers.hpp"
 #include "core/streaming_kcover.hpp"
 #include "covstream_help.hpp"
+#include "hash/simd/cpu_features.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/sketch_server.hpp"
 #include "sketch/substrate/snapshot.hpp"
@@ -135,6 +136,15 @@ int cmd_stats(CliArgs& args) {
   });
   std::printf("%s: %zu edges, max set id %u, max elem id %llu\n", input.c_str(),
               edges, max_set, static_cast<unsigned long long>(max_elem));
+  std::printf("cpu features: %s; kernel dispatch: %s (best supported: %s)\n",
+              cpu_features().describe().c_str(), isa_name(active_isa()),
+              isa_name(best_supported_isa()));
+  // A COVSTREAM_ISA request the dispatcher could not honor (unknown name,
+  // unsupported tier) is recorded at resolution time; surface it here so
+  // the env path is as visible as the --isa flag path.
+  if (!last_fallback_notice().empty()) {
+    std::printf("note: %s\n", last_fallback_notice().c_str());
+  }
   return 0;
 }
 
@@ -543,6 +553,8 @@ int cmd_serve(CliArgs& args) {
                     snapshot->retained_elements(), snapshot->stored_edges(),
                     snapshot->p_star());
       }
+      std::printf("cpu features: %s; kernel dispatch: %s\n",
+                  cpu_features().describe().c_str(), isa_name(active_isa()));
     } else if (text.rfind("estimate ", 0) == 0) {
       if (snapshot == nullptr) {
         std::printf("no snapshot yet\n");
@@ -601,6 +613,20 @@ int cmd_serve(CliArgs& args) {
 
 int dispatch(int argc, char** argv) {
   CliArgs args(argc, argv);
+  // Resolve --isa before any command touches a sketch: the override applies
+  // process-wide to every subsequent kernel dispatch. An unsupported tier
+  // falls back (visibly); an unknown name is an error like any bad flag.
+  const std::string isa = args.get_string("isa", "");
+  if (!isa.empty()) {
+    if (!set_isa_override(std::string_view(isa))) {
+      std::fprintf(stderr, "unknown --isa=%s (want scalar|avx2)\n",
+                   isa.c_str());
+      return 2;
+    }
+    if (!last_fallback_notice().empty()) {
+      std::fprintf(stderr, "note: %s\n", last_fallback_notice().c_str());
+    }
+  }
   const std::string cmd = args.get_string("cmd", "help");
   if (cmd == "generate") return cmd_generate(args);
   if (cmd == "stats") return cmd_stats(args);

@@ -21,7 +21,8 @@ inline const char* cli_help_text() {
       "             --n --m --seed --out --order=random|set|round-robin|elem\n"
       "             family knobs: --set_size --min_size --max_size --alpha_sets\n"
       "             --alpha_elems --k --kstar --block --decoy --groups --cross\n"
-      "  stats      scan an edge file: edge count, max set/element ids\n"
+      "  stats      scan an edge file: edge count, max set/element ids; also\n"
+      "             reports detected CPU features and the kernel dispatch\n"
       "             --input\n"
       "  convert    rewrite an edge file between text and binary\n"
       "             --input --out\n"
@@ -60,6 +61,11 @@ inline const char* cli_help_text() {
       "               default, serial; solutions and estimates are identical\n"
       "               either way — DESIGN.md §5.7)\n"
       "  --batch=B    stream-engine chunk size in edges (0 = default, 32768)\n"
+      "  --isa=T      force the SIMD kernel tier, T in scalar|avx2 (default:\n"
+      "               best the CPU supports; the COVSTREAM_ISA env var does\n"
+      "               the same). Requesting an unsupported tier falls back\n"
+      "               with a notice; every tier is bit-for-bit identical\n"
+      "               (DESIGN.md §5.11)\n"
       "\n"
       "input files ending in .bin use the binary edge format of\n"
       "stream/file_stream.hpp; anything else is parsed as text\n"
