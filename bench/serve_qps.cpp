@@ -1,0 +1,179 @@
+// [serve-qps] Multi-tenant serve front-end throughput (DESIGN.md §5.12).
+//
+// Measures the fleet request path the TCP server runs per line — command
+// parse, registry lookup, handle grab, estimate/solve/stats — by driving
+// handle_fleet_request directly. That is deliberate: the socket layer adds a
+// syscall pair per request that benchmarks the kernel, not this codebase,
+// and NetServer::serve_connection calls exactly this function per line. The
+// headline benchmark is the serving regime the design targets: a mixed
+// estimate/solve/stats stream over many tenants WHILE a background thread
+// ingests continuously into one of them — reads on immutable published
+// handles, never blocked by the admit path.
+//
+// Reported per benchmark: qps (requests/s), p50_us / p99_us request latency
+// (sampled per request with a steady clock). Results land in
+// BENCH_serve_qps.json; tools/bench_diff.py knows qps is higher-is-better
+// and flags p99 regressions.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchmark_json_main.hpp"
+#include "serve/net_server.hpp"
+#include "serve/sketch_fleet.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace covstream {
+namespace {
+
+constexpr SetId kNumSets = 64;
+constexpr int kTenants = 8;
+
+SketchParams tenant_params() {
+  SketchParams params;
+  params.num_sets = kNumSets;
+  params.k = 4;
+  params.eps = 0.3;
+  params.budget_mode = BudgetMode::kExplicit;
+  params.explicit_budget = 400;
+  params.hash_seed = 99;
+  return params;
+}
+
+std::vector<Edge> make_edges(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    edges.push_back(
+        Edge{static_cast<SetId>(rng.next_below(std::uint64_t{kNumSets})),
+             rng.next_below(std::uint64_t{1} << 14)});
+  }
+  return edges;
+}
+
+/// A fleet with kTenants warm tenants, each holding a saturated sketch.
+void populate(SketchFleet& fleet) {
+  std::string error;
+  for (int t = 0; t < kTenants; ++t) {
+    const std::string name = "bench" + std::to_string(t);
+    COVSTREAM_CHECK(fleet.create(name, tenant_params(), &error));
+    COVSTREAM_CHECK(
+        fleet.ingest(name, make_edges(20000, 0xBE7C + t), &error));
+  }
+}
+
+/// The deterministic request schedule: mostly estimates across all tenants
+/// with rotating families, a warm-cache solve every 64th request, a fleet
+/// stats scan every 256th. One string per request, reused across the run so
+/// the benchmark times dispatch, not std::string construction.
+std::vector<std::string> mixed_schedule() {
+  const char* families[] = {"1,7,13,40", "2,11,29", "0,5,17,33,62", "8,21"};
+  std::vector<std::string> requests;
+  requests.reserve(1024);
+  for (int j = 0; j < 1024; ++j) {
+    const std::string tenant = "bench" + std::to_string(j % kTenants);
+    if (j % 256 == 255) {
+      requests.push_back("stats");
+    } else if (j % 64 == 63) {
+      requests.push_back("solve " + tenant + " 4");
+    } else {
+      requests.push_back("estimate " + tenant + " " +
+                         families[(j / kTenants) % 4]);
+    }
+  }
+  return requests;
+}
+
+/// Runs `state`'s iterations over `requests`, one request per iteration,
+/// recording per-request latency; publishes qps + p50/p99 counters.
+void drive(benchmark::State& state, SketchFleet& fleet,
+           const std::vector<std::string>& requests) {
+  bool shutdown = false;
+  std::vector<double> latency_us;
+  latency_us.reserve(1 << 20);
+  std::size_t at = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        handle_fleet_request(fleet, requests[at], &shutdown));
+    const auto stop = std::chrono::steady_clock::now();
+    latency_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+    at = (at + 1) % requests.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = quantile(latency_us, 0.50);
+  state.counters["p99_us"] = quantile(latency_us, 0.99);
+}
+
+/// The headline number: mixed traffic during live ingest. A background
+/// thread feeds one tenant continuously (its sketch is saturated, so the
+/// admission filter rejects most edges — steady realistic write pressure,
+/// not a memcpy storm), while the measured thread runs the mixed schedule
+/// against all tenants.
+void BM_MixedDuringLiveIngest(benchmark::State& state) {
+  SketchFleet fleet({});
+  populate(fleet);
+  const std::vector<std::string> requests = mixed_schedule();
+  std::atomic<bool> stop{false};
+  std::thread ingester([&] {
+    std::string error;
+    std::uint64_t seed = 0x146E57;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::vector<Edge> batch = make_edges(512, seed++);
+      if (!fleet.ingest("bench0", batch, &error)) break;
+    }
+  });
+  drive(state, fleet, requests);
+  stop.store(true, std::memory_order_relaxed);
+  ingester.join();
+}
+
+/// Pure read path: the estimate fast path (handle grab + coverage merge),
+/// no writer running. The gap to the mixed number is the cost of sharing
+/// the machine with the admit path.
+void BM_EstimateOnly(benchmark::State& state) {
+  SketchFleet fleet({});
+  populate(fleet);
+  std::vector<std::string> requests;
+  for (int t = 0; t < kTenants; ++t) {
+    requests.push_back("estimate bench" + std::to_string(t) + " 1,7,13,40");
+  }
+  drive(state, fleet, requests);
+}
+
+/// Warm-cache solves: every request after the first per tenant hits the
+/// (tenant, version) solver cache — index and scratch reused.
+void BM_SolveWarmCache(benchmark::State& state) {
+  SketchFleet fleet({});
+  populate(fleet);
+  std::vector<std::string> requests;
+  for (int t = 0; t < kTenants; ++t) {
+    requests.push_back("solve bench" + std::to_string(t) + " 4");
+  }
+  drive(state, fleet, requests);
+}
+
+// UseRealTime: with a background ingester sharing the machine, wall clock is
+// the honest QPS denominator (CPU-time rates would credit the reader for
+// cycles the writer consumed).
+BENCHMARK(BM_MixedDuringLiveIngest)->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_EstimateOnly)->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_SolveWarmCache)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+}  // namespace covstream
+
+int main(int argc, char** argv) {
+  return covstream::bench::run_benchmark_json_main(argc, argv,
+                                                   "BENCH_serve_qps.json");
+}

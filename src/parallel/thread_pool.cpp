@@ -32,6 +32,11 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+std::size_t ThreadPool::pending_tasks() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

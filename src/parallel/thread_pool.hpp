@@ -31,12 +31,17 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
+  /// Tasks submitted but not yet finished (queued + running). A live gauge
+  /// for monitoring (the fleet server's `stats` reports it) — the value can
+  /// be stale by the time the caller reads it.
+  std::size_t pending_tasks() const;
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;

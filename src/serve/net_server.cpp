@@ -1,0 +1,392 @@
+#include "serve/net_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace covstream {
+
+namespace {
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t at = 0;
+  while (at < line.size()) {
+    while (at < line.size() && line[at] == ' ') ++at;
+    std::size_t end = at;
+    while (end < line.size() && line[end] != ' ') ++end;
+    if (end > at) tokens.push_back(line.substr(at, end - at));
+    at = end;
+  }
+  return tokens;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~0ULL - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<double> parse_f64(std::string_view token) {
+  const std::string text(token);
+  char* rest = nullptr;
+  const double value = std::strtod(text.c_str(), &rest);
+  if (rest == text.c_str() || *rest != '\0') return std::nullopt;
+  return value;
+}
+
+/// "1,2,5" -> ids (empty string -> empty family); nullopt on junk. Range
+/// checking against the tenant's universe happens inside the fleet.
+std::optional<std::vector<SetId>> parse_id_list(std::string_view text) {
+  std::vector<SetId> ids;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    std::size_t end = text.find(',', at);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > at) {
+      const std::optional<std::uint64_t> id = parse_u64(text.substr(at, end - at));
+      if (!id || *id > 0xffffffffULL) return std::nullopt;
+      ids.push_back(static_cast<SetId>(*id));
+    }
+    at = end + 1;
+  }
+  return ids;
+}
+
+std::string err(const std::string& message) { return "err " + message; }
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.1f", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string handle_fleet_request(SketchFleet& fleet, std::string_view line,
+                                 bool* shutdown_requested, ThreadPool* pool) {
+  const std::vector<std::string_view> tokens = split_tokens(line);
+  if (tokens.empty()) return err("empty request");
+  const std::string_view cmd = tokens[0];
+  std::string error;
+
+  if (cmd == "ping") return "ok pong";
+
+  if (cmd == "shutdown") {
+    if (shutdown_requested != nullptr) *shutdown_requested = true;
+    return "ok bye";
+  }
+
+  if (cmd == "create") {
+    // create <tenant> <n> <k> [eps] [seed]
+    if (tokens.size() < 4 || tokens.size() > 6) {
+      return err("usage: create <tenant> <n> <k> [eps] [seed]");
+    }
+    const std::optional<std::uint64_t> n = parse_u64(tokens[2]);
+    const std::optional<std::uint64_t> k = parse_u64(tokens[3]);
+    if (!n || *n == 0 || *n > 0xffffffffULL || !k || *k == 0 ||
+        *k > 0xffffffffULL) {
+      return err("create: n and k must be positive 32-bit integers");
+    }
+    StreamingOptions options;
+    options.eps = 0.15;
+    options.seed = 1;
+    if (tokens.size() >= 5) {
+      const std::optional<double> eps = parse_f64(tokens[4]);
+      if (!eps || *eps <= 0.0 || *eps > 1.0) {
+        return err("create: eps must be in (0, 1]");
+      }
+      options.eps = *eps;
+    }
+    if (tokens.size() == 6) {
+      const std::optional<std::uint64_t> seed = parse_u64(tokens[5]);
+      if (!seed) return err("create: bad seed");
+      options.seed = *seed;
+    }
+    const SketchParams params = options.sketch_params(
+        static_cast<SetId>(*n), static_cast<std::uint32_t>(*k));
+    if (!fleet.create(std::string(tokens[1]), params, &error)) return err(error);
+    return "ok created " + std::string(tokens[1]);
+  }
+
+  if (cmd == "ingest") {
+    // ingest <tenant> <set> <elem> [<set> <elem> ...]
+    if (tokens.size() < 4 || (tokens.size() - 2) % 2 != 0) {
+      return err("usage: ingest <tenant> <set> <elem> [<set> <elem> ...]");
+    }
+    std::vector<Edge> edges;
+    edges.reserve((tokens.size() - 2) / 2);
+    for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+      const std::optional<std::uint64_t> set = parse_u64(tokens[i]);
+      const std::optional<std::uint64_t> elem = parse_u64(tokens[i + 1]);
+      if (!set || *set > 0xffffffffULL || !elem) {
+        return err("ingest: bad <set> <elem> pair");
+      }
+      edges.push_back(Edge{static_cast<SetId>(*set), *elem});
+    }
+    if (!fleet.ingest(std::string(tokens[1]), edges, &error)) return err(error);
+    return "ok ingested " + std::to_string(edges.size());
+  }
+
+  if (cmd == "estimate") {
+    // estimate <tenant> <id,id,...>
+    if (tokens.size() != 3) return err("usage: estimate <tenant> <id,id,...>");
+    const std::optional<std::vector<SetId>> family = parse_id_list(tokens[2]);
+    if (!family) return err("estimate: bad id list");
+    const std::optional<double> value =
+        fleet.estimate(std::string(tokens[1]), *family, &error);
+    if (!value) return err(error);
+    return "ok estimate " + format_double(*value);
+  }
+
+  if (cmd == "solve") {
+    // solve <tenant> <k>
+    if (tokens.size() != 3) return err("usage: solve <tenant> <k>");
+    const std::optional<std::uint64_t> k = parse_u64(tokens[2]);
+    if (!k || *k == 0 || *k > 0xffffffffULL) {
+      return err("solve: k must be a positive 32-bit integer");
+    }
+    const std::optional<KCoverResult> result = fleet.solve(
+        std::string(tokens[1]), static_cast<std::uint32_t>(*k), &error);
+    if (!result) return err(error);
+    std::string sets;
+    for (const SetId s : result->solution) {
+      if (!sets.empty()) sets += ',';
+      sets += std::to_string(s);
+    }
+    return "ok solve " + format_double(result->estimated_coverage) +
+           " sets=" + sets;
+  }
+
+  if (cmd == "save") {
+    if (tokens.size() != 3) return err("usage: save <tenant> <path>");
+    if (!fleet.save(std::string(tokens[1]), std::string(tokens[2]), &error)) {
+      return err(error);
+    }
+    return "ok saved " + std::string(tokens[2]);
+  }
+
+  if (cmd == "evict") {
+    if (tokens.size() != 2) return err("usage: evict <tenant>");
+    if (!fleet.evict(std::string(tokens[1]), &error)) return err(error);
+    return "ok evicted " + std::string(tokens[1]);
+  }
+
+  if (cmd == "drop") {
+    if (tokens.size() != 2) return err("usage: drop <tenant>");
+    if (!fleet.drop(std::string(tokens[1]), &error)) return err(error);
+    return "ok dropped " + std::string(tokens[1]);
+  }
+
+  if (cmd == "stats") {
+    if (tokens.size() == 2) {
+      const std::optional<SketchFleet::TenantStats> stats =
+          fleet.tenant_stats(std::string(tokens[1]));
+      if (!stats) return err("unknown tenant '" + std::string(tokens[1]) + "'");
+      return "ok tenant " + std::string(tokens[1]) +
+             " version=" + std::to_string(stats->version) +
+             " resident=" + (stats->resident ? std::string("1") : std::string("0")) +
+             " words=" + std::to_string(stats->space_words) +
+             " edges=" + std::to_string(stats->edges_ingested) +
+             " sets=" + std::to_string(stats->num_sets);
+    }
+    if (tokens.size() != 1) return err("usage: stats [<tenant>]");
+    const SketchFleet::FleetStats stats = fleet.stats();
+    std::string response =
+        "ok stats tenants=" + std::to_string(stats.tenants) +
+        " resident=" + std::to_string(stats.resident) +
+        " words=" + std::to_string(stats.resident_words) +
+        " budget=" + std::to_string(stats.budget_words) +
+        " evictions=" + std::to_string(stats.evictions) +
+        " reloads=" + std::to_string(stats.reloads) +
+        " cache_hits=" + std::to_string(stats.solver_cache_hits) +
+        " cache_misses=" + std::to_string(stats.solver_cache_misses);
+    if (pool != nullptr) {
+      response += " pool_pending=" + std::to_string(pool->pending_tasks());
+    }
+    return response;
+  }
+
+  if (cmd == "tenants") {
+    if (tokens.size() != 1) return err("usage: tenants");
+    std::string names;
+    for (const std::string& name : fleet.tenant_names()) {
+      if (!names.empty()) names += ',';
+      names += name;
+    }
+    return "ok tenants " + names;
+  }
+
+  return err("unknown command '" + std::string(cmd) + "'");
+}
+
+NetServer::NetServer(SketchFleet& fleet, ThreadPool& pool, Options options)
+    : fleet_(fleet), pool_(pool), options_(options) {}
+
+NetServer::~NetServer() { stop(); }
+
+bool NetServer::start(std::string* error) {
+  COVSTREAM_CHECK(listen_fd_ == -1);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void NetServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (stop()) or fatal — either way, done
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        ::close(fd);
+        continue;
+      }
+      open_fds_.push_back(fd);
+      ++active_connections_;
+      ++counters_.connections_accepted;
+    }
+    pool_.submit([this, fd] { serve_connection(fd); });
+  }
+}
+
+void NetServer::serve_connection(int fd) {
+  std::string buffer;
+  char block[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t got = ::read(fd, block, sizeof block);
+    if (got <= 0) break;  // EOF, reset, or stop()'s shutdown(fd)
+    buffer.append(block, static_cast<std::size_t>(got));
+    if (buffer.size() > options_.max_line_bytes &&
+        buffer.find('\n') == std::string::npos) {
+      const std::string overlong = "err request line too long\n";
+      (void)::send(fd, overlong.data(), overlong.size(), MSG_NOSIGNAL);
+      break;
+    }
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::string_view line(buffer.data() + start, nl - start);
+      while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      std::string response;
+      if (line == "quit") {
+        response = "ok bye";
+        open = false;
+      } else {
+        bool shutdown = false;
+        response = handle_fleet_request(fleet_, line, &shutdown, &pool_);
+        if (shutdown) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          shutdown_requested_ = true;
+          cv_.notify_all();
+          open = false;
+        }
+      }
+      response += '\n';
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t wrote = ::send(fd, response.data() + sent,
+                                     response.size() - sent, MSG_NOSIGNAL);
+        if (wrote <= 0) {
+          open = false;
+          break;
+        }
+        sent += static_cast<std::size_t>(wrote);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.requests_served;
+      }
+      if (!open) break;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_fds_.erase(std::find(open_fds_.begin(), open_fds_.end(), fd));
+  --active_connections_;
+  cv_.notify_all();
+}
+
+void NetServer::wait_shutdown() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void NetServer::stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller (e.g. the destructor after an explicit stop()): the
+    // first stop already drained everything.
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes a blocked accept() (close() alone does not, on
+    // Linux); the acceptor then exits its loop.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+    cv_.wait(lock, [this] { return active_connections_ == 0; });
+    shutdown_requested_ = true;
+    cv_.notify_all();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+NetServer::Counters NetServer::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace covstream

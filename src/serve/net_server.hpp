@@ -1,0 +1,105 @@
+// TCP front-end for the sketch fleet (DESIGN.md §5.12, docs/PROTOCOL.md).
+//
+// A line-oriented request/response protocol over loopback TCP: every request
+// is one LF-terminated line, every response one line starting `ok` or `err`.
+// The server binds 127.0.0.1 only (it is a local front door, not an internet
+// service), accepts on a dedicated thread, and serves each connection as a
+// task on the SHARED ThreadPool — the pool bounds request concurrency
+// fleet-wide, so a burst of connections degrades to queueing, never to
+// unbounded thread creation. One pool slot serves one connection at a time;
+// size the pool to the expected concurrent-connection count.
+//
+// The request handler itself (handle_fleet_request) is a pure function from
+// a request line to a response line, exposed separately so the serve_qps
+// bench can drive the identical dispatch path in-process and measure the
+// serve hot path without kernel sockets in the loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/sketch_fleet.hpp"
+
+namespace covstream {
+
+class ThreadPool;
+
+/// Executes one protocol request line against `fleet` and returns the
+/// response line (no trailing newline). Sets *shutdown_requested on the
+/// `shutdown` command (the response is still returned and must be sent).
+/// `pool` (nullable) only enriches the `stats` response with the pool
+/// backlog. `quit` is a connection-level command handled by the caller, not
+/// here. See docs/PROTOCOL.md for the normative grammar.
+std::string handle_fleet_request(SketchFleet& fleet, std::string_view line,
+                                 bool* shutdown_requested,
+                                 ThreadPool* pool = nullptr);
+
+class NetServer {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port
+    /// (read it back via port() — tests do).
+    std::uint16_t port = 0;
+    int backlog = 64;
+    /// A request line longer than this is answered with `err` and the
+    /// connection closed (protects the server from unframed garbage).
+    std::size_t max_line_bytes = 1 << 16;
+  };
+
+  /// The fleet and pool must outlive the server. stop() is called by the
+  /// destructor if the caller did not.
+  NetServer(SketchFleet& fleet, ThreadPool& pool, Options options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds + listens + starts accepting. False (with *error) on bind/listen
+  /// failure.
+  bool start(std::string* error);
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until some client issued `shutdown` (or stop() was called).
+  void wait_shutdown();
+
+  /// Stops accepting, unblocks every connection, and waits for their pool
+  /// tasks to finish. Idempotent. Must not be called from a pool task (a
+  /// connection handler cannot wait for itself).
+  void stop();
+
+  struct Counters {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t requests_served = 0;
+  };
+  Counters counters() const;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  SketchFleet& fleet_;
+  ThreadPool& pool_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mutex_;  // open_fds_, active_connections_, counters
+  std::condition_variable cv_;
+  std::vector<int> open_fds_;
+  std::size_t active_connections_ = 0;
+  bool shutdown_requested_ = false;
+  Counters counters_;
+};
+
+}  // namespace covstream

@@ -1,0 +1,447 @@
+#include "serve/sketch_fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "sketch/substrate/snapshot.hpp"
+
+namespace covstream {
+
+bool valid_tenant_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+SketchFleet::SketchFleet(Options options) : options_(std::move(options)) {
+  COVSTREAM_CHECK(options_.memory_budget_words == 0 ||
+                  !options_.spill_dir.empty());
+  COVSTREAM_CHECK(options_.solver_cache_entries >= 1);
+  if (!options_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.spill_dir, ec);
+    // A failure surfaces on the first spill attempt with a real message;
+    // nothing to do here (the directory may also already exist).
+  }
+}
+
+SketchFleet::~SketchFleet() = default;
+
+std::shared_ptr<SketchFleet::Tenant> SketchFleet::find(const std::string& name,
+                                                       std::string* error) {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    set_error(error, "unknown tenant '" + name + "'");
+    return nullptr;
+  }
+  it->second->last_access.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                                std::memory_order_relaxed);
+  return it->second;
+}
+
+void SketchFleet::publish(Tenant& tenant) {
+  auto fresh = std::make_shared<const SubsampleSketch>(*tenant.live);
+  const std::lock_guard<std::mutex> lock(tenant.handle_mutex);
+  tenant.handle = std::move(fresh);
+  tenant.published_version = tenant.version;
+}
+
+void SketchFleet::reaccount(Tenant& tenant) {
+  std::size_t words = 0;
+  if (tenant.live.has_value()) words += tenant.live->space_words();
+  // Safe to read without handle_mutex: every handle writer holds work, which
+  // the caller holds.
+  if (tenant.handle != nullptr) words += tenant.handle->space_words();
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  resident_words_ += words;
+  resident_words_ -= tenant.accounted_words;
+  tenant.accounted_words = words;
+}
+
+bool SketchFleet::spill(Tenant& tenant, std::string* error) {
+  if (tenant.spill_path.empty()) {
+    return set_error(error, "no spill directory configured");
+  }
+  std::string io_error;
+  if (!save_snapshot(*tenant.live, tenant.spill_path, &io_error)) {
+    return set_error(error, "spill failed: " + io_error);
+  }
+  tenant.live.reset();
+  {
+    const std::lock_guard<std::mutex> lock(tenant.handle_mutex);
+    tenant.handle.reset();
+  }
+  tenant.resident.store(false, std::memory_order_relaxed);
+  reaccount(tenant);
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    ++evictions_;
+  }
+  return true;
+}
+
+bool SketchFleet::reload(Tenant& tenant, std::string* error) {
+  std::string io_error;
+  std::optional<SubsampleSketch> loaded =
+      load_snapshot<SubsampleSketch>(tenant.spill_path, &io_error);
+  if (!loaded) {
+    return set_error(error, "reload failed: " + io_error);
+  }
+  tenant.live.emplace(std::move(*loaded));
+  tenant.resident.store(true, std::memory_order_relaxed);
+  publish(tenant);
+  reaccount(tenant);
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    ++reloads_;
+  }
+  return true;
+}
+
+void SketchFleet::enforce_budget(const Tenant* exclude) {
+  if (options_.memory_budget_words == 0) return;
+  for (;;) {
+    std::vector<std::shared_ptr<Tenant>> candidates;
+    {
+      const std::lock_guard<std::mutex> lock(registry_mutex_);
+      if (resident_words_ <= options_.memory_budget_words) return;
+      for (const auto& [name, tenant] : tenants_) {
+        if (tenant.get() == exclude) continue;
+        if (!tenant->resident.load(std::memory_order_relaxed)) continue;
+        candidates.push_back(tenant);
+      }
+    }
+    // Coldest first: evict in last-access order until within budget.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                return a->last_access.load(std::memory_order_relaxed) <
+                       b->last_access.load(std::memory_order_relaxed);
+              });
+    bool evicted_any = false;
+    for (const auto& tenant : candidates) {
+      {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        if (resident_words_ <= options_.memory_budget_words) return;
+      }
+      // Busy tenants are skipped, never waited on: eviction must not stall
+      // behind a long ingest, and try_lock keeps the lock order acyclic.
+      std::unique_lock<std::mutex> work(tenant->work, std::try_to_lock);
+      if (!work.owns_lock()) continue;
+      if (!tenant->resident.load(std::memory_order_relaxed)) continue;
+      std::string error;
+      if (spill(*tenant, &error)) {
+        evicted_any = true;
+      } else {
+        std::fprintf(stderr, "sketch fleet: eviction skipped: %s\n",
+                     error.c_str());
+      }
+    }
+    // A sweep that evicted nothing (everything busy, or spills failing)
+    // leaves the fleet over budget; the next mutating operation retries.
+    if (!evicted_any) return;
+  }
+}
+
+bool SketchFleet::create(const std::string& name, const SketchParams& params,
+                         std::string* error) {
+  if (!valid_tenant_name(name)) {
+    return set_error(error,
+                     "bad tenant name (want [A-Za-z0-9_.-]{1,64}): '" + name +
+                         "'");
+  }
+  if (!params.is_valid()) {
+    return set_error(error, "invalid sketch params");
+  }
+  auto tenant = std::make_shared<Tenant>(params);
+  if (!options_.spill_dir.empty()) {
+    tenant->spill_path = options_.spill_dir + "/" + name + ".spill.snap";
+  }
+  tenant->live.emplace(params);
+  tenant->version = 1;
+  publish(*tenant);
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (!tenants_.try_emplace(name, tenant).second) {
+      return set_error(error, "tenant '" + name + "' already exists");
+    }
+    tenant->last_access.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+  }
+  {
+    const std::lock_guard<std::mutex> work(tenant->work);
+    reaccount(*tenant);
+  }
+  enforce_budget(tenant.get());
+  return true;
+}
+
+bool SketchFleet::ingest(const std::string& name, std::span<const Edge> edges,
+                         std::string* error) {
+  const std::shared_ptr<Tenant> tenant = find(name, error);
+  if (tenant == nullptr) return false;
+  {
+    const std::lock_guard<std::mutex> work(tenant->work);
+    if (!tenant->resident.load(std::memory_order_relaxed) &&
+        !reload(*tenant, error)) {
+      return false;
+    }
+    tenant->live->update_chunk(edges);
+    tenant->edges_ingested += edges.size();
+    ++tenant->version;
+    publish(*tenant);
+    reaccount(*tenant);
+  }
+  enforce_budget(tenant.get());
+  return true;
+}
+
+std::shared_ptr<const SubsampleSketch> SketchFleet::handle(
+    const std::string& name, std::string* error) {
+  const std::shared_ptr<Tenant> tenant = find(name, error);
+  if (tenant == nullptr) return nullptr;
+  // Between our reload and the re-grab, another thread's budget arbiter can
+  // spill this tenant again (it holds no lock of ours). Retry: find() just
+  // refreshed our LRU tick, so this tenant is the arbiter's LAST choice and
+  // the race closes almost immediately; the bound turns a pathological
+  // evict storm into an error instead of a livelock.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    {
+      // Fast path: a resident tenant hands its handle out lock-free from the
+      // admit path's perspective (pointer copy only).
+      const std::lock_guard<std::mutex> lock(tenant->handle_mutex);
+      if (tenant->handle != nullptr) return tenant->handle;
+    }
+    // Evicted: reload under work, then loop to re-grab.
+    {
+      const std::lock_guard<std::mutex> work(tenant->work);
+      if (!tenant->resident.load(std::memory_order_relaxed) &&
+          !reload(*tenant, error)) {
+        return nullptr;
+      }
+    }
+    enforce_budget(tenant.get());
+  }
+  set_error(error, "tenant '" + name + "' kept being evicted mid-read");
+  return nullptr;
+}
+
+std::optional<double> SketchFleet::estimate(const std::string& name,
+                                            std::span<const SetId> family,
+                                            std::string* error) {
+  const std::shared_ptr<const SubsampleSketch> sketch = handle(name, error);
+  if (sketch == nullptr) return std::nullopt;
+  for (const SetId s : family) {
+    if (s >= sketch->params().num_sets) {
+      set_error(error, "set id " + std::to_string(s) + " outside universe [0, " +
+                           std::to_string(sketch->params().num_sets) + ")");
+      return std::nullopt;
+    }
+  }
+  return sketch->estimate_coverage(family);
+}
+
+std::optional<KCoverResult> SketchFleet::solve(const std::string& name,
+                                               std::uint32_t k,
+                                               std::string* error) {
+  if (k == 0) {
+    set_error(error, "k must be positive");
+    return std::nullopt;
+  }
+  const std::shared_ptr<Tenant> tenant = find(name, error);
+  if (tenant == nullptr) return std::nullopt;
+  // Make sure a handle exists (reloads if evicted); the cache keys off the
+  // published version. A concurrent evict can null the handle between the
+  // reload and solve_cached's grab — retry, bounded so a pathological evict
+  // storm degrades to an error instead of a livelock.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (handle(name, error) == nullptr) return std::nullopt;
+    std::optional<KCoverResult> result = solve_cached(name, tenant, k);
+    if (result.has_value()) return result;
+  }
+  set_error(error, "tenant '" + name + "' kept being evicted mid-solve");
+  return std::nullopt;
+}
+
+std::optional<KCoverResult> SketchFleet::solve_cached(
+    const std::string& name, const std::shared_ptr<Tenant>& tenant,
+    std::uint32_t k) {
+  std::shared_ptr<const SubsampleSketch> sketch;
+  std::uint64_t version = 0;
+  {
+    const std::lock_guard<std::mutex> lock(tenant->handle_mutex);
+    sketch = tenant->handle;
+    version = tenant->published_version;
+  }
+  if (sketch == nullptr) return std::nullopt;  // dropped or re-evicted; rare
+  const std::string key = name + "@" + std::to_string(version);
+  std::shared_ptr<SolveEntry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = solve_cache_.find(key);
+    if (it != solve_cache_.end()) {
+      entry = it->second;
+      ++cache_hits_;
+    } else {
+      entry = std::make_shared<SolveEntry>();
+      entry->handle = std::move(sketch);
+      solve_cache_.emplace(key, entry);
+      ++cache_misses_;
+      // LRU bound: erase the stalest entries. An in-flight solve keeps its
+      // entry alive through its shared_ptr; erasing only drops the cache's
+      // reference.
+      while (solve_cache_.size() > options_.solver_cache_entries) {
+        auto coldest = solve_cache_.end();
+        std::uint64_t coldest_use = ~0ULL;
+        for (auto jt = solve_cache_.begin(); jt != solve_cache_.end(); ++jt) {
+          if (jt->second == entry) continue;
+          const std::uint64_t use =
+              jt->second->last_use.load(std::memory_order_relaxed);
+          if (use < coldest_use) {
+            coldest_use = use;
+            coldest = jt;
+          }
+        }
+        if (coldest == solve_cache_.end()) break;
+        solve_cache_.erase(coldest);
+      }
+    }
+    entry->last_use.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  // Solves on one (tenant, version) serialize here — on the entry, never on
+  // the tenant's ingest path or the fleet registry.
+  const std::lock_guard<std::mutex> run(entry->run);
+  if (!entry->solver.has_value()) {
+    entry->view = entry->handle->view();
+    entry->solver.emplace(entry->view);
+  }
+  return kcover_with_solver(*entry->handle, entry->view, *entry->solver, k);
+}
+
+bool SketchFleet::save(const std::string& name, const std::string& path,
+                       std::string* error) {
+  const std::shared_ptr<const SubsampleSketch> sketch = handle(name, error);
+  if (sketch == nullptr) return false;
+  std::string io_error;
+  if (!save_snapshot(*sketch, path, &io_error)) {
+    return set_error(error, "save failed: " + io_error);
+  }
+  return true;
+}
+
+bool SketchFleet::evict(const std::string& name, std::string* error) {
+  const std::shared_ptr<Tenant> tenant = find(name, error);
+  if (tenant == nullptr) return false;
+  const std::lock_guard<std::mutex> work(tenant->work);
+  if (!tenant->resident.load(std::memory_order_relaxed)) return true;
+  return spill(*tenant, error);
+}
+
+bool SketchFleet::drop(const std::string& name, std::string* error) {
+  std::shared_ptr<Tenant> tenant;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return set_error(error, "unknown tenant '" + name + "'");
+    }
+    tenant = it->second;
+    tenants_.erase(it);
+  }
+  // Free the detached tenant's memory. A concurrent operation that already
+  // holds the shared_ptr finishes against the old state — harmless.
+  {
+    const std::lock_guard<std::mutex> work(tenant->work);
+    tenant->live.reset();
+    {
+      const std::lock_guard<std::mutex> lock(tenant->handle_mutex);
+      tenant->handle.reset();
+    }
+    tenant->resident.store(false, std::memory_order_relaxed);
+    reaccount(*tenant);
+    if (!tenant->spill_path.empty()) {
+      std::remove(tenant->spill_path.c_str());
+    }
+  }
+  forget_solver_entries(name);
+  return true;
+}
+
+void SketchFleet::forget_solver_entries(const std::string& name) {
+  const std::string prefix = name + "@";
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  for (auto it = solve_cache_.begin(); it != solve_cache_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = solve_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<SketchFleet::TenantStats> SketchFleet::tenant_stats(
+    const std::string& name) const {
+  std::shared_ptr<Tenant> tenant;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) return std::nullopt;
+    tenant = it->second;
+  }
+  const std::lock_guard<std::mutex> work(tenant->work);
+  TenantStats stats;
+  stats.version = tenant->version;
+  stats.resident = tenant->resident.load(std::memory_order_relaxed);
+  stats.space_words = tenant->accounted_words;
+  stats.edges_ingested = tenant->edges_ingested;
+  stats.num_sets = tenant->params.num_sets;
+  return stats;
+}
+
+SketchFleet::FleetStats SketchFleet::stats() const {
+  FleetStats stats;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    stats.tenants = tenants_.size();
+    for (const auto& [name, tenant] : tenants_) {
+      if (tenant->resident.load(std::memory_order_relaxed)) ++stats.resident;
+    }
+    stats.resident_words = resident_words_;
+    stats.budget_words = options_.memory_budget_words;
+    stats.evictions = evictions_;
+    stats.reloads = reloads_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    stats.solver_cache_hits = cache_hits_;
+    stats.solver_cache_misses = cache_misses_;
+  }
+  return stats;
+}
+
+std::vector<std::string> SketchFleet::tenant_names() const {
+  const std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace covstream

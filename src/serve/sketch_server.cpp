@@ -147,6 +147,7 @@ void SketchServer::start(EdgeStream& stream) {
     final_stats_ = stats;
     stats_ = stats;
     ingesting_ = false;
+    pass_done_.notify_all();
   });
 }
 
@@ -154,6 +155,11 @@ StreamEngine::PassStats SketchServer::wait() {
   if (worker_.joinable()) worker_.join();
   const std::lock_guard<std::mutex> lock(mutex_);
   return final_stats_;
+}
+
+bool SketchServer::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return pass_done_.wait_for(lock, timeout, [this] { return !ingesting_; });
 }
 
 void SketchServer::stop() {

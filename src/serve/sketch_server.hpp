@@ -25,6 +25,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -101,6 +103,12 @@ class SketchServer {
   /// is published before this returns.
   StreamEngine::PassStats wait();
 
+  /// Bounded-timeout wait: true once the pass has finished (then a wait()
+  /// call returns immediately with the stats), false if it is still running
+  /// after `timeout`. The CI smoke uses this instead of the unbounded REPL
+  /// `wait` so a hung ingest fails the step instead of wedging it.
+  bool wait_for(std::chrono::milliseconds timeout);
+
   /// Asks the ingestion pass to end at the next chunk boundary (the serve
   /// REPL's `quit` on a big input should not drain the whole stream). The
   /// partial state is published and — with checkpointing configured — a
@@ -139,6 +147,7 @@ class SketchServer {
   std::optional<StreamEngine::ResumePoint> resume_;
 
   mutable std::mutex mutex_;  // guards snapshot_, stats_, ingesting_
+  std::condition_variable pass_done_;  // signaled when ingesting_ goes false
   std::shared_ptr<const SubsampleSketch> snapshot_;
   StreamEngine::PassStats stats_;
   bool ingesting_ = false;

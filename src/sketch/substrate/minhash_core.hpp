@@ -94,6 +94,10 @@ class MinHashCore {
     span_.reserve(presize);
     key_slot_.reserve(presize);
     tracked_space_words_ = base_space_words + table_.space_words();
+    // Peak must start at the current footprint, not zero: a never-updated
+    // sketch would otherwise report peak < tracked, and its snapshot would
+    // fail the loader's counter audit (the fleet spills empty tenants).
+    peak_space_words_ = tracked_space_words_;
   }
 
   // ------------------------------------------------------------ hot path --

@@ -233,7 +233,10 @@ std::uint64_t SnapshotReader::u64() {
 
 bool SnapshotReader::bytes(void* out, std::size_t len) {
   if (!need(len)) return false;
-  std::memcpy(out, image_.data() + cursor_, len);
+  // len == 0 short-circuits: `out` may be a null data() pointer from an
+  // empty vector, and memcpy's arguments are declared nonnull even for a
+  // zero count (an empty tenant sketch snapshots empty arrays).
+  if (len > 0) std::memcpy(out, image_.data() + cursor_, len);
   cursor_ += len;
   return true;
 }

@@ -11,8 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -285,6 +288,77 @@ TEST(SketchServer, StatsAdvanceAndFinish) {
   EXPECT_EQ(stats.edges_read, edges.size());
   EXPECT_EQ(stats.edges_kept, edges.size());
   EXPECT_EQ(server.stats().edges_kept, edges.size());
+}
+
+// A VectorStream wrapper whose batches are withheld until the test says go —
+// makes "still ingesting" deterministic for the bounded-timeout wait test.
+// (Wrapper, not subclass: VectorStream is final.)
+class GatedStream final : public EdgeStream {
+ public:
+  explicit GatedStream(std::vector<Edge> edges) : inner_(std::move(edges)) {}
+
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(gate_mutex_);
+      released_ = true;
+    }
+    gate_.notify_all();
+  }
+
+  void reset() override {
+    inner_.reset();
+    note_pass();
+  }
+
+  bool next(Edge& edge) override {
+    wait_gate();
+    return inner_.next(edge);
+  }
+
+  std::size_t next_batch(Edge* out, std::size_t cap) override {
+    wait_gate();
+    return inner_.next_batch(out, cap);
+  }
+
+  std::size_t edges_per_pass() const override {
+    return inner_.edges_per_pass();
+  }
+
+ private:
+  void wait_gate() {
+    std::unique_lock<std::mutex> lock(gate_mutex_);
+    gate_.wait(lock, [this] { return released_; });
+  }
+
+  VectorStream inner_;
+  std::mutex gate_mutex_;
+  std::condition_variable gate_;
+  bool released_ = false;
+};
+
+TEST(SketchServer, WaitForIsBoundedAndObservesCompletion) {
+  // Before any pass: nothing is ingesting, so a zero-timeout wait succeeds.
+  SketchServer::Options options;
+  options.batch_edges = 256;
+  SketchServer server(serve_params(), options);
+  EXPECT_TRUE(server.wait_for(std::chrono::milliseconds(0)));
+
+  const std::vector<Edge> edges = make_edges(20000);
+  GatedStream stream(edges);
+  server.start(stream);
+  // The stream's gate is shut: the pass cannot finish, and wait_for must
+  // come back false after its timeout instead of blocking like wait().
+  EXPECT_FALSE(server.wait_for(std::chrono::milliseconds(50)));
+  EXPECT_TRUE(server.ingesting());
+
+  stream.release();
+  // Gate open: the pass drains and wait_for turns true well within the
+  // bound; wait() then returns the full stats without blocking.
+  EXPECT_TRUE(server.wait_for(std::chrono::seconds(30)));
+  EXPECT_FALSE(server.ingesting());
+  const StreamEngine::PassStats stats = server.wait();
+  EXPECT_EQ(stats.edges_read, edges.size());
+  EXPECT_TRUE(server.wait_for(std::chrono::milliseconds(0)));
 }
 
 }  // namespace

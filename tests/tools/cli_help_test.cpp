@@ -39,7 +39,7 @@ TEST(CliHelp, EveryFlagTheCommandsReadIsDocumented) {
         "--cross", "--input", "--eps", "--lambda", "--rounds", "--merge_mark",
         "--threads", "--batch", "--checkpoint", "--checkpoint-every",
         "--resume", "--snapshot", "--sets", "--snapshot-every", "--strategy",
-        "--isa"}) {
+        "--isa", "--port", "--tenants-budget", "--spill-dir"}) {
     EXPECT_NE(kHelp.find(flag), std::string::npos)
         << "flag missing from help: " << flag;
   }
@@ -49,6 +49,12 @@ TEST(CliHelp, ServeReplCommandsAreDocumented) {
   for (const char* repl : {"estimate", "solve", "stats", "save", "wait", "quit"}) {
     EXPECT_NE(kHelp.find(repl), std::string::npos)
         << "serve REPL command missing from help: " << repl;
+  }
+  // The bounded-timeout wait variant and the fleet protocol commands.
+  EXPECT_NE(kHelp.find("wait [<ms>]"), std::string::npos);
+  for (const char* fleet : {"create", "evict", "drop"}) {
+    EXPECT_NE(kHelp.find(fleet), std::string::npos)
+        << "fleet protocol command missing from help: " << fleet;
   }
 }
 
@@ -61,7 +67,7 @@ TEST(CliHelp, GoldenTextUnchanged) {
     hash ^= c;
     hash *= 0x100000001b3ULL;
   }
-  EXPECT_EQ(hash, 0xb33332c74422aba9ULL)
+  EXPECT_EQ(hash, 0xfd702804615211c7ULL)
       << "help text changed; review tools/covstream_help.hpp against the "
          "flags the commands read, then update this golden hash";
 }

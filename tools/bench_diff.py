@@ -87,6 +87,31 @@ def load_family_times(path):
     return times
 
 
+def load_qps(path):
+    """name -> {"qps": req/s, "p50_us":..., "p99_us":...} for the serve
+    benchmarks (bench/serve_qps.cpp), which publish a `qps` counter.
+
+    These are a separate family on purpose: direction is inverted (higher
+    throughput is better, so a DROP is the regression), and tail latency is
+    tracked alongside — a change can hold QPS while blowing up p99, which
+    per-op averaging would hide.
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        if "qps" not in bench:
+            continue
+        out[bench["name"]] = {
+            "qps": bench["qps"],
+            "p50_us": bench.get("p50_us"),
+            "p99_us": bench.get("p99_us"),
+        }
+    return out
+
+
 def load_byte_rates(path):
     """name -> MB/s for families that report bytes_per_second."""
     with open(path) as fh:
@@ -105,10 +130,16 @@ def emit_doc_rows(baseline):
     """Print the README perf-table rows from the committed baseline."""
     times = load_family_times(baseline)
     rates = load_byte_rates(baseline)
+    qps = load_qps(baseline)
     print("| benchmark | measured |")
     print("|---|---:|")
     for name in sorted(times):
-        if name in rates:
+        if name in qps:
+            entry = qps[name]
+            p99 = (f", p99 {entry['p99_us']:.1f} µs"
+                   if entry.get("p99_us") is not None else "")
+            print(f"| `{name}` | {entry['qps'] / 1e3:.0f}k req/s{p99} |")
+        elif name in rates:
             print(f"| `{name}` | {rates[name]:.0f} MB/s |")
         else:
             print(f"| `{name}` | {times[name]:.1f} ns/item |")
@@ -137,6 +168,13 @@ def main():
 
     fresh = load_family_times(args.fresh)
     base = load_family_times(args.baseline)
+    fresh_qps = load_qps(args.fresh)
+    base_qps = load_qps(args.baseline)
+    # QPS families compare on throughput (inverted direction) below, not on
+    # the ns-per-item table.
+    for name in list(fresh_qps) + list(base_qps):
+        fresh.pop(name, None)
+        base.pop(name, None)
 
     regressions = []
     rows = []
@@ -163,6 +201,41 @@ def main():
         fs = f"{f:12.1f}" if f is not None else f"{'-':>12}"
         print(f"{name:<{width}}  {bs}  {fs}  {flag}")
     print(f"(ns per item; threshold ±{args.threshold:.0%})")
+
+    qps_rows = []
+    for name in sorted(set(fresh_qps) | set(base_qps)):
+        if name not in base_qps:
+            qps_rows.append((name, None, fresh_qps[name]["qps"], "new"))
+            continue
+        if name not in fresh_qps:
+            qps_rows.append((name, base_qps[name]["qps"], None, "removed"))
+            continue
+        b, f = base_qps[name], fresh_qps[name]
+        drop = 1.0 - f["qps"] / b["qps"]  # higher is better: a drop regresses
+        flags = []
+        if drop > args.threshold:
+            flags.append("QPS REGRESSION")
+            regressions.append((name, -drop))
+        elif drop < -args.threshold:
+            flags.append("improved")
+        if b.get("p99_us") and f.get("p99_us") and \
+                f["p99_us"] / b["p99_us"] - 1.0 > args.threshold:
+            flags.append(f"P99 REGRESSION ({b['p99_us']:.1f} -> "
+                         f"{f['p99_us']:.1f} µs)")
+            regressions.append((name + " [p99]",
+                                f["p99_us"] / b["p99_us"] - 1.0))
+        qps_rows.append((name, b["qps"], f["qps"],
+                         " ".join(flags) or f"{-drop:+.1%}"))
+    if qps_rows:
+        width = max(len(r[0]) for r in qps_rows)
+        print(f"\n{'serve benchmark':<{width}}  {'baseline':>12}  "
+              f"{'fresh':>12}  status")
+        for name, b, f, flag in qps_rows:
+            bs = f"{b:12.0f}" if b is not None else f"{'-':>12}"
+            fs = f"{f:12.0f}" if f is not None else f"{'-':>12}"
+            print(f"{name:<{width}}  {bs}  {fs}  {flag}")
+        print(f"(requests per second, higher is better; p99 tracked at the "
+              f"same ±{args.threshold:.0%})")
 
     if regressions:
         print(f"\n{len(regressions)} famil{'y' if len(regressions) == 1 else 'ies'} "

@@ -14,6 +14,7 @@
 //
 // The full flag reference lives in tools/covstream_help.hpp (printed by
 // --cmd=help and pinned by the golden help test).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -28,6 +29,7 @@
 #include "covstream_help.hpp"
 #include "hash/simd/cpu_features.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/net_server.hpp"
 #include "serve/sketch_server.hpp"
 #include "sketch/substrate/snapshot.hpp"
 #include "solve/solver.hpp"
@@ -489,7 +491,54 @@ int cmd_solve(CliArgs& args) {
   return 0;
 }
 
+/// --port=N: the multi-tenant TCP fleet front-end (docs/PROTOCOL.md). Runs
+/// until some client sends `shutdown`. --port=0 (the default) falls through
+/// to the single-sketch stdin REPL below.
+int cmd_serve_fleet(CliArgs& args, std::size_t port) {
+  const std::size_t budget = args.get_size("tenants-budget", 0);
+  const std::string spill_dir = args.get_string("spill-dir", "covstream_spill");
+  const std::size_t threads = args.get_size("threads", 0);
+  args.finish();
+  if (port > 0xffff) {
+    std::fprintf(stderr, "--port must fit 16 bits (got %zu)\n", port);
+    return 2;
+  }
+
+  SketchFleet::Options fleet_options;
+  fleet_options.memory_budget_words = budget;
+  fleet_options.spill_dir = spill_dir;
+  SketchFleet fleet(fleet_options);
+  ThreadPool pool(threads);
+  NetServer::Options net_options;
+  net_options.port = static_cast<std::uint16_t>(port);
+  NetServer server(fleet, pool, net_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cannot listen on 127.0.0.1:%zu: %s\n", port,
+                 error.c_str());
+    return 1;
+  }
+  std::printf("fleet serving on 127.0.0.1:%u (%zu pool threads, budget %zu "
+              "words, spill %s); protocol: docs/PROTOCOL.md; send 'shutdown' "
+              "to stop\n",
+              server.port(), pool.thread_count(), budget, spill_dir.c_str());
+  std::fflush(stdout);
+  server.wait_shutdown();
+  server.stop();
+  const SketchFleet::FleetStats stats = fleet.stats();
+  const NetServer::Counters counters = server.counters();
+  std::printf("fleet stopped: %llu connections, %llu requests, %zu tenants, "
+              "%llu evictions, %llu reloads\n",
+              static_cast<unsigned long long>(counters.connections_accepted),
+              static_cast<unsigned long long>(counters.requests_served),
+              stats.tenants, static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.reloads));
+  return 0;
+}
+
 int cmd_serve(CliArgs& args) {
+  const std::size_t port = args.get_size("port", 0);
+  if (port != 0) return cmd_serve_fleet(args, port);
   const std::string input = args.get_string("input", "");
   const std::size_t batch_edges = args.get_size("batch", 0);
   const std::size_t snapshot_every = args.get_size("snapshot-every", 1);
@@ -515,7 +564,7 @@ int cmd_serve(CliArgs& args) {
   }
   server->start(*stream);
   std::printf("serving; commands: estimate <id,id,...> | solve <k> | stats | "
-              "save <path> | wait | quit\n");
+              "save <path> | wait [<ms>] | quit\n");
   std::fflush(stdout);
 
   char line[4096];
@@ -542,6 +591,21 @@ int cmd_serve(CliArgs& args) {
     if (text == "wait") {
       const StreamEngine::PassStats stats = server->wait();
       std::printf("ingest done: %zu edges\n", stats.edges_kept);
+    } else if (text.rfind("wait ", 0) == 0) {
+      // Bounded variant: `wait <ms>` returns either way, so a scripted
+      // session (the CI smoke) cannot hang forever on a stuck ingest.
+      const std::string arg = text.substr(5);
+      char* rest = nullptr;
+      const unsigned long long ms = std::strtoull(arg.c_str(), &rest, 10);
+      if (rest == arg.c_str() || *rest != '\0') {
+        std::printf("wait needs a timeout in milliseconds (got '%s')\n",
+                    arg.c_str());
+      } else if (server->wait_for(std::chrono::milliseconds(ms))) {
+        const StreamEngine::PassStats stats = server->wait();
+        std::printf("ingest done: %zu edges\n", stats.edges_kept);
+      } else {
+        std::printf("still ingesting after %llu ms\n", ms);
+      }
     } else if (text == "stats") {
       const StreamEngine::PassStats stats = server->stats();
       std::printf("ingested %zu edges, %s; snapshot: ", stats.edges_kept,

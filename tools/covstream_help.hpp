@@ -49,10 +49,20 @@ inline const char* cli_help_text() {
       "             the shared solver engine (DESIGN.md §5.10); reports the\n"
       "             solution, covered fraction, and solver space\n"
       "             --snapshot --k --strategy=decremental|lazy --threads\n"
-      "  serve      ingest in the background while answering queries from\n"
+      "  serve      with --port=N: a concurrent multi-tenant TCP front-end on\n"
+      "             127.0.0.1:N hosting many named sketches — per-tenant\n"
+      "             create/ingest/estimate/solve/save/evict/drop over a\n"
+      "             line-oriented protocol (docs/PROTOCOL.md), requests\n"
+      "             handled on a shared thread pool, cold tenants evicted to\n"
+      "             snapshot files under a fleet-wide memory budget\n"
+      "             --port --tenants-budget=<words> (0 = unlimited)\n"
+      "             --spill-dir --threads\n"
+      "             with --port=0 (default): single-sketch stdin REPL —\n"
+      "             ingest in the background while answering queries from\n"
       "             immutable snapshot handles; commands on stdin:\n"
       "             estimate <id,id,...> | solve <k> | stats | save <path>\n"
-      "             | wait | quit\n"
+      "             | wait [<ms>] | quit   (wait <ms> returns either way\n"
+      "             after the timeout; bare wait blocks until ingest ends)\n"
       "             --input --n --k --eps --seed --batch --snapshot-every\n"
       "             --checkpoint --checkpoint-every --resume\n"
       "\n"

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Multi-client TCP smoke for `covstream_cli --cmd=serve --port=N`.
+
+Boots the fleet server on a throwaway port, drives it with several
+concurrent socket clients through the whole protocol surface — create,
+ingest, estimate, solve, evict (with transparent reload), stats, tenants —
+then issues `shutdown` and requires a clean exit. Every response is checked
+against docs/PROTOCOL.md prefixes; any `err` (or a hung server) fails the
+script. CI runs this after the unit suites: the gtest layer exercises
+NetServer in-process, this exercises the shipped binary end to end, exactly
+as an operator would.
+
+Usage: python3 tools/serve_smoke.py [path/to/covstream_cli]
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+HOST = "127.0.0.1"
+CLIENTS = 3
+ROUNDS = 8
+
+
+class Client:
+    def __init__(self, port):
+        self.sock = socket.create_connection((HOST, port), timeout=20)
+        self.buf = b""
+
+    def request(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+        while b"\n" not in self.buf:
+            block = self.sock.recv(4096)
+            if not block:
+                raise AssertionError(f"EOF awaiting response to {line!r}")
+            self.buf += block
+        response, self.buf = self.buf.split(b"\n", 1)
+        return response.decode()
+
+    def expect(self, line, prefix):
+        response = self.request(line)
+        assert response.startswith(prefix), (
+            f"request {line!r}: expected {prefix!r}..., got {response!r}")
+        return response
+
+    def close(self):
+        self.sock.close()
+
+
+def client_session(port, idx, failures):
+    try:
+        c = Client(port)
+        name = f"smoke{idx}"
+        c.expect(f"create {name} 48 4 0.3", f"ok created {name}")
+        for round_no in range(ROUNDS):
+            pairs = " ".join(
+                f"{(round_no * 17 + i * 5 + idx) % 48} {(round_no * 97 + i) % 1024}"
+                for i in range(16))
+            c.expect(f"ingest {name} {pairs}", "ok ingested 16")
+            c.expect(f"estimate {name} 1,5,17", "ok estimate ")
+            if round_no % 3 == 0:
+                c.expect(f"solve {name} 3", "ok solve ")
+            if round_no % 4 == 1:
+                c.expect(f"evict {name}", f"ok evicted {name}")
+                # The next read transparently reloads from the spill file.
+                c.expect(f"estimate {name} 1,5,17", "ok estimate ")
+        stats = c.expect(f"stats {name}", f"ok tenant {name} ")
+        assert f"edges={ROUNDS * 16}" in stats, stats
+        c.expect("quit", "ok bye")
+        c.close()
+    except Exception as exc:  # noqa: BLE001 - smoke collects every failure
+        failures.append(f"client {idx}: {exc}")
+
+
+def main():
+    cli = sys.argv[1] if len(sys.argv) > 1 else "./build/covstream_cli"
+    port = 40000 + (os.getpid() % 20000)
+    with tempfile.TemporaryDirectory(prefix="covstream_smoke_") as spill:
+        server = subprocess.Popen(
+            [cli, "--cmd=serve", f"--port={port}", "--tenants-budget=20000",
+             f"--spill-dir={spill}", "--threads=4"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            banner = server.stdout.readline()
+            assert "fleet serving on" in banner, f"bad banner: {banner!r}"
+
+            failures = []
+            threads = [
+                threading.Thread(target=client_session,
+                                 args=(port, i, failures))
+                for i in range(CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+
+            control = Client(port)
+            stats = control.expect("stats", "ok stats ")
+            assert f"tenants={CLIENTS}" in stats, stats
+            tenants = control.expect("tenants", "ok tenants ")
+            for i in range(CLIENTS):
+                assert f"smoke{i}" in tenants, tenants
+            control.expect("bogus command", "err ")
+            control.expect("shutdown", "ok bye")
+            control.close()
+
+            code = server.wait(timeout=30)
+            assert code == 0, f"server exited {code}"
+            if failures:
+                for failure in failures:
+                    print(f"FAIL: {failure}", file=sys.stderr)
+                return 1
+            print(f"serve smoke PASS: {CLIENTS} clients x {ROUNDS} rounds, "
+                  f"evict/reload exercised, clean shutdown")
+            return 0
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
