@@ -1,0 +1,77 @@
+#include "serve/fleet_manifest.hpp"
+
+#include <unordered_set>
+
+#include "serve/sketch_fleet.hpp"  // valid_tenant_name
+
+namespace covstream {
+
+namespace {
+constexpr std::uint32_t kManifestTag = snapshot_tag('F', 'L', 'M', 'F');
+constexpr std::uint32_t kTenantTag = snapshot_tag('T', 'N', 'N', 'T');
+}  // namespace
+
+void FleetManifest::save(SnapshotWriter& writer) const {
+  writer.begin_section(kManifestTag);
+  writer.u64(entries.size());
+  for (const Entry& entry : entries) {
+    writer.begin_section(kTenantTag);
+    writer.u64(entry.name.size());
+    writer.bytes(entry.name.data(), entry.name.size());
+    writer.u64(entry.version);
+    writer.u64(entry.edges_ingested);
+    entry.params.save(writer);
+    writer.end_section();
+  }
+  writer.end_section();
+}
+
+std::optional<FleetManifest> FleetManifest::load_snapshot(
+    SnapshotReader& reader) {
+  FleetManifest manifest;
+  if (!reader.begin_section(kManifestTag)) return std::nullopt;
+  const std::uint64_t count = reader.u64();
+  // A tenant entry is at least its section header plus the three u64
+  // fields, so a forged count cannot force a huge reserve.
+  if (count > reader.remaining() / 36) {
+    reader.fail("manifest tenant count " + std::to_string(count) +
+                " overruns the payload");
+    return std::nullopt;
+  }
+  manifest.entries.reserve(static_cast<std::size_t>(count));
+  std::unordered_set<std::string> seen;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!reader.begin_section(kTenantTag)) return std::nullopt;
+    Entry entry;
+    const std::uint64_t name_len = reader.u64();
+    if (name_len == 0 || name_len > 64) {
+      reader.fail("manifest tenant name length " + std::to_string(name_len) +
+                  " outside [1, 64]");
+      return std::nullopt;
+    }
+    entry.name.resize(static_cast<std::size_t>(name_len));
+    if (!reader.bytes(entry.name.data(), entry.name.size())) return std::nullopt;
+    if (!valid_tenant_name(entry.name)) {
+      reader.fail("manifest holds an invalid tenant name");
+      return std::nullopt;
+    }
+    if (!seen.insert(entry.name).second) {
+      reader.fail("manifest lists tenant '" + entry.name + "' twice");
+      return std::nullopt;
+    }
+    entry.version = reader.u64();
+    entry.edges_ingested = reader.u64();
+    if (!entry.params.load(reader)) return std::nullopt;
+    if (!reader.end_section()) return std::nullopt;
+    manifest.entries.push_back(std::move(entry));
+  }
+  if (!reader.end_section()) return std::nullopt;
+  if (!reader.ok()) return std::nullopt;
+  return manifest;
+}
+
+std::string FleetManifest::path_in(const std::string& spill_dir) {
+  return spill_dir + "/fleet.manifest.snap";
+}
+
+}  // namespace covstream

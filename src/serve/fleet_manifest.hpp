@@ -1,0 +1,51 @@
+// Fleet roster manifest: the durable record of which tenants exist
+// (DESIGN.md §5.13, docs/FORMATS.md §2 type 6).
+//
+// A persistent fleet's spill dir holds one `.spill.snap` per tenant plus
+// this manifest (`fleet.manifest.snap`). The manifest is the roster's source
+// of truth at boot: a tenant listed here with no spill file is an empty
+// tenant that never flushed (recreated empty from its params); a spill file
+// NOT listed here is an orphan (quarantined). It reuses the §5.9 snapshot
+// container, so it gets the same frame, checksum, and temp-and-rename crash
+// safety as every sketch snapshot — and the same failpoints in tests.
+//
+// Per entry: the tenant's name, the version and ingested-edge count at the
+// last flush, and its full SketchParams (the 'PRMS' section, reused
+// verbatim), which is everything needed to re-register the tenant lazily
+// without opening its spill file.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "sketch/substrate/snapshot.hpp"
+
+namespace covstream {
+
+struct FleetManifest {
+  static constexpr SnapshotType kSnapshotType = SnapshotType::kFleetManifest;
+
+  struct Entry {
+    std::string name;
+    std::uint64_t version = 0;
+    std::uint64_t edges_ingested = 0;
+    SketchParams params;
+  };
+  std::vector<Entry> entries;
+
+  /// Serializes the roster ('FLMF' section of 'TNNT' entries).
+  void save(SnapshotWriter& writer) const;
+
+  /// Restores a save()d roster. Fails the reader on an invalid or duplicate
+  /// tenant name or invalid params — a manifest that fails here is
+  /// quarantined by the fleet's boot scan, never trusted partially.
+  static std::optional<FleetManifest> load_snapshot(SnapshotReader& reader);
+
+  /// The manifest's well-known file name inside a spill dir.
+  static std::string path_in(const std::string& spill_dir);
+};
+
+}  // namespace covstream

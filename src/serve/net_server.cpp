@@ -2,11 +2,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +16,7 @@
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
+#include "util/fault_injection.hpp"
 
 namespace covstream {
 
@@ -81,7 +84,8 @@ std::string format_double(double value) {
 }  // namespace
 
 std::string handle_fleet_request(SketchFleet& fleet, std::string_view line,
-                                 bool* shutdown_requested, ThreadPool* pool) {
+                                 bool* shutdown_requested, ThreadPool* pool,
+                                 const NetServer* server) {
   const std::vector<std::string_view> tokens = split_tokens(line);
   if (tokens.empty()) return err("empty request");
   const std::string_view cmd = tokens[0];
@@ -195,6 +199,31 @@ std::string handle_fleet_request(SketchFleet& fleet, std::string_view line,
     return "ok dropped " + std::string(tokens[1]);
   }
 
+  if (cmd == "flush") {
+    if (tokens.size() != 1) return err("usage: flush");
+    std::size_t flushed = 0;
+    if (!fleet.flush_all(&flushed, &error)) return err(error);
+    return "ok flushed " + std::to_string(flushed);
+  }
+
+  if (cmd == "fault") {
+    // Testing-only admin command: arm/disarm failpoints in-process so
+    // crash_smoke.py can kill the server at an exact write boundary. Gated
+    // on COVSTREAM_FAILPOINTS being present in the server's environment —
+    // a production server cannot be fault-armed over the wire.
+    FaultInjector& faults = FaultInjector::instance();
+    if (!faults.admin_enabled()) {
+      return err("fault injection disabled (set COVSTREAM_FAILPOINTS)");
+    }
+    if (tokens.size() == 2 && tokens[1] == "clear") {
+      faults.clear();
+      return "ok fault cleared";
+    }
+    if (tokens.size() != 2) return err("usage: fault <spec>|clear");
+    if (!faults.configure(tokens[1], &error)) return err("fault: " + error);
+    return "ok fault armed";
+  }
+
   if (cmd == "stats") {
     if (tokens.size() == 2) {
       const std::optional<SketchFleet::TenantStats> stats =
@@ -217,9 +246,20 @@ std::string handle_fleet_request(SketchFleet& fleet, std::string_view line,
         " evictions=" + std::to_string(stats.evictions) +
         " reloads=" + std::to_string(stats.reloads) +
         " cache_hits=" + std::to_string(stats.solver_cache_hits) +
-        " cache_misses=" + std::to_string(stats.solver_cache_misses);
+        " cache_misses=" + std::to_string(stats.solver_cache_misses) +
+        " degraded=" + (stats.degraded ? std::string("1") : std::string("0")) +
+        " spill_failures=" + std::to_string(stats.spill_failures) +
+        " quarantined=" + std::to_string(stats.quarantined) +
+        " flushed=" + std::to_string(stats.flushed_tenants);
     if (pool != nullptr) {
       response += " pool_pending=" + std::to_string(pool->pending_tasks());
+    }
+    if (server != nullptr) {
+      const NetServer::Counters counters = server->counters();
+      response += " shed_busy=" + std::to_string(counters.shed_busy) +
+                  " idle_closed=" + std::to_string(counters.idle_closed) +
+                  " deadline_rejected=" +
+                  std::to_string(counters.deadline_rejected);
     }
     return response;
   }
@@ -278,15 +318,31 @@ void NetServer::accept_loop() {
       if (errno == EINTR) continue;
       return;  // listener shut down (stop()) or fatal — either way, done
     }
+    bool shed = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_.load(std::memory_order_relaxed)) {
         ::close(fd);
         continue;
       }
-      open_fds_.push_back(fd);
-      ++active_connections_;
-      ++counters_.connections_accepted;
+      if (options_.max_pending_connections > 0 &&
+          active_connections_ >= options_.max_pending_connections) {
+        ++counters_.shed_busy;
+        shed = true;
+      } else {
+        open_fds_.push_back(fd);
+        ++active_connections_;
+        ++counters_.connections_accepted;
+      }
+    }
+    if (shed) {
+      // Load shedding: past the bound, a connection would only queue
+      // behind the pool. Tell the client so — one best-effort nonblocking
+      // line, a non-reading client must not stall the acceptor — and close.
+      static const char kBusy[] = "err busy\n";
+      (void)::send(fd, kBusy, sizeof kBusy - 1, MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      continue;
     }
     pool_.submit([this, fd] { serve_connection(fd); });
   }
@@ -296,9 +352,31 @@ void NetServer::serve_connection(int fd) {
   std::string buffer;
   char block[4096];
   bool open = true;
+  bool notify_shutdown = false;
   while (open) {
+    if (options_.idle_timeout_ms > 0) {
+      // Wait for readability with a deadline: a half-open or stalled client
+      // must not pin this pool slot forever. stop()'s shutdown(fd) makes
+      // the fd readable (EOF), so shutdown still unblocks us here.
+      pollfd pfd{fd, POLLIN, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, static_cast<int>(options_.idle_timeout_ms));
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) {
+        static const char kIdle[] = "err idle timeout\n";
+        (void)::send(fd, kIdle, sizeof kIdle - 1, MSG_NOSIGNAL | MSG_DONTWAIT);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.idle_closed;
+        break;
+      }
+      if (ready < 0) break;
+    }
     const ssize_t got = ::read(fd, block, sizeof block);
     if (got <= 0) break;  // EOF, reset, or stop()'s shutdown(fd)
+    // One arrival stamp per read: every request completed by this batch of
+    // bytes ages from here for the request deadline.
+    const auto arrival = std::chrono::steady_clock::now();
     buffer.append(block, static_cast<std::size_t>(got));
     if (buffer.size() > options_.max_line_bytes &&
         buffer.find('\n') == std::string::npos) {
@@ -314,16 +392,33 @@ void NetServer::serve_connection(int fd) {
       while (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       start = nl + 1;
       std::string response;
-      if (line == "quit") {
+      const bool expired =
+          options_.request_deadline_ms > 0 && line != "quit" &&
+          line != "shutdown" &&
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - arrival)
+                  .count() >
+              static_cast<std::int64_t>(options_.request_deadline_ms);
+      if (expired) {
+        // Shed, don't serve: a pipelined request that already waited past
+        // its deadline is stale — executing it wastes the pool on work the
+        // client gave up on. Control lines (quit/shutdown) always run.
+        response = "err deadline exceeded";
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.deadline_rejected;
+      } else if (line == "quit") {
         response = "ok bye";
         open = false;
       } else {
+        // Failpoint for deterministic slow-request tests (sleep action):
+        // one relaxed load when nothing is armed.
+        if (FaultInjector::instance().armed()) {
+          (void)FaultInjector::instance().evaluate("net.dispatch");
+        }
         bool shutdown = false;
-        response = handle_fleet_request(fleet_, line, &shutdown, &pool_);
+        response = handle_fleet_request(fleet_, line, &shutdown, &pool_, this);
         if (shutdown) {
-          std::lock_guard<std::mutex> lock(mutex_);
-          shutdown_requested_ = true;
-          cv_.notify_all();
+          notify_shutdown = true;
           open = false;
         }
       }
@@ -342,6 +437,14 @@ void NetServer::serve_connection(int fd) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.requests_served;
       }
+      if (notify_shutdown) {
+        // Only AFTER the `ok bye` bytes are queued on the socket: the woken
+        // wait_shutdown() caller typically calls stop(), whose shutdown(2)
+        // of every open fd would otherwise race the response send and eat it.
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_requested_ = true;
+        cv_.notify_all();
+      }
       if (!open) break;
     }
     buffer.erase(0, start);
@@ -356,6 +459,12 @@ void NetServer::serve_connection(int fd) {
 void NetServer::wait_shutdown() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void NetServer::request_shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_requested_ = true;
+  cv_.notify_all();
 }
 
 void NetServer::stop() {

@@ -29,16 +29,19 @@
 namespace covstream {
 
 class ThreadPool;
+class NetServer;
 
 /// Executes one protocol request line against `fleet` and returns the
 /// response line (no trailing newline). Sets *shutdown_requested on the
 /// `shutdown` command (the response is still returned and must be sent).
 /// `pool` (nullable) only enriches the `stats` response with the pool
-/// backlog. `quit` is a connection-level command handled by the caller, not
-/// here. See docs/PROTOCOL.md for the normative grammar.
+/// backlog; `server` (nullable) enriches it with connection counters.
+/// `quit` is a connection-level command handled by the caller, not here.
+/// See docs/PROTOCOL.md for the normative grammar.
 std::string handle_fleet_request(SketchFleet& fleet, std::string_view line,
                                  bool* shutdown_requested,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 const NetServer* server = nullptr);
 
 class NetServer {
  public:
@@ -50,6 +53,19 @@ class NetServer {
     /// A request line longer than this is answered with `err` and the
     /// connection closed (protects the server from unframed garbage).
     std::size_t max_line_bytes = 1 << 16;
+    /// Overload protection (DESIGN.md §5.13); 0 disables each knob.
+    /// A connection idle (no bytes) longer than this is told
+    /// `err idle timeout` and closed — half-open clients cannot hold a
+    /// pool slot forever.
+    std::uint32_t idle_timeout_ms = 0;
+    /// A pipelined request that waited in the connection buffer longer
+    /// than this is answered `err deadline exceeded` WITHOUT executing
+    /// (load shedding: stale requests are not worth their cost).
+    std::uint32_t request_deadline_ms = 0;
+    /// Accepted-but-unfinished connection bound: past it, new connections
+    /// get one `err busy` line and an immediate close instead of queueing
+    /// unboundedly behind the pool.
+    std::size_t max_pending_connections = 0;
   };
 
   /// The fleet and pool must outlive the server. stop() is called by the
@@ -70,6 +86,10 @@ class NetServer {
   /// Blocks until some client issued `shutdown` (or stop() was called).
   void wait_shutdown();
 
+  /// Releases wait_shutdown() waiters as if a client sent `shutdown` —
+  /// the hook a SIGTERM handler thread uses for graceful drain-and-flush.
+  void request_shutdown();
+
   /// Stops accepting, unblocks every connection, and waits for their pool
   /// tasks to finish. Idempotent. Must not be called from a pool task (a
   /// connection handler cannot wait for itself).
@@ -78,6 +98,9 @@ class NetServer {
   struct Counters {
     std::uint64_t connections_accepted = 0;
     std::uint64_t requests_served = 0;
+    std::uint64_t shed_busy = 0;          // connections refused with err busy
+    std::uint64_t idle_closed = 0;        // connections closed by idle timeout
+    std::uint64_t deadline_rejected = 0;  // requests shed past their deadline
   };
   Counters counters() const;
 

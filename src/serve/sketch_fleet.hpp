@@ -62,10 +62,18 @@ class SketchFleet {
     /// unlimited — no eviction ever happens.
     std::size_t memory_budget_words = 0;
     /// Directory for eviction spill files (created on demand). Required when
-    /// memory_budget_words > 0.
+    /// memory_budget_words > 0 or persistent is set.
     std::string spill_dir;
     /// Warm solver cache capacity in (tenant, version) entries.
     std::size_t solver_cache_entries = 64;
+    /// Persistent mode (DESIGN.md §5.13): the spill dir is the source of
+    /// truth. The constructor scans it — restoring the roster from the
+    /// manifest, quarantining corrupt/orphaned files, sweeping crash
+    /// leftovers — and create/drop/flush_all keep the manifest current.
+    bool persistent = false;
+    /// While degraded (spills failing under budget pressure), retry the
+    /// spill sweep at most this often. 0 retries on every mutation.
+    std::uint64_t spill_retry_backoff_ms = 500;
   };
 
   explicit SketchFleet(Options options);
@@ -114,6 +122,13 @@ class SketchFleet {
   std::shared_ptr<const SubsampleSketch> handle(const std::string& name,
                                                 std::string* error);
 
+  /// Durably writes every dirty tenant to its spill file (tenants stay
+  /// resident) and rewrites the manifest (persistent mode). *flushed counts
+  /// tenants written. False when any tenant or the manifest failed — the
+  /// rest were still attempted; *error holds the first failure. Requires a
+  /// spill_dir.
+  bool flush_all(std::size_t* flushed, std::string* error);
+
   struct TenantStats {
     std::uint64_t version = 0;
     bool resident = false;
@@ -132,8 +147,25 @@ class SketchFleet {
     std::uint64_t reloads = 0;
     std::uint64_t solver_cache_hits = 0;
     std::uint64_t solver_cache_misses = 0;
+    /// Degradation surface (DESIGN.md §5.13): degraded goes true when the
+    /// eviction arbiter cannot spill (disk full/broken) while over budget —
+    /// new ingest is refused with `err degraded` until a spill succeeds.
+    bool degraded = false;
+    std::uint64_t spill_failures = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t flushed_tenants = 0;
   };
   FleetStats stats() const;
+
+  /// What the persistent boot scan found (empty outside persistent mode).
+  struct BootReport {
+    std::size_t restored = 0;         // roster entries with a valid spill file
+    std::size_t recreated_empty = 0;  // roster entries that never flushed
+    std::size_t adopted = 0;          // manifest-less spill files adopted
+    std::size_t quarantined = 0;      // corrupt/orphaned files set aside
+    std::size_t temps_swept = 0;      // crash-leftover .tmp.* files removed
+  };
+  const BootReport& boot_report() const { return boot_report_; }
 
   std::vector<std::string> tenant_names() const;
 
@@ -148,6 +180,10 @@ class SketchFleet {
     std::mutex work;
     std::optional<SubsampleSketch> live;
     std::uint64_t version = 0;
+    /// Version whose state is recoverable from disk (spill file, or — for a
+    /// never-flushed empty tenant in persistent mode — the manifest alone).
+    /// version != durable_version marks the tenant dirty for flush_all.
+    std::uint64_t durable_version = 0;
     std::uint64_t edges_ingested = 0;
     std::size_t accounted_words = 0;  // what resident_words_ currently counts
 
@@ -194,6 +230,26 @@ class SketchFleet {
       std::uint32_t k);
   void forget_solver_entries(const std::string& name);
 
+  std::string spill_path_for(const std::string& name) const;
+  /// Persistent boot (constructor only): sweep temps, restore the roster
+  /// from the manifest (or adopt manifest-less spill files), quarantine
+  /// anything corrupt or orphaned, rewrite the manifest.
+  void boot_scan();
+  /// Moves `path` into spill_dir/quarantine/ (never deletes) with a logged
+  /// reason; counts it.
+  void quarantine_file(const std::string& path, const std::string& reason);
+  /// Serializes the current roster to spill_dir/fleet.manifest.snap.
+  /// Serialized against concurrent manifest writers; takes registry and
+  /// per-tenant work locks internally (caller must hold neither).
+  bool write_manifest(std::string* error);
+  /// If the degraded flag is set, clears it (registry lock taken inside).
+  void clear_degraded();
+  /// Marks the fleet degraded with `reason` and arms the retry backoff.
+  void enter_degraded(const std::string& reason);
+  /// Degraded gate for footprint-growing operations: retries the spill
+  /// sweep (backoff-bounded), then errors out if still degraded.
+  bool refuse_if_degraded(std::string* error);
+
   Options options_;
 
   mutable std::mutex registry_mutex_;  // tenants_, resident_words_, counters
@@ -201,6 +257,19 @@ class SketchFleet {
   std::size_t resident_words_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t reloads_ = 0;
+  std::uint64_t spill_failures_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t flushed_tenants_ = 0;
+  bool degraded_ = false;
+  std::string degraded_reason_;
+
+  // Lock-free mirror of degraded_ for the ingest fast path, plus the
+  // earliest steady-clock ms at which a degraded fleet retries spilling.
+  std::atomic<bool> degraded_flag_{false};
+  std::atomic<std::int64_t> next_spill_retry_ms_{0};
+
+  std::mutex manifest_mutex_;  // serializes manifest build+write
+  BootReport boot_report_;
 
   mutable std::mutex cache_mutex_;  // solve_cache_ structure + counters
   std::unordered_map<std::string, std::shared_ptr<SolveEntry>> solve_cache_;

@@ -103,6 +103,7 @@ void SketchServer::start(EdgeStream& stream) {
         std::string error;
         if (!save_ingest_checkpoint(point, live_, options_.checkpoint_path,
                                     &error)) {
+          checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
           std::fprintf(stderr, "sketch server: checkpoint failed: %s\n",
                        error.c_str());
         }

@@ -139,6 +139,14 @@ class SketchServer {
   /// boundaries, like the handles).
   StreamEngine::PassStats stats() const;
 
+  /// Periodic checkpoint writes that failed (disk full, I/O error). The
+  /// ingest pass keeps running — a checkpoint is an optimization, not a
+  /// correctness gate — but the operator must be able to see the count
+  /// instead of grepping stderr.
+  std::uint64_t checkpoint_failures() const {
+    return checkpoint_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   void publish_locked_copy();
 
@@ -152,6 +160,7 @@ class SketchServer {
   StreamEngine::PassStats stats_;
   bool ingesting_ = false;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> checkpoint_failures_{0};
 
   // Warm solve cache, rebuilt when the published handle changes. Guarded by
   // its own mutex: solvers serialize with each other, never with the admit

@@ -1,12 +1,16 @@
 #include "sketch/substrate/snapshot.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
 #include <unistd.h>
 #endif
+
+#include "util/fault_injection.hpp"
 
 namespace covstream {
 namespace {
@@ -96,41 +100,94 @@ bool SnapshotWriter::write_file(const std::string& path,
           0
 #endif
           ));
+  FaultInjector& faults = FaultInjector::instance();
+  const auto set_error = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+
+  if (faults.evaluate("snapshot.open").action != FaultAction::kNone) {
+    return set_error("cannot open " + temp + " for writing");
+  }
   std::FILE* file = std::fopen(temp.c_str(), "wb");
   if (file == nullptr) {
-    if (error != nullptr) *error = "cannot open " + temp + " for writing";
-    return false;
+    return set_error("cannot open " + temp + " for writing");
   }
-  bool wrote = std::fwrite(image.data(), 1, image.size(), file) == image.size();
+  // Unbuffered, chunked writes: every chunk is one write(2), so an
+  // `abort`-at-Nth-write failpoint leaves exactly the first N-1 chunks on
+  // disk — a genuinely torn temp file, which the reboot sweep must handle.
+  std::setvbuf(file, nullptr, _IONBF, 0);
+  constexpr std::size_t kChunkBytes = 4096;
+  bool wrote = true;
+  int write_errno = 0;
+  for (std::size_t at = 0; at < image.size(); at += kChunkBytes) {
+    const std::size_t len = std::min(kChunkBytes, image.size() - at);
+    const FaultHit hit = faults.evaluate("snapshot.write");
+    if (hit.action != FaultAction::kNone) {
+      // A short write lands part of the chunk before failing, like a disk
+      // that filled mid-write; `fail`/`enospc` land nothing.
+      if (hit.action == FaultAction::kShort && len > 1) {
+        (void)std::fwrite(image.data() + at, 1, len / 2, file);
+      }
+      wrote = false;
+      write_errno = hit.fault_errno;
+      break;
+    }
+    if (std::fwrite(image.data() + at, 1, len, file) != len) {
+      wrote = false;
+      write_errno = errno;
+      break;
+    }
+  }
 #if defined(__unix__) || defined(__APPLE__)
   // The data must be durable BEFORE the rename publishes it, or a power
   // loss can commit the rename metadata ahead of the data blocks and leave
   // a torn file at `path` — the exact crash checkpoints exist to survive.
   if (wrote) {
-    wrote = std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+    if (faults.evaluate("snapshot.fsync").action != FaultAction::kNone) {
+      wrote = false;
+      write_errno = EIO;
+    } else {
+      wrote = std::fflush(file) == 0 && ::fsync(::fileno(file)) == 0;
+      if (!wrote) write_errno = errno;
+    }
   }
 #endif
   const bool closed = std::fclose(file) == 0;
   if (!wrote || !closed) {
+    // Never leak the temp: a failed write must leave the spill dir exactly
+    // as it was (tests pin this; the boot scan sweeps crash leftovers).
     std::remove(temp.c_str());
-    if (error != nullptr) *error = "short write to " + temp;
-    return false;
+    std::string detail =
+        write_errno != 0 ? std::string(std::strerror(write_errno)) : "";
+    return set_error("short write to " + temp +
+                     (detail.empty() ? "" : " (" + detail + ")"));
   }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+  if (faults.evaluate("snapshot.rename").action != FaultAction::kNone ||
+      std::rename(temp.c_str(), path.c_str()) != 0) {
     std::remove(temp.c_str());
-    if (error != nullptr) *error = "cannot rename " + temp + " to " + path;
-    return false;
+    return set_error("cannot rename " + temp + " to " + path);
   }
 #if defined(__unix__)
-  // Persist the rename itself (directory entry). Best-effort: a failure
-  // here leaves a valid file that may revert to the previous checkpoint
-  // after a crash, which resume handles fine.
+  // Persist the rename itself (directory entry). A failure here leaves a
+  // valid file at `path` that may revert to the previous snapshot after a
+  // power loss, so it is reported as a failure — callers that must be
+  // durable (fleet flush) retry; callers that can tolerate a rollback see
+  // exactly what happened in the error string.
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
+  bool dir_synced = false;
+  if (faults.evaluate("snapshot.dirsync").action == FaultAction::kNone) {
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY);
+    if (dir_fd >= 0) {
+      dir_synced = ::fsync(dir_fd) == 0;
+      ::close(dir_fd);
+    }
+  }
+  if (!dir_synced) {
+    return set_error("directory fsync failed for " + dir + " (" + path +
+                     " was renamed into place but the rename may not survive "
+                     "a power loss)");
   }
 #endif
   return true;

@@ -48,6 +48,7 @@ enum class SnapshotType : std::uint32_t {
   kSketchLadder = 3,
   kL0KCover = 4,
   kIngestCheckpoint = 5,
+  kFleetManifest = 6,
 };
 
 /// Section tags (docs/FORMATS.md §3): four ASCII bytes, read as little-endian

@@ -1,0 +1,157 @@
+#include "util/fault_injection.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace covstream {
+
+namespace {
+
+bool parse_u64_digits(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (~0ULL - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("COVSTREAM_FAILPOINTS");
+  admin_enabled_ = env != nullptr;
+  if (env != nullptr && env[0] != '\0') {
+    std::string error;
+    if (!configure(env, &error)) {
+      std::fprintf(stderr, "fault injection: bad COVSTREAM_FAILPOINTS: %s\n",
+                   error.c_str());
+    }
+  }
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+bool FaultInjector::configure(std::string_view spec, std::string* error) {
+  const auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  std::vector<Rule> rules;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find(',', at);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view text = spec.substr(at, end - at);
+    at = end + 1;
+    if (text.empty()) continue;
+    const std::size_t eq = text.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return fail("rule '" + std::string(text) + "' is not site=action");
+    }
+    Rule rule;
+    rule.site = std::string(text.substr(0, eq));
+    std::string_view action = text.substr(eq + 1);
+    if (!action.empty() && action.back() == '+') {
+      rule.sticky = true;
+      action.remove_suffix(1);
+    }
+    const std::size_t amp = action.find('@');
+    if (amp != std::string_view::npos) {
+      if (!parse_u64_digits(action.substr(amp + 1), &rule.nth) ||
+          rule.nth == 0) {
+        return fail("rule '" + std::string(text) + "' has a bad @N");
+      }
+      action = action.substr(0, amp);
+    }
+    if (action == "fail") {
+      rule.action = FaultAction::kFail;
+      rule.fault_errno = EIO;
+    } else if (action == "enospc") {
+      rule.action = FaultAction::kFail;
+      rule.fault_errno = ENOSPC;
+    } else if (action == "short") {
+      rule.action = FaultAction::kShort;
+      rule.fault_errno = EIO;
+    } else if (action == "abort") {
+      rule.abort = true;
+    } else if (action.substr(0, 5) == "sleep") {
+      std::uint64_t ms = 0;
+      if (!parse_u64_digits(action.substr(5), &ms) || ms > 600000) {
+        return fail("rule '" + std::string(text) + "' has a bad sleep<ms>");
+      }
+      rule.sleep_ms = static_cast<std::uint32_t>(ms);
+    } else {
+      return fail("rule '" + std::string(text) +
+                  "': action must be fail|enospc|short|abort|sleep<ms>");
+    }
+    rules.push_back(std::move(rule));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  armed_.store(!rules_.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultHit FaultInjector::evaluate(const char* site) {
+  FaultHit hit;
+  if (!armed()) return hit;
+  bool do_abort = false;
+  std::uint32_t do_sleep_ms = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Rule& rule : rules_) {
+      if (rule.site != site) continue;
+      ++rule.count;
+      const bool fires =
+          rule.sticky ? rule.count >= rule.nth : rule.count == rule.nth;
+      if (!fires) continue;
+      if (rule.abort) {
+        do_abort = true;
+      } else if (rule.sleep_ms > 0) {
+        do_sleep_ms = rule.sleep_ms;
+      } else {
+        hit.action = rule.action;
+        hit.fault_errno = rule.fault_errno;
+      }
+      break;
+    }
+  }
+  if (do_abort) {
+    // A real crash, not an exit: skip atexit handlers and stdio flushing so
+    // buffered-but-unwritten bytes are genuinely lost, like a power cut.
+    std::fprintf(stderr, "fault injection: abort at %s\n", site);
+    std::_Exit(42);
+  }
+  if (do_sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(do_sleep_ms));
+  }
+  return hit;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.site == site) total += rule.count;
+  }
+  return total;
+}
+
+}  // namespace covstream

@@ -1,0 +1,106 @@
+// Failpoint layer for crash-consistency and error-path testing
+// (DESIGN.md §5.13).
+//
+// Durability claims are only as good as the crash points they were tested
+// at, so the snapshot/spill write path is threaded with named fault sites
+// (snapshot.open, snapshot.write, snapshot.fsync, snapshot.rename,
+// snapshot.dirsync, net.dispatch). A site costs one relaxed atomic load when
+// no faults are armed; when armed, each evaluation is counted and matched
+// against the configured rules, so a test — or tools/crash_smoke.py over the
+// wire — can fail exactly the Nth write, return ENOSPC forever, or kill the
+// process at a chosen write boundary and assert the reboot recovers.
+//
+// Spec grammar (COVSTREAM_FAILPOINTS env var or configure()):
+//
+//   spec  := rule (',' rule)*
+//   rule  := site '=' action ['@' N] ['+']
+//   action:= 'fail' | 'enospc' | 'short' | 'abort' | 'sleep' <ms>
+//
+// A rule fires on the Nth evaluation of its site (N defaults to 1); with a
+// trailing '+' it fires on every evaluation from the Nth on (sticky — how an
+// ENOSPC disk behaves). Actions: `fail` injects a generic I/O error (EIO),
+// `enospc` injects ENOSPC, `short` asks the site to perform a partial write
+// then fail, `abort` kills the process on the spot with _Exit (no atexit, no
+// stdio flush — a genuine torn-state crash, exit code 42), and `sleep<ms>`
+// stalls the site (deterministic slow-request testing).
+//
+// The injector is process-wide and thread-safe. The `fault` protocol command
+// only works when COVSTREAM_FAILPOINTS was present in the environment at
+// startup (even empty), so a production server cannot be fault-armed over
+// the wire.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace covstream {
+
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kFail,   // report failure with an injected errno
+  kShort,  // perform a partial write, then report failure
+};
+
+/// What a fault site must do, as decided by evaluate(). `abort` and `sleep`
+/// rules are executed inside evaluate() itself (the process dies / stalls),
+/// so call sites only ever see kNone / kFail / kShort.
+struct FaultHit {
+  FaultAction action = FaultAction::kNone;
+  int fault_errno = 0;  // EIO or ENOSPC when action != kNone
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. First call latches whether
+  /// COVSTREAM_FAILPOINTS is present (admin_enabled) and arms any rules in
+  /// it (a malformed env spec warns to stderr and arms nothing).
+  static FaultInjector& instance();
+
+  /// Replaces all rules with `spec` (see grammar above). Empty spec ==
+  /// clear(). False + *error on a malformed spec (rules unchanged).
+  bool configure(std::string_view spec, std::string* error = nullptr);
+
+  /// Disarms every rule and resets all hit counters.
+  void clear();
+
+  /// True when COVSTREAM_FAILPOINTS was set at startup — the gate for the
+  /// wire-level `fault` command.
+  bool admin_enabled() const { return admin_enabled_; }
+
+  /// True when any rule is armed (relaxed; the fast path's only cost).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Counts one evaluation of `site` and returns the action to take. May
+  /// not return: an `abort` rule calls _Exit(42) here, a `sleep` rule
+  /// stalls here.
+  FaultHit evaluate(const char* site);
+
+  /// How many times `site` has been evaluated since the last configure()/
+  /// clear() (only counted while armed).
+  std::uint64_t hits(std::string_view site) const;
+
+ private:
+  FaultInjector();
+
+  struct Rule {
+    std::string site;
+    FaultAction action = FaultAction::kNone;
+    int fault_errno = 0;       // errno to inject when action != kNone
+    bool abort = false;
+    std::uint32_t sleep_ms = 0;
+    std::uint64_t nth = 1;     // fire on the nth evaluation...
+    bool sticky = false;       // ...and every one after, with '+'
+    std::uint64_t count = 0;   // evaluations of this site so far
+  };
+
+  bool admin_enabled_ = false;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace covstream

@@ -17,6 +17,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,6 +27,7 @@
 #include "parallel/thread_pool.hpp"
 #include "serve/net_server.hpp"
 #include "serve/sketch_fleet.hpp"
+#include "util/fault_injection.hpp"
 
 namespace covstream {
 namespace {
@@ -80,6 +82,10 @@ class TestClient {
     send_raw(line + "\n");
     return read_line();
   }
+
+  // Half-close: we are done sending, but the read side stays open (the
+  // half-open-socket tests drive the server's EOF handling with this).
+  void shutdown_write() { ::shutdown(fd_, SHUT_WR); }
 
   // True once the server closed its side (read returns EOF).
   bool at_eof() {
@@ -341,6 +347,156 @@ TEST(NetServer, ConcurrentClientsWithEvictionChurn) {
             static_cast<std::uint64_t>(kClients));
   EXPECT_GT(fleet.stats().evictions, 0u);
   server.stop();
+}
+
+TEST(NetServer, MalformedLinesGetErrorsNotDisconnects) {
+  // Fuzz-shaped garbage on the wire must come back as `err ...` lines on a
+  // connection that keeps working — a hostile or buggy client can cost
+  // itself, never the server.
+  SketchFleet fleet({});
+  ThreadPool pool(2);
+  NetServer server(fleet, pool, {});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // Embedded NUL: the NUL is token bytes, not a terminator — a C-string
+  // dispatch would see "pi" and misroute; the whole 5-byte token must fail
+  // the command lookup.
+  client.send_raw(std::string("pi\0ng\n", 6));
+  EXPECT_EQ(client.read_line().rfind("err unknown command", 0), 0u);
+  // Binary garbage line.
+  client.send_raw(std::string("\x01\x02\xfe\xff \x7f\n", 7));
+  EXPECT_EQ(client.read_line().rfind("err ", 0), 0u);
+  // Whitespace-only line: empty request, not a crash.
+  EXPECT_EQ(client.request("   "), "err empty request");
+  // An overlong-but-terminated line is still one request (the max_line_bytes
+  // bound only caps UNTERMINATED buffering) and gets an error, not a cut.
+  client.send_raw(std::string(8000, 'z') + "\n");
+  EXPECT_EQ(client.read_line().rfind("err unknown command", 0), 0u);
+  // The connection survived all of it.
+  EXPECT_EQ(client.request("ping"), "ok pong");
+  EXPECT_EQ(client.request("quit"), "ok bye");
+  server.stop();
+}
+
+TEST(NetServer, PartialFinalLineAtEofIsDroppedNotExecuted) {
+  SketchFleet fleet({});
+  ThreadPool pool(2);
+  NetServer server(fleet, pool, {});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.request("create t 64 4"), "ok created t");
+  // A request with no terminating newline, then EOF: the line never
+  // completed, so it must not run — the server closes without a response.
+  client.send_raw("drop t");
+  client.shutdown_write();
+  EXPECT_EQ(client.read_line(), "");  // EOF, no response line
+
+  // The unterminated drop did not execute.
+  TestClient probe(server.port());
+  ASSERT_TRUE(probe.connected());
+  EXPECT_EQ(probe.request("tenants"), "ok tenants t");
+  server.stop();
+}
+
+TEST(NetServer, IdleConnectionsAreTimedOut) {
+  SketchFleet fleet({});
+  ThreadPool pool(2);
+  NetServer::Options options;
+  options.idle_timeout_ms = 100;
+  NetServer server(fleet, pool, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // An active client is not disturbed...
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.request("ping"), "ok pong");
+  // ...but one that goes silent (half-open peer, stalled script) is told
+  // why and closed, freeing the pool slot.
+  EXPECT_EQ(client.read_line(), "err idle timeout");
+  EXPECT_TRUE(client.at_eof());
+  EXPECT_EQ(server.counters().idle_closed, 1u);
+  server.stop();
+}
+
+TEST(NetServer, ConnectionsPastTheBoundGetErrBusy) {
+  SketchFleet fleet({});
+  ThreadPool pool(2);
+  NetServer::Options options;
+  options.max_pending_connections = 1;
+  NetServer server(fleet, pool, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient first(server.port());
+  ASSERT_TRUE(first.connected());
+  // The ping round trip guarantees the first connection is counted active
+  // before the second one reaches the acceptor.
+  EXPECT_EQ(first.request("ping"), "ok pong");
+
+  TestClient second(server.port());
+  ASSERT_TRUE(second.connected());
+  EXPECT_EQ(second.read_line(), "err busy");
+  EXPECT_TRUE(second.at_eof());
+
+  // Shedding protected the first client instead of degrading it.
+  EXPECT_EQ(first.request("ping"), "ok pong");
+  const std::string stats = first.request("stats");
+  EXPECT_NE(stats.find("shed_busy=1"), std::string::npos) << stats;
+  EXPECT_EQ(first.request("quit"), "ok bye");
+  EXPECT_TRUE(first.at_eof());
+
+  // The freed slot admits a new client. The server's accounting decrements
+  // just after the close the client observed, so retry (bounded) rather
+  // than assume the slot freed instantly.
+  std::string third_response;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    TestClient third(server.port());
+    ASSERT_TRUE(third.connected());
+    third_response = third.request("ping");
+    if (third_response == "ok pong") break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(third_response, "ok pong");
+  EXPECT_GE(server.counters().shed_busy, 1u);
+  server.stop();
+}
+
+TEST(NetServer, StalePipelinedRequestsAreDeadlineRejected) {
+  // Deterministic slow request: the net.dispatch failpoint sleeps 150ms
+  // inside the FIRST dispatch, so the pipelined requests behind it age past
+  // the 50ms deadline while it runs — no wall-clock guessing.
+  FaultInjector::instance().clear();
+  ASSERT_TRUE(FaultInjector::instance().configure("net.dispatch=sleep150@1"));
+
+  SketchFleet fleet({});
+  ThreadPool pool(2);
+  NetServer::Options options;
+  options.request_deadline_ms = 50;
+  NetServer server(fleet, pool, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  // One write, three requests, one arrival stamp.
+  client.send_raw("ping\nping\nping\n");
+  EXPECT_EQ(client.read_line(), "ok pong");  // served (slept, but started fresh)
+  EXPECT_EQ(client.read_line(), "err deadline exceeded");
+  EXPECT_EQ(client.read_line(), "err deadline exceeded");
+  // A fresh write gets a fresh arrival stamp and is served normally.
+  EXPECT_EQ(client.request("ping"), "ok pong");
+  // quit is a control line: exempt from the deadline, always runs.
+  EXPECT_EQ(client.request("quit"), "ok bye");
+  EXPECT_EQ(server.counters().deadline_rejected, 2u);
+  server.stop();
+  FaultInjector::instance().clear();
 }
 
 TEST(NetServer, StopUnblocksIdleConnections) {

@@ -39,7 +39,8 @@ TEST(CliHelp, EveryFlagTheCommandsReadIsDocumented) {
         "--cross", "--input", "--eps", "--lambda", "--rounds", "--merge_mark",
         "--threads", "--batch", "--checkpoint", "--checkpoint-every",
         "--resume", "--snapshot", "--sets", "--snapshot-every", "--strategy",
-        "--isa", "--port", "--tenants-budget", "--spill-dir"}) {
+        "--isa", "--port", "--tenants-budget", "--spill-dir", "--persist",
+        "--idle-timeout-ms", "--deadline-ms", "--max-pending"}) {
     EXPECT_NE(kHelp.find(flag), std::string::npos)
         << "flag missing from help: " << flag;
   }
@@ -52,7 +53,7 @@ TEST(CliHelp, ServeReplCommandsAreDocumented) {
   }
   // The bounded-timeout wait variant and the fleet protocol commands.
   EXPECT_NE(kHelp.find("wait [<ms>]"), std::string::npos);
-  for (const char* fleet : {"create", "evict", "drop"}) {
+  for (const char* fleet : {"create", "evict", "drop", "flush"}) {
     EXPECT_NE(kHelp.find(fleet), std::string::npos)
         << "fleet protocol command missing from help: " << fleet;
   }
@@ -67,7 +68,7 @@ TEST(CliHelp, GoldenTextUnchanged) {
     hash ^= c;
     hash *= 0x100000001b3ULL;
   }
-  EXPECT_EQ(hash, 0xfd702804615211c7ULL)
+  EXPECT_EQ(hash, 0x40bfdea7776a6239ULL)
       << "help text changed; review tools/covstream_help.hpp against the "
          "flags the commands read, then update this golden hash";
 }

@@ -1,0 +1,129 @@
+// FaultInjector: the failpoint layer the crash-consistency story rests on
+// (DESIGN.md §5.13).
+//
+// Properties under test: the spec grammar parses exactly the documented
+// rules and rejects junk without arming anything; @N fires on the Nth
+// evaluation only, @N+ fires from the Nth on (sticky ENOSPC); sites are
+// independent; clear() disarms and resets counters; evaluations are only
+// counted while armed (the production fast path stays one relaxed load).
+//
+// `abort` is exercised end-to-end by tools/crash_smoke.py (it has to kill a
+// real process); `sleep` is exercised by the NetServer deadline test.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+
+#include "util/fault_injection.hpp"
+
+namespace covstream {
+namespace {
+
+class FaultInjectionTest : public testing::Test {
+ protected:
+  // The injector is process-wide; every test starts and ends disarmed so
+  // suites sharing the binary never see leftover rules.
+  void SetUp() override { FaultInjector::instance().clear(); }
+  void TearDown() override { FaultInjector::instance().clear(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedFastPathInjectsNothing) {
+  FaultInjector& faults = FaultInjector::instance();
+  EXPECT_FALSE(faults.armed());
+  const FaultHit hit = faults.evaluate("snapshot.write");
+  EXPECT_EQ(hit.action, FaultAction::kNone);
+  // Unarmed evaluations are not even counted.
+  EXPECT_EQ(faults.hits("snapshot.write"), 0u);
+}
+
+TEST_F(FaultInjectionTest, FailFiresOnFirstHitByDefault) {
+  FaultInjector& faults = FaultInjector::instance();
+  ASSERT_TRUE(faults.configure("snapshot.write=fail"));
+  EXPECT_TRUE(faults.armed());
+  const FaultHit hit = faults.evaluate("snapshot.write");
+  EXPECT_EQ(hit.action, FaultAction::kFail);
+  EXPECT_EQ(hit.fault_errno, EIO);
+  // One-shot: the second evaluation passes.
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kNone);
+  EXPECT_EQ(faults.hits("snapshot.write"), 2u);
+}
+
+TEST_F(FaultInjectionTest, NthHitFiresExactlyOnce) {
+  FaultInjector& faults = FaultInjector::instance();
+  ASSERT_TRUE(faults.configure("snapshot.write=enospc@3"));
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kNone);
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kNone);
+  const FaultHit third = faults.evaluate("snapshot.write");
+  EXPECT_EQ(third.action, FaultAction::kFail);
+  EXPECT_EQ(third.fault_errno, ENOSPC);
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kNone);
+}
+
+TEST_F(FaultInjectionTest, StickyFiresFromNthOnward) {
+  FaultInjector& faults = FaultInjector::instance();
+  ASSERT_TRUE(faults.configure("snapshot.write=enospc@2+"));
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kNone);
+  for (int i = 0; i < 4; ++i) {
+    const FaultHit hit = faults.evaluate("snapshot.write");
+    EXPECT_EQ(hit.action, FaultAction::kFail);
+    EXPECT_EQ(hit.fault_errno, ENOSPC);
+  }
+}
+
+TEST_F(FaultInjectionTest, SitesAreIndependent) {
+  FaultInjector& faults = FaultInjector::instance();
+  ASSERT_TRUE(faults.configure("snapshot.fsync=fail,snapshot.write=short"));
+  EXPECT_EQ(faults.evaluate("snapshot.rename").action, FaultAction::kNone);
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kShort);
+  EXPECT_EQ(faults.evaluate("snapshot.fsync").action, FaultAction::kFail);
+}
+
+TEST_F(FaultInjectionTest, ClearDisarmsAndResetsCounts) {
+  FaultInjector& faults = FaultInjector::instance();
+  ASSERT_TRUE(faults.configure("snapshot.write=fail@2"));
+  (void)faults.evaluate("snapshot.write");
+  faults.clear();
+  EXPECT_FALSE(faults.armed());
+  EXPECT_EQ(faults.hits("snapshot.write"), 0u);
+  // Re-arming starts counting from scratch: @2 again needs two hits.
+  ASSERT_TRUE(faults.configure("snapshot.write=fail@2"));
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kNone);
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kFail);
+}
+
+TEST_F(FaultInjectionTest, ConfigureReplacesPriorRules) {
+  FaultInjector& faults = FaultInjector::instance();
+  ASSERT_TRUE(faults.configure("snapshot.write=fail"));
+  ASSERT_TRUE(faults.configure("snapshot.rename=fail"));
+  EXPECT_EQ(faults.evaluate("snapshot.write").action, FaultAction::kNone);
+  EXPECT_EQ(faults.evaluate("snapshot.rename").action, FaultAction::kFail);
+}
+
+TEST_F(FaultInjectionTest, EmptySpecClears) {
+  FaultInjector& faults = FaultInjector::instance();
+  ASSERT_TRUE(faults.configure("snapshot.write=fail"));
+  ASSERT_TRUE(faults.configure(""));
+  EXPECT_FALSE(faults.armed());
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecsRejectedWithoutArming) {
+  FaultInjector& faults = FaultInjector::instance();
+  std::string error;
+  for (const char* bad :
+       {"nosuchaction", "site=", "site=explode", "=fail", "site=fail@0",
+        "site=fail@x", "site=sleep", "site=sleepfast", "site=sleep9999999"}) {
+    error.clear();
+    EXPECT_FALSE(faults.configure(bad, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_FALSE(faults.armed()) << bad;
+  }
+}
+
+TEST_F(FaultInjectionTest, SleepActionParsesAndReturnsNone) {
+  FaultInjector& faults = FaultInjector::instance();
+  ASSERT_TRUE(faults.configure("net.dispatch=sleep1"));
+  // The sleep happens inside evaluate(); the caller sees no failure.
+  EXPECT_EQ(faults.evaluate("net.dispatch").action, FaultAction::kNone);
+}
+
+}  // namespace
+}  // namespace covstream

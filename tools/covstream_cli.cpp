@@ -14,6 +14,9 @@
 //
 // The full flag reference lives in tools/covstream_help.hpp (printed by
 // --cmd=help and pinned by the golden help test).
+#include <signal.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +24,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/setcover_multipass.hpp"
@@ -498,19 +502,43 @@ int cmd_serve_fleet(CliArgs& args, std::size_t port) {
   const std::size_t budget = args.get_size("tenants-budget", 0);
   const std::string spill_dir = args.get_string("spill-dir", "covstream_spill");
   const std::size_t threads = args.get_size("threads", 0);
+  const bool persist = args.get_bool("persist", false);
+  const std::size_t idle_timeout_ms = args.get_size("idle-timeout-ms", 60000);
+  const std::size_t deadline_ms = args.get_size("deadline-ms", 0);
+  const std::size_t max_pending = args.get_size("max-pending", 256);
   args.finish();
   if (port > 0xffff) {
     std::fprintf(stderr, "--port must fit 16 bits (got %zu)\n", port);
     return 2;
   }
 
+  // Take SIGTERM/SIGINT through sigwait on a dedicated thread (blocked
+  // everywhere else, including the pool threads spawned after this): a
+  // signal becomes a graceful drain-and-flush instead of an instant kill.
+  sigset_t term_signals;
+  sigemptyset(&term_signals);
+  sigaddset(&term_signals, SIGTERM);
+  sigaddset(&term_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &term_signals, nullptr);
+
   SketchFleet::Options fleet_options;
   fleet_options.memory_budget_words = budget;
   fleet_options.spill_dir = spill_dir;
+  fleet_options.persistent = persist;
   SketchFleet fleet(fleet_options);
+  if (persist) {
+    const SketchFleet::BootReport& boot = fleet.boot_report();
+    std::printf("fleet boot: %zu restored, %zu empty, %zu adopted, "
+                "%zu quarantined, %zu temps swept\n",
+                boot.restored, boot.recreated_empty, boot.adopted,
+                boot.quarantined, boot.temps_swept);
+  }
   ThreadPool pool(threads);
   NetServer::Options net_options;
   net_options.port = static_cast<std::uint16_t>(port);
+  net_options.idle_timeout_ms = static_cast<std::uint32_t>(idle_timeout_ms);
+  net_options.request_deadline_ms = static_cast<std::uint32_t>(deadline_ms);
+  net_options.max_pending_connections = max_pending;
   NetServer server(fleet, pool, net_options);
   std::string error;
   if (!server.start(&error)) {
@@ -518,22 +546,54 @@ int cmd_serve_fleet(CliArgs& args, std::size_t port) {
                  error.c_str());
     return 1;
   }
+  std::atomic<bool> signal_thread_done{false};
+  std::thread signal_thread([&term_signals, &server, &signal_thread_done] {
+    // sigtimedwait in a loop (not sigwait) so the thread also exits when a
+    // protocol `shutdown` beat the signal to it.
+    timespec tick{};
+    tick.tv_nsec = 200 * 1000 * 1000;
+    while (!signal_thread_done.load(std::memory_order_relaxed)) {
+      const int sig = sigtimedwait(&term_signals, nullptr, &tick);
+      if (sig == SIGTERM || sig == SIGINT) {
+        std::fprintf(stderr, "fleet: caught %s, draining\n",
+                     sig == SIGTERM ? "SIGTERM" : "SIGINT");
+        server.request_shutdown();
+        return;
+      }
+    }
+  });
   std::printf("fleet serving on 127.0.0.1:%u (%zu pool threads, budget %zu "
-              "words, spill %s); protocol: docs/PROTOCOL.md; send 'shutdown' "
-              "to stop\n",
-              server.port(), pool.thread_count(), budget, spill_dir.c_str());
+              "words, spill %s%s); protocol: docs/PROTOCOL.md; send "
+              "'shutdown' to stop\n",
+              server.port(), pool.thread_count(), budget, spill_dir.c_str(),
+              persist ? ", persistent" : "");
   std::fflush(stdout);
   server.wait_shutdown();
   server.stop();
+  signal_thread_done.store(true, std::memory_order_relaxed);
+  signal_thread.join();
+  bool flush_ok = true;
+  if (persist) {
+    std::size_t flushed = 0;
+    flush_ok = fleet.flush_all(&flushed, &error);
+    if (flush_ok) {
+      std::printf("fleet flushed: %zu dirty tenants written\n", flushed);
+    } else {
+      std::fprintf(stderr, "fleet flush on shutdown FAILED: %s\n",
+                   error.c_str());
+    }
+  }
   const SketchFleet::FleetStats stats = fleet.stats();
   const NetServer::Counters counters = server.counters();
   std::printf("fleet stopped: %llu connections, %llu requests, %zu tenants, "
-              "%llu evictions, %llu reloads\n",
+              "%llu evictions, %llu reloads, %llu shed, %llu idle-closed\n",
               static_cast<unsigned long long>(counters.connections_accepted),
               static_cast<unsigned long long>(counters.requests_served),
               stats.tenants, static_cast<unsigned long long>(stats.evictions),
-              static_cast<unsigned long long>(stats.reloads));
-  return 0;
+              static_cast<unsigned long long>(stats.reloads),
+              static_cast<unsigned long long>(counters.shed_busy),
+              static_cast<unsigned long long>(counters.idle_closed));
+  return flush_ok ? 0 : 1;
 }
 
 int cmd_serve(CliArgs& args) {
@@ -608,8 +668,14 @@ int cmd_serve(CliArgs& args) {
       }
     } else if (text == "stats") {
       const StreamEngine::PassStats stats = server->stats();
-      std::printf("ingested %zu edges, %s; snapshot: ", stats.edges_kept,
+      std::printf("ingested %zu edges, %s", stats.edges_kept,
                   server->ingesting() ? "ingesting" : "done");
+      if (server->checkpoint_failures() > 0) {
+        std::printf(", %llu checkpoint FAILURES",
+                    static_cast<unsigned long long>(
+                        server->checkpoint_failures()));
+      }
+      std::printf("; snapshot: ");
       if (snapshot == nullptr) {
         std::printf("none yet\n");
       } else {

@@ -27,8 +27,22 @@ ROUNDS = 8
 
 
 class Client:
-    def __init__(self, port):
-        self.sock = socket.create_connection((HOST, port), timeout=20)
+    def __init__(self, port, deadline=10.0):
+        # The server prints its banner before listening is guaranteed visible
+        # to a raw connect on every platform, and a loaded CI box can delay
+        # the bind: retry with backoff instead of failing the whole smoke on
+        # one ECONNREFUSED.
+        delay = 0.05
+        start = time.monotonic()
+        while True:
+            try:
+                self.sock = socket.create_connection((HOST, port), timeout=20)
+                break
+            except ConnectionRefusedError:
+                if time.monotonic() - start > deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
         self.buf = b""
 
     def request(self, line):
