@@ -17,6 +17,7 @@
 
 #include "benchmark_json_main.hpp"
 
+#include "core/distributed.hpp"
 #include "core/greedy_on_sketch.hpp"
 #include "core/sketch_ladder.hpp"
 #include "core/subsample_sketch.hpp"
@@ -643,6 +644,55 @@ void BM_LadderSharedKeys8(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * stream.size()));
 }
 BENCHMARK(BM_LadderSharedKeys8);
+
+// ----------------------------------------------- hierarchical merge cost ----
+// The coordinator's merge tree (DESIGN.md §5.14): S hash-partitioned shard
+// sketches collapsed level by level at fan-in 2. Items = stored edges
+// across the shards, so the row reads as merge throughput in edges/s; the
+// per-iteration shard copies sit outside the timed region.
+
+/// S shard sketches built once by hash-routing one stream, as the workers do.
+const std::vector<SubsampleSketch>& merge_bench_shards(std::size_t count) {
+  static std::vector<SubsampleSketch> shards;
+  static std::size_t built_for = 0;
+  if (built_for != count) {
+    SketchParams params;
+    params.num_sets = 200;
+    params.k = 8;
+    params.eps = 0.2;
+    params.budget_mode = BudgetMode::kExplicit;
+    params.explicit_budget = 20000;
+    params.hash_seed = 11;
+    const StreamEngine::Router route = make_shard_router(
+        ShardRouting::kByElementHash, count, shard_router_seed(params));
+    shards.assign(count, SubsampleSketch(params));
+    std::size_t at = 0;
+    for (const Edge& edge : update_stream(1 << 18, 7)) {
+      shards[route(edge, at++)].update(edge);
+    }
+    built_for = count;
+  }
+  return shards;
+}
+
+void BM_HierarchicalMerge(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  const std::vector<SubsampleSketch>& shards = merge_bench_shards(count);
+  std::size_t merged_edges = 0;
+  for (const SubsampleSketch& shard : shards) {
+    merged_edges += shard.stored_edges();
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<SubsampleSketch> copies = shards;
+    state.ResumeTiming();
+    const SubsampleSketch merged = hierarchical_merge(std::move(copies), 2);
+    benchmark::DoNotOptimize(merged.stored_edges());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * merged_edges));
+}
+BENCHMARK(BM_HierarchicalMerge)->Arg(4)->Arg(16);
 
 // ------------------------------------------------------ snapshot I/O cost ----
 // Serialization throughput of the persistence layer (DESIGN.md §5.9): how

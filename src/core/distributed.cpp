@@ -1,8 +1,201 @@
 #include "core/distributed.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace covstream {
+
+std::string to_string(ShardRouting routing) {
+  switch (routing) {
+    case ShardRouting::kRoundRobin: return "rr";
+    case ShardRouting::kByElementHash: return "hash";
+  }
+  return "?";
+}
+
+std::optional<ShardRouting> parse_shard_routing(std::string_view text) {
+  if (text == "rr") return ShardRouting::kRoundRobin;
+  if (text == "hash") return ShardRouting::kByElementHash;
+  return std::nullopt;
+}
+
+std::uint64_t shard_router_seed(const SketchParams& params) {
+  return params.hash_seed ^ 0x5eedfeedULL;
+}
+
+StreamEngine::Router make_shard_router(ShardRouting routing,
+                                       std::size_t shard_count,
+                                       std::uint64_t router_seed) {
+  COVSTREAM_CHECK(shard_count >= 1);
+  return routing == ShardRouting::kRoundRobin
+             ? StreamEngine::round_robin(shard_count)
+             : StreamEngine::by_element_hash(shard_count, router_seed);
+}
+
+EdgeFilter shard_ownership_filter(const ShardManifest& manifest) {
+  COVSTREAM_CHECK(manifest.shard_id < manifest.shard_count);
+  // The counter advances on EVERY edge the filter sees — exactly the kept
+  // index run_partitioned would feed the router with no filter installed —
+  // so W workers filtering the same stream partition it identically to one
+  // in-process partitioned pass.
+  return [router = make_shard_router(manifest.routing, manifest.shard_count,
+                                     manifest.router_seed),
+          shard = static_cast<std::size_t>(manifest.shard_id),
+          kept = std::size_t{0}](const Edge& edge) mutable {
+    return router(edge, kept++) == shard;
+  };
+}
+
+void ShardSnapshot::save(SnapshotWriter& writer) const {
+  writer.begin_section(snapshot_tag('S', 'H', 'R', 'D'));
+  writer.u32(manifest.shard_id);
+  writer.u32(manifest.shard_count);
+  writer.u32(static_cast<std::uint32_t>(manifest.routing));
+  writer.u64(manifest.router_seed);
+  writer.u64(manifest.edges_ingested);
+  sketch.save(writer);
+  writer.end_section();
+}
+
+std::optional<ShardSnapshot> ShardSnapshot::load_snapshot(SnapshotReader& reader) {
+  if (!reader.begin_section(snapshot_tag('S', 'H', 'R', 'D'))) return std::nullopt;
+  ShardManifest manifest;
+  manifest.shard_id = reader.u32();
+  manifest.shard_count = reader.u32();
+  const std::uint32_t routing = reader.u32();
+  manifest.router_seed = reader.u64();
+  manifest.edges_ingested = reader.u64();
+  if (manifest.shard_count == 0) {
+    reader.fail("shard manifest: shard count is zero");
+    return std::nullopt;
+  }
+  if (manifest.shard_id >= manifest.shard_count) {
+    reader.fail("shard manifest: shard id out of range");
+    return std::nullopt;
+  }
+  if (routing > static_cast<std::uint32_t>(ShardRouting::kByElementHash)) {
+    reader.fail("shard manifest: unknown routing mode");
+    return std::nullopt;
+  }
+  manifest.routing = static_cast<ShardRouting>(routing);
+  std::optional<SubsampleSketch> sketch = SubsampleSketch::load_snapshot(reader);
+  if (!sketch) return std::nullopt;
+  if (manifest.router_seed != shard_router_seed(sketch->params())) {
+    reader.fail("shard manifest: router seed does not match the sketch seed");
+    return std::nullopt;
+  }
+  if (!reader.end_section()) return std::nullopt;
+  return ShardSnapshot{manifest, std::move(*sketch)};
+}
+
+bool validate_shard_set(const std::vector<ShardSnapshot>& shards,
+                        std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+  if (shards.empty()) return fail("shard set is empty: no shard snapshots to merge");
+  const ShardManifest& head = shards.front().manifest;
+  const SketchParams& head_params = shards.front().sketch.params();
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    const ShardManifest& m = shards[i].manifest;
+    if (m.shard_count != head.shard_count) {
+      return fail("shard-count mismatch: shard " + std::to_string(m.shard_id) +
+                  " declares " + std::to_string(m.shard_count) +
+                  " shards but shard " + std::to_string(head.shard_id) +
+                  " declares " + std::to_string(head.shard_count));
+    }
+    if (m.routing != head.routing) {
+      return fail("routing mismatch: shard " + std::to_string(m.shard_id) +
+                  " used '" + to_string(m.routing) + "' but shard " +
+                  std::to_string(head.shard_id) + " used '" +
+                  to_string(head.routing) + "'");
+    }
+    if (m.router_seed != head.router_seed) {
+      return fail("router-seed mismatch: shard " + std::to_string(m.shard_id) +
+                  " partitioned with a different seed than shard " +
+                  std::to_string(head.shard_id));
+    }
+    if (!(shards[i].sketch.params() == head_params)) {
+      return fail("params mismatch: shard " + std::to_string(m.shard_id) +
+                  " was built with different SketchParams than shard " +
+                  std::to_string(head.shard_id) + " (refusing to merge)");
+    }
+  }
+  if (shards.size() > head.shard_count) {
+    return fail("too many shards: " + std::to_string(shards.size()) +
+                " snapshots for a " + std::to_string(head.shard_count) +
+                "-shard partition");
+  }
+  std::vector<bool> seen(head.shard_count, false);
+  for (const ShardSnapshot& shard : shards) {
+    if (seen[shard.manifest.shard_id]) {
+      return fail("duplicate shard id " + std::to_string(shard.manifest.shard_id) +
+                  ": two snapshots claim the same shard");
+    }
+    seen[shard.manifest.shard_id] = true;
+  }
+  for (std::uint32_t id = 0; id < head.shard_count; ++id) {
+    if (!seen[id]) {
+      return fail("missing shard " + std::to_string(id) + " of " +
+                  std::to_string(head.shard_count) + " (have " +
+                  std::to_string(shards.size()) + " snapshots)");
+    }
+  }
+  return true;
+}
+
+SubsampleSketch hierarchical_merge(std::vector<SubsampleSketch> sketches,
+                                   std::size_t fan_in, ThreadPool* pool) {
+  COVSTREAM_CHECK(!sketches.empty());
+  COVSTREAM_CHECK(fan_in >= 2);
+  while (sketches.size() > 1) {
+    const std::size_t groups = (sketches.size() + fan_in - 1) / fan_in;
+    const auto merge_group = [&sketches, fan_in](std::size_t g) {
+      const std::size_t begin = g * fan_in;
+      const std::size_t end = std::min(begin + fan_in, sketches.size());
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        sketches[begin].merge_from(sketches[i]);
+      }
+    };
+    if (pool != nullptr && groups > 1) {
+      // Groups touch disjoint sketches, so pool fan-out == serial bit for
+      // bit (the §5.5 disjoint-state argument).
+      for (std::size_t g = 0; g < groups; ++g) {
+        pool->submit([&merge_group, g] { merge_group(g); });
+      }
+      pool->wait_idle();
+    } else {
+      for (std::size_t g = 0; g < groups; ++g) merge_group(g);
+    }
+    std::vector<SubsampleSketch> next;
+    next.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      next.push_back(std::move(sketches[g * fan_in]));
+    }
+    sketches = std::move(next);
+  }
+  return std::move(sketches.front());
+}
+
+std::optional<SubsampleSketch> merge_shard_set(std::vector<ShardSnapshot> shards,
+                                               std::size_t fan_in,
+                                               ThreadPool* pool,
+                                               std::string* error) {
+  if (!validate_shard_set(shards, error)) return std::nullopt;
+  // Ascending shard-id order makes the reduction independent of the order
+  // the coordinator happened to collect the files in.
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardSnapshot& a, const ShardSnapshot& b) {
+              return a.manifest.shard_id < b.manifest.shard_id;
+            });
+  std::vector<SubsampleSketch> sketches;
+  sketches.reserve(shards.size());
+  for (ShardSnapshot& shard : shards) {
+    sketches.push_back(std::move(shard.sketch));
+  }
+  return hierarchical_merge(std::move(sketches), fan_in, pool);
+}
 
 ShardedSketchBuilder::ShardedSketchBuilder(SketchParams params, std::size_t shards,
                                            ThreadPool* pool)
@@ -23,14 +216,9 @@ void ShardedSketchBuilder::update(std::size_t shard, const Edge& edge) {
 void ShardedSketchBuilder::consume(EdgeStream& stream, ShardRouting routing,
                                    std::size_t batch_edges) {
   const StreamEngine engine({batch_edges, pool_});
-  // The partition seed rides on the sketch hash seed so a routing choice is
-  // reproducible per run but independent of the element-admission hash.
   const StreamEngine::Router router =
-      routing == ShardRouting::kRoundRobin
-          ? StreamEngine::round_robin(shards_.size())
-          : StreamEngine::by_element_hash(shards_.size(),
-                                          shards_.front().params().hash_seed ^
-                                              0x5eedfeedULL);
+      make_shard_router(routing, shards_.size(),
+                        shard_router_seed(shards_.front().params()));
   engine.run_partitioned(stream, {}, shards_.size(), router,
                          [this](std::size_t s, std::span<const Edge> chunk) {
                            shards_[s].update_chunk(chunk);
@@ -46,20 +234,11 @@ std::size_t ShardedSketchBuilder::max_shard_space_words() const {
 }
 
 SubsampleSketch ShardedSketchBuilder::finalize() {
-  COVSTREAM_CHECK(!shards_.empty());
-  // Reduction tree: merge pairs until one sketch remains (mirrors the
-  // log-depth combine of the distributed setting).
-  while (shards_.size() > 1) {
-    std::vector<SubsampleSketch> next;
-    next.reserve((shards_.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < shards_.size(); i += 2) {
-      shards_[i].merge_from(shards_[i + 1]);
-      next.push_back(std::move(shards_[i]));
-    }
-    if (shards_.size() % 2 == 1) next.push_back(std::move(shards_.back()));
-    shards_ = std::move(next);
-  }
-  SubsampleSketch result = std::move(shards_.front());
+  // The fan_in=2 hierarchical tree groups shards pairwise level by level —
+  // exactly the reduction order the pre-distributed builder used, so
+  // finalize() output is unchanged. The pool parallelizes groups (disjoint
+  // state, bit-for-bit equal to serial).
+  SubsampleSketch result = hierarchical_merge(std::move(shards_), 2, pool_);
   shards_.clear();
   return result;
 }

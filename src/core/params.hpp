@@ -65,6 +65,11 @@ struct SketchParams {
   /// Restores save()d params in place; validates ranges (the same checks as
   /// validate(), but failing the reader instead of aborting the process).
   bool load(SnapshotReader& reader);
+
+  /// Field-wise equality — the coordinator's shard-coherence check: two
+  /// shards are mergeable only if every parameter (seed, budget, caps, all
+  /// of it) matches, so a silent partial merge can never happen.
+  friend bool operator==(const SketchParams&, const SketchParams&) = default;
 };
 
 }  // namespace covstream

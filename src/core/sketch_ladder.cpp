@@ -166,4 +166,11 @@ std::size_t SketchLadder::peak_space_words() const {
   return total;
 }
 
+void SketchLadder::merge_from(const SketchLadder& other) {
+  COVSTREAM_CHECK(rungs_.size() == other.rungs_.size());
+  for (std::size_t i = 0; i < rungs_.size(); ++i) {
+    rungs_[i].merge_from(other.rungs_[i]);
+  }
+}
+
 }  // namespace covstream

@@ -57,6 +57,12 @@ class SketchLadder {
   /// Sum of rung peak spaces (they coexist during the pass).
   std::size_t peak_space_words() const;
 
+  /// Rung-wise union merge: both ladders must have the same rung count with
+  /// pairwise-identical params (each rung pair merges under the sketch's own
+  /// checks). Shards of a partitioned stream reduce to the single-pass
+  /// ladder exactly as individual sketches do.
+  void merge_from(const SketchLadder& other);
+
   // ----------------------------------------------------------- persistence --
   /// Snapshot object tag (docs/FORMATS.md §2); save/load via the
   /// save_snapshot()/load_snapshot() helpers of substrate/snapshot.hpp.

@@ -149,6 +149,27 @@ double WeightedSubsampleSketch::estimate_weighted_coverage(
   return total;
 }
 
+void WeightedSubsampleSketch::merge_from(const WeightedSubsampleSketch& other) {
+  COVSTREAM_CHECK(params_.hash_seed == other.params_.hash_seed);
+  COVSTREAM_CHECK(params_.num_sets == other.params_.num_sets);
+  COVSTREAM_CHECK(degree_cap_ == other.degree_cap_);
+  COVSTREAM_CHECK(edge_budget_ == other.edge_budget_);
+
+  core_.merge_from(
+      other.core_, [this, &other](std::uint32_t mine, std::uint32_t theirs) {
+        // Mirror the weight the other shard recorded for the slot the merge
+        // just minted (same growth accounting as absorb_admitted).
+        if (mine >= weight_of_slot_.size()) {
+          const std::size_t grown = mine + 1 - weight_of_slot_.size();
+          weight_of_slot_.resize(mine + 1, 1.0);
+          core_.track_policy_space(grown);
+        }
+        weight_of_slot_[mine] = other.weight_of_slot_[theirs];
+      });
+  core_.enforce_budget();
+  core_.note_peak();
+}
+
 void WeightedSubsampleSketch::save(SnapshotWriter& writer) const {
   writer.begin_section(snapshot_tag('W', 'S', 'K', 'C'));
   params_.save(writer);

@@ -103,6 +103,12 @@ class WeightedSubsampleSketch {
   /// HT estimate of the weighted coverage of a family (linear scan).
   double estimate_weighted_coverage(std::span<const SetId> family) const;
 
+  /// Union-merges `other` into *this (identical params required). Shards of
+  /// a partitioned weighted stream merge exactly like the unweighted sketch
+  /// (the exponential clock is a pure function of element and weight); the
+  /// per-slot weight array follows via the substrate's adoption hook.
+  void merge_from(const WeightedSubsampleSketch& other);
+
   /// Analytic space in 8-byte words (DESIGN.md §5.2): the shared substrate
   /// plus one weight word per slot. Audit re-sum; the substrate tracks the
   /// same value incrementally (the weight array's growth is folded in via

@@ -577,6 +577,50 @@ bool SketchFleet::create(const std::string& name, const SketchParams& params,
   return true;
 }
 
+bool SketchFleet::adopt(const std::string& name, SubsampleSketch&& sketch,
+                        std::uint64_t edges_ingested, std::string* error) {
+  if (!valid_tenant_name(name)) {
+    return set_error(error,
+                     "bad tenant name (want [A-Za-z0-9_.-]{1,64}): '" + name +
+                         "'");
+  }
+  if (refuse_if_degraded(error)) return false;
+  auto tenant = std::make_shared<Tenant>(sketch.params());
+  if (!options_.spill_dir.empty()) {
+    tenant->spill_path = spill_path_for(name);
+  }
+  tenant->live.emplace(std::move(sketch));
+  tenant->version = 1;
+  tenant->edges_ingested = edges_ingested;
+  publish(*tenant);
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    if (!tenants_.try_emplace(name, tenant).second) {
+      return set_error(error, "tenant '" + name + "' already exists");
+    }
+    tenant->last_access.store(clock_.fetch_add(1, std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+  }
+  if (options_.persistent) {
+    std::string manifest_error;
+    if (!write_manifest(&manifest_error)) {
+      {
+        const std::lock_guard<std::mutex> lock(registry_mutex_);
+        tenants_.erase(name);
+      }
+      return set_error(error, manifest_error);
+    }
+    // Unlike create(), the manifest alone cannot reconstruct adopted state:
+    // durable_version stays 0, so flush_all writes the spill file.
+  }
+  {
+    const std::lock_guard<std::mutex> work(tenant->work);
+    reaccount(*tenant);
+  }
+  enforce_budget(tenant.get());
+  return true;
+}
+
 bool SketchFleet::ingest(const std::string& name, std::span<const Edge> edges,
                          std::string* error) {
   if (refuse_if_degraded(error)) return false;

@@ -87,6 +87,15 @@ class SketchFleet {
   bool create(const std::string& name, const SketchParams& params,
               std::string* error);
 
+  /// Registers a tenant around an already-built sketch (the distributed
+  /// coordinator adopts its merged sketch to serve estimate/solve over the
+  /// existing line protocol — DESIGN.md §5.14). Same name/duplicate rules as
+  /// create(); `edges_ingested` seeds the stats counter. In persistent mode
+  /// the adopted state is dirty until the first flush (the manifest alone
+  /// only reconstructs an empty tenant).
+  bool adopt(const std::string& name, SubsampleSketch&& sketch,
+             std::uint64_t edges_ingested, std::string* error);
+
   /// Applies one edge batch to the tenant's live sketch and republishes its
   /// immutable handle (version + 1). Reloads an evicted tenant first.
   bool ingest(const std::string& name, std::span<const Edge> edges,

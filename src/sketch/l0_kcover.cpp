@@ -117,6 +117,15 @@ std::vector<SetId> L0KCover::solve_exhaustive(std::uint32_t k) const {
   return best;
 }
 
+void L0KCover::merge_from(const L0KCover& other) {
+  COVSTREAM_CHECK(num_sets_ == other.num_sets_);
+  COVSTREAM_CHECK(seed_ == other.seed_);
+  COVSTREAM_CHECK(per_set_.size() == other.per_set_.size());
+  for (std::size_t s = 0; s < per_set_.size(); ++s) {
+    per_set_[s].merge(other.per_set_[s]);
+  }
+}
+
 void L0KCover::save(SnapshotWriter& writer) const {
   writer.begin_section(snapshot_tag('L', '0', 'K', 'C'));
   writer.u32(num_sets_);

@@ -70,6 +70,11 @@ class L0KCover {
 
   std::size_t space_words() const;
 
+  /// Per-set KMV union merge (banks must share geometry and seed). KMV
+  /// merge is exact — the t smallest hashes of a union are the union of the
+  /// t-smallest — so sharded banks always reduce to the single-stream bank.
+  void merge_from(const L0KCover& other);
+
   // ----------------------------------------------------------- persistence --
   /// Snapshot object tag (docs/FORMATS.md §2); save/load via the
   /// save_snapshot()/load_snapshot() helpers of substrate/snapshot.hpp.

@@ -415,7 +415,13 @@ class MinHashCore {
   /// side is outside the combined prefix (its key prefix already overflowed
   /// the budget with one side's edges alone), hence the mutual cutoff purge.
   /// The caller enforces the budget afterwards.
-  void merge_from(const MinHashCore& other) {
+  ///
+  /// `adopt(my_slot, their_slot)` fires for every slot newly created from
+  /// `other`, so wrappers that keep per-slot side tables (the weighted
+  /// sketch's weight array) can mirror them without re-deriving which slots
+  /// the merge minted.
+  template <typename AdoptSlot>
+  void merge_from(const MinHashCore& other, AdoptSlot&& adopt) {
     lower_cutoff(other.cutoff_);
     purge_at_or_above_cutoff();
     for (std::uint32_t theirs = 0; theirs < other.slot_count(); ++theirs) {
@@ -426,6 +432,7 @@ class MinHashCore {
         const std::uint32_t slot =
             create_slot(other.elem_[theirs], other.key_of(theirs));
         assign_edges(slot, incoming);
+        adopt(slot, theirs);
       } else {
         // merge_scratch_ doubles as the required non-aliasing staging buffer
         // (EdgeArena::assign may reallocate the slab mid-copy) and as the
@@ -441,6 +448,11 @@ class MinHashCore {
         assign_edges(mine, merge_scratch_);
       }
     }
+  }
+
+  /// Hook-free overload (plain sketches with no per-slot side tables).
+  void merge_from(const MinHashCore& other) {
+    merge_from(other, [](std::uint32_t, std::uint32_t) {});
   }
 
   // ------------------------------------------------------ space accounting --

@@ -49,6 +49,7 @@ enum class SnapshotType : std::uint32_t {
   kL0KCover = 4,
   kIngestCheckpoint = 5,
   kFleetManifest = 6,
+  kShardSnapshot = 7,
 };
 
 /// Section tags (docs/FORMATS.md §3): four ASCII bytes, read as little-endian

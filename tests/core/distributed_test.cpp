@@ -151,5 +151,169 @@ TEST(Sharded, PerShardSpaceReported) {
   EXPECT_GT(builder.max_shard_space_words(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Negative paths: the coordinator must refuse incoherent shard sets with a
+// distinct, loud error per failure mode — never a silent partial merge.
+
+ShardSnapshot make_shard(std::uint32_t id, std::uint32_t count,
+                         const SketchParams& params,
+                         ShardRouting routing = ShardRouting::kByElementHash) {
+  SubsampleSketch sketch(params);
+  sketch.update({0, 100 + id});
+  sketch.update({1, 200 + id});
+  ShardManifest manifest;
+  manifest.shard_id = id;
+  manifest.shard_count = count;
+  manifest.routing = routing;
+  manifest.router_seed = shard_router_seed(params);
+  manifest.edges_ingested = 2;
+  return ShardSnapshot{manifest, std::move(sketch)};
+}
+
+TEST(ShardSetValidation, EmptySetRejected) {
+  std::string error;
+  EXPECT_FALSE(validate_shard_set({}, &error));
+  EXPECT_NE(error.find("shard set is empty"), std::string::npos) << error;
+}
+
+TEST(ShardSetValidation, CompleteSetAccepted) {
+  const SketchParams params = shard_params(10, 100, 1);
+  std::vector<ShardSnapshot> shards;
+  for (std::uint32_t id = 0; id < 3; ++id) {
+    shards.push_back(make_shard(id, 3, params));
+  }
+  std::string error;
+  EXPECT_TRUE(validate_shard_set(shards, &error)) << error;
+  EXPECT_TRUE(merge_shard_set(std::move(shards), 2, nullptr, &error).has_value())
+      << error;
+}
+
+TEST(ShardSetValidation, MissingShardRejected) {
+  const SketchParams params = shard_params(10, 100, 1);
+  std::vector<ShardSnapshot> shards;
+  shards.push_back(make_shard(0, 3, params));
+  shards.push_back(make_shard(2, 3, params));
+  std::string error;
+  EXPECT_FALSE(validate_shard_set(shards, &error));
+  EXPECT_NE(error.find("missing shard 1"), std::string::npos) << error;
+  EXPECT_FALSE(merge_shard_set(std::move(shards), 2, nullptr, &error).has_value());
+}
+
+TEST(ShardSetValidation, DuplicateShardIdRejected) {
+  const SketchParams params = shard_params(10, 100, 1);
+  std::vector<ShardSnapshot> shards;
+  shards.push_back(make_shard(0, 2, params));
+  shards.push_back(make_shard(0, 2, params));
+  std::string error;
+  EXPECT_FALSE(validate_shard_set(shards, &error));
+  EXPECT_NE(error.find("duplicate shard id 0"), std::string::npos) << error;
+}
+
+TEST(ShardSetValidation, MismatchedParamsRejected) {
+  std::vector<ShardSnapshot> shards;
+  shards.push_back(make_shard(0, 2, shard_params(10, 100, 1)));
+  shards.push_back(make_shard(1, 2, shard_params(10, 200, 1)));  // budget differs
+  std::string error;
+  EXPECT_FALSE(validate_shard_set(shards, &error));
+  EXPECT_NE(error.find("params mismatch"), std::string::npos) << error;
+}
+
+TEST(ShardSetValidation, MismatchedShardCountRejected) {
+  const SketchParams params = shard_params(10, 100, 1);
+  std::vector<ShardSnapshot> shards;
+  shards.push_back(make_shard(0, 2, params));
+  shards.push_back(make_shard(1, 3, params));
+  std::string error;
+  EXPECT_FALSE(validate_shard_set(shards, &error));
+  EXPECT_NE(error.find("shard-count mismatch"), std::string::npos) << error;
+}
+
+TEST(ShardSetValidation, MismatchedRoutingRejected) {
+  const SketchParams params = shard_params(10, 100, 1);
+  std::vector<ShardSnapshot> shards;
+  shards.push_back(make_shard(0, 2, params, ShardRouting::kByElementHash));
+  shards.push_back(make_shard(1, 2, params, ShardRouting::kRoundRobin));
+  std::string error;
+  EXPECT_FALSE(validate_shard_set(shards, &error));
+  EXPECT_NE(error.find("routing mismatch"), std::string::npos) << error;
+}
+
+TEST(ShardSetValidation, MismatchedSeedSurfacesAsParamsMismatch) {
+  // A different hash seed changes both the router seed and the params; the
+  // shard was genuinely built over a different partition of a different
+  // hash function, and either check must fire before any merge happens.
+  std::vector<ShardSnapshot> shards;
+  shards.push_back(make_shard(0, 2, shard_params(10, 100, 1)));
+  shards.push_back(make_shard(1, 2, shard_params(10, 100, 2)));
+  std::string error;
+  EXPECT_FALSE(validate_shard_set(shards, &error));
+  EXPECT_NE(error.find("mismatch"), std::string::npos) << error;
+}
+
+TEST(ShardSetValidation, TooManyShardsRejected) {
+  const SketchParams params = shard_params(10, 100, 1);
+  std::vector<ShardSnapshot> shards;
+  shards.push_back(make_shard(0, 1, params));
+  shards.push_back(make_shard(0, 1, params));
+  std::string error;
+  EXPECT_FALSE(validate_shard_set(shards, &error));
+  EXPECT_NE(error.find("too many shards"), std::string::npos) << error;
+}
+
+TEST(ShardSnapshotFrame, RoundTripPreservesManifest) {
+  const SketchParams params = shard_params(10, 100, 1);
+  const ShardSnapshot original = make_shard(1, 4, params);
+  SnapshotWriter writer(ShardSnapshot::kSnapshotType);
+  original.save(writer);
+  SnapshotReader reader(writer.finish());
+  std::optional<ShardSnapshot> loaded = ShardSnapshot::load_snapshot(reader);
+  ASSERT_TRUE(loaded.has_value()) << reader.error();
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_EQ(loaded->manifest.shard_id, 1u);
+  EXPECT_EQ(loaded->manifest.shard_count, 4u);
+  EXPECT_EQ(loaded->manifest.routing, ShardRouting::kByElementHash);
+  EXPECT_EQ(loaded->manifest.router_seed, shard_router_seed(params));
+  EXPECT_EQ(loaded->manifest.edges_ingested, 2u);
+  EXPECT_TRUE(loaded->sketch.params() == params);
+}
+
+TEST(ShardSnapshotFrame, CorruptManifestFieldsFailTheReader) {
+  const SketchParams params = shard_params(10, 100, 1);
+
+  const auto write_frame = [&params](std::uint32_t id, std::uint32_t count,
+                                     std::uint32_t routing,
+                                     std::uint64_t router_seed) {
+    SubsampleSketch sketch(params);
+    SnapshotWriter writer(ShardSnapshot::kSnapshotType);
+    writer.begin_section(snapshot_tag('S', 'H', 'R', 'D'));
+    writer.u32(id);
+    writer.u32(count);
+    writer.u32(routing);
+    writer.u64(router_seed);
+    writer.u64(0);  // edges_ingested
+    sketch.save(writer);
+    writer.end_section();
+    return writer.finish();
+  };
+  const std::uint64_t seed = shard_router_seed(params);
+
+  struct Case {
+    std::vector<std::uint8_t> image;
+    const char* expected;
+  };
+  const Case cases[] = {
+      {write_frame(0, 0, 1, seed), "shard count is zero"},
+      {write_frame(5, 2, 1, seed), "shard id out of range"},
+      {write_frame(0, 2, 9, seed), "unknown routing mode"},
+      {write_frame(0, 2, 1, seed + 1), "router seed does not match"},
+  };
+  for (const Case& c : cases) {
+    SnapshotReader reader(c.image);
+    EXPECT_FALSE(ShardSnapshot::load_snapshot(reader).has_value());
+    EXPECT_NE(reader.error().find(c.expected), std::string::npos)
+        << reader.error();
+  }
+}
+
 }  // namespace
 }  // namespace covstream

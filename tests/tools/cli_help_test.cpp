@@ -23,7 +23,8 @@ const std::string kHelp = cli_help_text();
 
 TEST(CliHelp, EveryCommandIsDocumented) {
   for (const char* cmd : {"generate", "stats", "convert", "kcover", "outliers",
-                          "setcover", "ingest", "query", "solve", "serve"}) {
+                          "setcover", "ingest", "query", "solve", "serve",
+                          "worker", "coordinator"}) {
     EXPECT_NE(kHelp.find(std::string("  ") + cmd), std::string::npos)
         << "command missing from help: " << cmd;
   }
@@ -40,7 +41,9 @@ TEST(CliHelp, EveryFlagTheCommandsReadIsDocumented) {
         "--threads", "--batch", "--checkpoint", "--checkpoint-every",
         "--resume", "--snapshot", "--sets", "--snapshot-every", "--strategy",
         "--isa", "--port", "--tenants-budget", "--spill-dir", "--persist",
-        "--idle-timeout-ms", "--deadline-ms", "--max-pending"}) {
+        "--idle-timeout-ms", "--deadline-ms", "--max-pending", "--shard",
+        "--shards", "--routing", "--snapshots", "--shard-dir", "--expect",
+        "--wait-ms", "--fan-in"}) {
     EXPECT_NE(kHelp.find(flag), std::string::npos)
         << "flag missing from help: " << flag;
   }
@@ -68,7 +71,7 @@ TEST(CliHelp, GoldenTextUnchanged) {
     hash ^= c;
     hash *= 0x100000001b3ULL;
   }
-  EXPECT_EQ(hash, 0x40bfdea7776a6239ULL)
+  EXPECT_EQ(hash, 0xe36c58878ce6685aULL)
       << "help text changed; review tools/covstream_help.hpp against the "
          "flags the commands read, then update this golden hash";
 }

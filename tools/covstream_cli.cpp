@@ -11,15 +11,20 @@
 //   covstream_cli --cmd=query    --snapshot=g.snap --sets=1,2,5
 //   covstream_cli --cmd=solve    --snapshot=g.snap --k=20
 //   covstream_cli --cmd=serve    --input=g.bin --n=500 --k=20   # stdin REPL
+//   covstream_cli --cmd=worker   --input=g.bin --n=500 --shard=0 --shards=4
+//   covstream_cli --cmd=coordinator --shard-dir=shards --expect=4 --k=20
 //
 // The full flag reference lives in tools/covstream_help.hpp (printed by
 // --cmd=help and pinned by the golden help test).
 #include <signal.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -27,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/distributed.hpp"
 #include "core/setcover_multipass.hpp"
 #include "core/setcover_outliers.hpp"
 #include "core/streaming_kcover.hpp"
@@ -454,31 +460,24 @@ int cmd_query(CliArgs& args) {
   return 0;
 }
 
-int cmd_solve(CliArgs& args) {
-  const std::string path = args.get_string("snapshot", "");
-  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 10));
-  const std::string strategy_name = args.get_string("strategy", "decremental");
-  // --threads here parallelizes the decremental strategy's large decrement
-  // sweeps (no stream is read, so there is no --batch to set).
-  const std::size_t threads = args.get_size("threads", 0);
-  std::optional<ThreadPool> pool;
-  if (threads > 0) pool.emplace(threads);
-  args.finish();
-  COVSTREAM_CHECK(!path.empty() && k > 0);
-  GreedyStrategy strategy = GreedyStrategy::kDecremental;
-  if (strategy_name == "lazy") {
-    strategy = GreedyStrategy::kLazyHeap;
-  } else if (strategy_name != "decremental") {
-    std::fprintf(stderr, "unknown --strategy=%s (lazy|decremental)\n",
-                 strategy_name.c_str());
-    return 2;
-  }
+std::optional<GreedyStrategy> parse_strategy(const std::string& name) {
+  if (name == "lazy") return GreedyStrategy::kLazyHeap;
+  if (name == "decremental") return GreedyStrategy::kDecremental;
+  std::fprintf(stderr, "unknown --strategy=%s (lazy|decremental)\n",
+               name.c_str());
+  return std::nullopt;
+}
 
-  std::optional<SubsampleSketch> sketch = load_sketch_or_checkpoint(path);
-  if (!sketch) return 1;
+/// The one solve-and-report path: cmd_solve and cmd_coordinator print the
+/// same lines, so the distributed smoke can compare their deterministic
+/// prefix (everything but the wall/space line) byte for byte against a
+/// single-stream run.
+void solve_and_print(const SubsampleSketch& sketch, std::uint32_t k,
+                     const std::string& strategy_name, GreedyStrategy strategy,
+                     ThreadPool* pool) {
   Timer timer;
-  const SketchView view = sketch->view();
-  Solver solver(view, pool.has_value() ? &*pool : nullptr);
+  const SketchView view = sketch.view();
+  Solver solver(view, pool);
   const GreedyResult greedy = solver.max_cover(k, strategy);
   const double estimate =
       view.p_star > 0.0
@@ -492,13 +491,37 @@ int cmd_solve(CliArgs& args) {
               view.num_retained, greedy.cover_fraction(view.num_retained));
   std::printf("  solver     : %s (index + scratch), wall %.2fs\n",
               format_words(solver.peak_space_words()).c_str(), timer.seconds());
+}
+
+int cmd_solve(CliArgs& args) {
+  const std::string path = args.get_string("snapshot", "");
+  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 10));
+  const std::string strategy_name = args.get_string("strategy", "decremental");
+  // --threads here parallelizes the decremental strategy's large decrement
+  // sweeps (no stream is read, so there is no --batch to set).
+  const std::size_t threads = args.get_size("threads", 0);
+  std::optional<ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+  args.finish();
+  COVSTREAM_CHECK(!path.empty() && k > 0);
+  const std::optional<GreedyStrategy> strategy = parse_strategy(strategy_name);
+  if (!strategy) return 2;
+
+  std::optional<SubsampleSketch> sketch = load_sketch_or_checkpoint(path);
+  if (!sketch) return 1;
+  solve_and_print(*sketch, k, strategy_name, *strategy,
+                  pool.has_value() ? &*pool : nullptr);
   return 0;
 }
 
 /// --port=N: the multi-tenant TCP fleet front-end (docs/PROTOCOL.md). Runs
 /// until some client sends `shutdown`. --port=0 (the default) falls through
-/// to the single-sketch stdin REPL below.
-int cmd_serve_fleet(CliArgs& args, std::size_t port) {
+/// to the single-sketch stdin REPL below. `seed` (when set) populates the
+/// fresh fleet before serving — the coordinator adopts its merged sketch
+/// this way; a seed failure aborts startup.
+int cmd_serve_fleet(CliArgs& args, std::size_t port,
+                    const std::function<bool(SketchFleet&, std::string*)>&
+                        seed = {}) {
   const std::size_t budget = args.get_size("tenants-budget", 0);
   const std::string spill_dir = args.get_string("spill-dir", "covstream_spill");
   const std::size_t threads = args.get_size("threads", 0);
@@ -532,6 +555,13 @@ int cmd_serve_fleet(CliArgs& args, std::size_t port) {
                 "%zu quarantined, %zu temps swept\n",
                 boot.restored, boot.recreated_empty, boot.adopted,
                 boot.quarantined, boot.temps_swept);
+  }
+  if (seed) {
+    std::string seed_error;
+    if (!seed(fleet, &seed_error)) {
+      std::fprintf(stderr, "cannot seed the fleet: %s\n", seed_error.c_str());
+      return 1;
+    }
   }
   ThreadPool pool(threads);
   NetServer::Options net_options;
@@ -741,6 +771,204 @@ int cmd_serve(CliArgs& args) {
   return 0;
 }
 
+int cmd_worker(CliArgs& args) {
+  const std::string input = args.get_string("input", "");
+  const std::size_t shard = args.get_size("shard", 0);
+  const std::size_t shards = args.get_size("shards", 0);
+  const std::string routing_name = args.get_string("routing", "hash");
+  const std::string out =
+      args.get_string("out", "shard" + std::to_string(shard) + ".snap");
+  const SetId n = static_cast<SetId>(args.get_size("n", 0));
+  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 10));
+  StreamingOptions options;
+  options.eps = args.get_double("eps", 0.15);
+  options.seed = args.get_size("seed", 1);
+  const std::size_t batch_edges = args.get_size("batch", 0);
+  args.finish();
+  COVSTREAM_CHECK(!input.empty() && n > 0);
+  if (shards == 0 || shard >= shards) {
+    std::fprintf(stderr, "--shard must be in [0, --shards) (got shard %zu of %zu)\n",
+                 shard, shards);
+    return 2;
+  }
+  const std::optional<ShardRouting> routing = parse_shard_routing(routing_name);
+  if (!routing) {
+    std::fprintf(stderr, "unknown --routing=%s (want hash|rr)\n",
+                 routing_name.c_str());
+    return 2;
+  }
+
+  // Same params a single-stream ingest of the whole file would use — the
+  // whole point: W workers with identical flags produce shards that merge
+  // into exactly that single-stream sketch.
+  const SketchParams params = options.sketch_params(n, k);
+  ShardManifest manifest;
+  manifest.shard_id = static_cast<std::uint32_t>(shard);
+  manifest.shard_count = static_cast<std::uint32_t>(shards);
+  manifest.routing = *routing;
+  manifest.router_seed = shard_router_seed(params);
+
+  auto stream = open_stream(input);
+  Timer timer;
+  SubsampleSketch sketch(params);
+  const StreamEngine engine({batch_edges, nullptr});
+  // Every worker reads the whole stream and keeps only the edges the shared
+  // router assigns it (the partition is computed, not pre-split on disk).
+  const StreamEngine::PassStats stats = engine.run(
+      *stream, shard_ownership_filter(manifest),
+      [&sketch](std::span<const Edge> chunk) { sketch.update_chunk(chunk); });
+  manifest.edges_ingested = stats.edges_kept;
+
+  const ShardSnapshot snapshot{manifest, std::move(sketch)};
+  std::string error;
+  if (!save_snapshot(snapshot, out, &error)) {
+    std::fprintf(stderr, "cannot save shard snapshot: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("worker %zu/%zu (%s): owned %zu of %zu edges -> %s\n", shard,
+              shards, routing_name.c_str(), stats.edges_kept, stats.edges_read,
+              out.c_str());
+  std::printf("  sketch     : %zu elements / %zu edges, p*=%.5f\n",
+              snapshot.sketch.retained_elements(),
+              snapshot.sketch.stored_edges(), snapshot.sketch.p_star());
+  std::printf("  space      : %zu words peak, wall %.2fs\n",
+              snapshot.sketch.peak_space_words(), timer.seconds());
+  return 0;
+}
+
+/// Polls `dir` for *.snap files until `expect` of them exist (or `wait_ms`
+/// runs out; expect == 0 scans once). Workers write snapshots via
+/// temp-and-rename, so every file the scan sees is complete.
+std::vector<std::string> discover_shard_files(const std::string& dir,
+                                              std::size_t expect,
+                                              std::size_t wait_ms) {
+  namespace fs = std::filesystem;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+  std::vector<std::string> files;
+  for (;;) {
+    files.clear();
+    std::error_code ec;
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+      if (entry.is_regular_file(ec) && entry.path().extension() == ".snap") {
+        files.push_back(entry.path().string());
+      }
+    }
+    if (expect == 0 || files.size() >= expect ||
+        std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int cmd_coordinator(CliArgs& args) {
+  const std::string list = args.get_string("snapshots", "");
+  const std::string dir = args.get_string("shard-dir", "");
+  const std::size_t expect = args.get_size("expect", 0);
+  const std::size_t wait_ms = args.get_size("wait-ms", 10000);
+  const std::size_t fan_in = args.get_size("fan-in", 2);
+  const std::uint32_t k = static_cast<std::uint32_t>(args.get_size("k", 10));
+  const std::string strategy_name = args.get_string("strategy", "decremental");
+  const std::string out = args.get_string("out", "");
+  const std::size_t threads = args.get_size("threads", 0);
+  const std::size_t port = args.get_size("port", 0);
+  // With --port the remaining serve flags belong to cmd_serve_fleet, which
+  // finishes the args itself.
+  if (port == 0) args.finish();
+  if (list.empty() == dir.empty()) {
+    std::fprintf(stderr,
+                 "coordinator needs exactly one of --snapshots=<a,b,...> or "
+                 "--shard-dir=<dir>\n");
+    return 2;
+  }
+  if (fan_in < 2) {
+    std::fprintf(stderr, "--fan-in must be >= 2 (got %zu)\n", fan_in);
+    return 2;
+  }
+  const std::optional<GreedyStrategy> strategy = parse_strategy(strategy_name);
+  if (!strategy) return 2;
+
+  std::vector<std::string> files;
+  if (!list.empty()) {
+    std::size_t at = 0;
+    while (at < list.size()) {
+      std::size_t end = list.find(',', at);
+      if (end == std::string::npos) end = list.size();
+      if (end > at) files.push_back(list.substr(at, end - at));
+      at = end + 1;
+    }
+  } else {
+    files = discover_shard_files(dir, expect, wait_ms);
+    if (expect > 0 && files.size() < expect) {
+      std::fprintf(stderr,
+                   "shard discovery timed out: found %zu of %zu snapshots in "
+                   "%s after %zu ms\n",
+                   files.size(), expect, dir.c_str(), wait_ms);
+      return 1;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "no shard snapshots to merge\n");
+    return 1;
+  }
+
+  std::vector<ShardSnapshot> shard_set;
+  shard_set.reserve(files.size());
+  std::uint64_t total_edges = 0;
+  for (const std::string& path : files) {
+    std::string error;
+    std::optional<ShardSnapshot> shard = load_snapshot<ShardSnapshot>(path, &error);
+    if (!shard) {
+      std::fprintf(stderr, "cannot load shard %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    total_edges += shard->manifest.edges_ingested;
+    shard_set.push_back(std::move(*shard));
+  }
+
+  std::optional<ThreadPool> pool;
+  if (threads > 0) pool.emplace(threads);
+  Timer timer;
+  std::string error;
+  std::optional<SubsampleSketch> merged = merge_shard_set(
+      std::move(shard_set), fan_in, pool.has_value() ? &*pool : nullptr, &error);
+  if (!merged) {
+    // The distinct validate_shard_set message (missing / duplicate /
+    // mismatched shard) — never a silent partial merge.
+    std::fprintf(stderr, "shard set rejected: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("coordinator: merged %zu shards (fan-in %zu, %llu worker edges) "
+              "in %.2fs\n",
+              files.size(), fan_in,
+              static_cast<unsigned long long>(total_edges), timer.seconds());
+  std::printf("  sketch     : %zu elements / %zu edges, p*=%.5f\n",
+              merged->retained_elements(), merged->stored_edges(),
+              merged->p_star());
+  if (!out.empty()) {
+    if (!save_snapshot(*merged, out, &error)) {
+      std::fprintf(stderr, "cannot save merged snapshot: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("  merged     : saved %s\n", out.c_str());
+  }
+  solve_and_print(*merged, k, strategy_name, *strategy,
+                  pool.has_value() ? &*pool : nullptr);
+  if (port > 0) {
+    pool.reset();  // the fleet serves off its own pool
+    std::fflush(stdout);
+    return cmd_serve_fleet(
+        args, port, [&merged, total_edges](SketchFleet& fleet, std::string* err) {
+          return fleet.adopt("merged", std::move(*merged), total_edges, err);
+        });
+  }
+  return 0;
+}
+
 int dispatch(int argc, char** argv) {
   CliArgs args(argc, argv);
   // Resolve --isa before any command touches a sketch: the override applies
@@ -768,6 +996,8 @@ int dispatch(int argc, char** argv) {
   if (cmd == "query") return cmd_query(args);
   if (cmd == "solve") return cmd_solve(args);
   if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "worker") return cmd_worker(args);
+  if (cmd == "coordinator") return cmd_coordinator(args);
   std::fputs(cli_help_text(), stdout);
   return cmd == "help" ? 0 : 2;
 }

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Multi-process smoke for the distributed pipeline (DESIGN.md §5.14).
+
+The distributed claim: N `--cmd=worker` processes each sketching a disjoint
+shard of one stream, merged hierarchically by `--cmd=coordinator`, answer
+max-k-cover exactly like one process that streamed everything. This script
+makes the claim falsifiable against the shipped binary, across real
+processes:
+
+  1. Reference run: `ingest` the whole stream into one sketch, `solve` it,
+     and keep the deterministic solve lines (solution, covered counts —
+     wall-clock and space lines are filtered).
+  2. Sharded run: N concurrent worker processes write shard snapshots; the
+     coordinator discovers them (both --shard-dir polling and an explicit
+     --snapshots list, at two different fan-ins) and solves. Every variant's
+     solve lines must be byte-identical to the reference.
+  3. Crash rerun: a worker killed mid-snapshot-write by an injected abort
+     (COVSTREAM_FAILPOINTS=snapshot.write=abort@1, exit 42) must leave no
+     shard file behind; rerunning it cleanly must produce a byte-identical
+     snapshot, and the coordinator over the rerun set must again match the
+     reference.
+  4. Negative paths: a missing shard and a duplicated shard id must be
+     refused loudly (nonzero exit, distinct message), never silently
+     part-merged.
+
+Usage: python3 tools/distributed_smoke.py [path/to/covstream_cli]
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+N_SETS = 200
+M_ELEMS = 4000
+EDGES_SEED = 7
+SKETCH = ["--n=200", "--k=10", "--eps=0.15", "--seed=3"]
+SHARDS = 4
+
+
+def run(cli, args, env=None, expect_code=0):
+    full_env = dict(os.environ)
+    full_env.pop("COVSTREAM_FAILPOINTS", None)
+    if env:
+        full_env.update(env)
+    proc = subprocess.run([cli] + args, capture_output=True, text=True,
+                          env=full_env, timeout=300)
+    assert proc.returncode == expect_code, (
+        f"{args}: expected exit {expect_code}, got {proc.returncode}\n"
+        f"stdout: {proc.stdout}\nstderr: {proc.stderr}")
+    return proc
+
+
+def solve_lines(stdout):
+    """The deterministic core of a solve report: the header (k, strategy,
+    estimated coverage), the chosen sets, and the covered counts. Wall-clock
+    and space lines vary run to run and are excluded."""
+    keep = ("solve (", "  solution   :", "  covered    :")
+    lines = [l for l in stdout.splitlines() if l.startswith(keep)]
+    assert len(lines) == 3, f"unexpected solve report shape:\n{stdout}"
+    return lines
+
+
+def run_workers(cli, edges, out_dir, crash_shard=None):
+    """Launch all workers concurrently (real processes, one per shard).
+    If crash_shard is set, that worker runs with an abort failpoint on its
+    snapshot write and must die with exit 42."""
+    procs = []
+    for shard in range(SHARDS):
+        env = dict(os.environ)
+        env.pop("COVSTREAM_FAILPOINTS", None)
+        if shard == crash_shard:
+            env["COVSTREAM_FAILPOINTS"] = "snapshot.write=abort@1"
+        procs.append((shard, subprocess.Popen(
+            [cli, "--cmd=worker", f"--input={edges}", *SKETCH,
+             f"--shard={shard}", f"--shards={SHARDS}",
+             f"--out={os.path.join(out_dir, f'shard{shard}.snap')}"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)))
+    for shard, proc in procs:
+        out, _ = proc.communicate(timeout=300)
+        expected = 42 if shard == crash_shard else 0
+        assert proc.returncode == expected, (
+            f"worker {shard}: expected exit {expected}, got "
+            f"{proc.returncode}\n{out}")
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def main():
+    cli = sys.argv[1] if len(sys.argv) > 1 else "./build/covstream_cli"
+    with tempfile.TemporaryDirectory(prefix="covstream_dist_") as work:
+        edges = os.path.join(work, "edges.bin")
+        run(cli, ["--cmd=generate", "--family=zipf", f"--n={N_SETS}",
+                  f"--m={M_ELEMS * 5}", f"--seed={EDGES_SEED}",
+                  f"--out={edges}"])
+
+        # 1. Single-process reference.
+        ref_snap = os.path.join(work, "ref.snap")
+        run(cli, ["--cmd=ingest", f"--input={edges}", *SKETCH,
+                  f"--out={ref_snap}"])
+        ref = solve_lines(run(cli, ["--cmd=solve", f"--snapshot={ref_snap}",
+                                    "--k=10"]).stdout)
+
+        # 2. Sharded run: concurrent workers, then the coordinator, three
+        # ways (dir discovery, explicit list, deeper fan-in + thread pool).
+        shard_dir = os.path.join(work, "shards")
+        os.makedirs(shard_dir)
+        run_workers(cli, edges, shard_dir)
+        snaps = [os.path.join(shard_dir, f"shard{i}.snap")
+                 for i in range(SHARDS)]
+        merged_snap = os.path.join(work, "merged.snap")
+        variants = {
+            "shard-dir": ["--shard-dir=" + shard_dir, f"--expect={SHARDS}",
+                          "--wait-ms=10000", f"--out={merged_snap}"],
+            "snapshots-list": ["--snapshots=" + ",".join(reversed(snaps))],
+            "fan-in-4-pooled": ["--snapshots=" + ",".join(snaps),
+                                "--fan-in=4", "--threads=3"],
+        }
+        for label, extra in variants.items():
+            got = solve_lines(run(cli, ["--cmd=coordinator", "--k=10",
+                                        *extra]).stdout)
+            assert got == ref, (
+                f"{label}: coordinator solve diverged from single-stream\n"
+                f"reference: {ref}\ncoordinator: {got}")
+            print(f"  coordinator[{label}]: solve identical to single-stream")
+
+        # The merged snapshot the coordinator saved must itself solve
+        # identically through the ordinary solve command.
+        reread = solve_lines(run(cli, ["--cmd=solve",
+                                       f"--snapshot={merged_snap}",
+                                       "--k=10"]).stdout)
+        assert reread == ref, "solving the saved merged snapshot diverged"
+        print("  merged snapshot re-solved identically via --cmd=solve")
+
+        # 3. Worker killed mid-write, then rerun. The atomic temp+rename
+        # write means the aborted worker leaves no shard file.
+        crash_dir = os.path.join(work, "crash")
+        os.makedirs(crash_dir)
+        run_workers(cli, edges, crash_dir, crash_shard=2)
+        dead = os.path.join(crash_dir, "shard2.snap")
+        assert not os.path.exists(dead), (
+            "aborted worker left a shard snapshot behind — torn write?")
+        run(cli, ["--cmd=worker", f"--input={edges}", *SKETCH,
+                  "--shard=2", f"--shards={SHARDS}", f"--out={dead}"])
+        assert read_bytes(dead) == read_bytes(snaps[2]), (
+            "rerun worker produced different bytes than the clean run")
+        got = solve_lines(run(cli, [
+            "--cmd=coordinator", "--k=10", f"--shard-dir={crash_dir}",
+            f"--expect={SHARDS}", "--wait-ms=10000"]).stdout)
+        assert got == ref, "coordinator after crash-rerun diverged"
+        print("  worker crash (exit 42) + rerun: byte-identical snapshot, "
+              "coordinator matches")
+
+        # 4. Loud negative paths.
+        missing = run(cli, ["--cmd=coordinator", "--k=10",
+                            "--snapshots=" + ",".join(snaps[:-1])],
+                      expect_code=1)
+        assert "missing shard" in missing.stderr, missing.stderr
+        dup_dir = os.path.join(work, "dup")
+        os.makedirs(dup_dir)
+        for src in snaps[:-1]:
+            shutil.copy(src, dup_dir)
+        shutil.copy(snaps[0], os.path.join(dup_dir, "again.snap"))
+        dup = run(cli, ["--cmd=coordinator", "--k=10",
+                        f"--shard-dir={dup_dir}", f"--expect={SHARDS}"],
+                  expect_code=1)
+        assert "duplicate shard id" in dup.stderr, dup.stderr
+        timeout = run(cli, ["--cmd=coordinator", "--k=10",
+                            f"--shard-dir={os.path.join(work, 'empty')}",
+                            "--expect=1", "--wait-ms=100"], expect_code=1)
+        assert "timed out" in timeout.stderr, timeout.stderr
+        print("  negative paths: missing shard, duplicate id, discovery "
+              "timeout all refused loudly")
+
+    print(f"distributed smoke PASS: {SHARDS} workers + coordinator match "
+          f"the single-stream solve byte for byte, incl. crash rerun")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
