@@ -687,6 +687,41 @@ std::optional<double> SketchFleet::estimate(const std::string& name,
   return sketch->estimate_coverage(family);
 }
 
+bool SketchFleet::estimate_batch(const std::string& name,
+                                 std::span<const std::vector<SetId>> families,
+                                 std::vector<EstimateOutcome>* out,
+                                 std::string* error) {
+  out->clear();
+  // One handle grab for the whole run: the reload-if-evicted check and the
+  // handle_mutex pointer copy amortize over every family, and all members
+  // answer from the same immutable published version.
+  const std::shared_ptr<const SubsampleSketch> sketch = handle(name, error);
+  if (sketch == nullptr) return false;
+  out->reserve(families.size());
+  const SetId num_sets = sketch->params().num_sets;
+  for (const std::vector<SetId>& family : families) {
+    EstimateOutcome outcome;
+    bool in_range = true;
+    for (const SetId s : family) {
+      if (s >= num_sets) {
+        outcome.error = "set id " + std::to_string(s) +
+                        " outside universe [0, " + std::to_string(num_sets) +
+                        ")";
+        in_range = false;
+        break;
+      }
+    }
+    if (in_range) outcome.value = sketch->estimate_coverage(family);
+    out->push_back(std::move(outcome));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex_);
+    ++estimate_batches_;
+    batched_estimates_ += families.size();
+  }
+  return true;
+}
+
 std::optional<KCoverResult> SketchFleet::solve(const std::string& name,
                                                std::uint32_t k,
                                                std::string* error) {
@@ -871,6 +906,8 @@ SketchFleet::FleetStats SketchFleet::stats() const {
     stats.spill_failures = spill_failures_;
     stats.quarantined = quarantined_;
     stats.flushed_tenants = flushed_tenants_;
+    stats.estimate_batches = estimate_batches_;
+    stats.batched_estimates = batched_estimates_;
   }
   {
     const std::lock_guard<std::mutex> lock(cache_mutex_);

@@ -108,6 +108,25 @@ class SketchFleet {
                                  std::span<const SetId> family,
                                  std::string* error);
 
+  /// Outcome of one family inside estimate_batch: value on success,
+  /// otherwise the exact error string estimate() would have produced.
+  struct EstimateOutcome {
+    std::optional<double> value;
+    std::string error;
+  };
+
+  /// Answers many coverage estimates for one tenant from ONE acquired handle
+  /// — the amortization the front door's per-tenant request coalescing rides
+  /// on (DESIGN.md §5.15): one reload check and one handle_mutex pointer
+  /// grab however long the pipelined run is, and every member reads the
+  /// same published version. Returns false (with *error) only when the
+  /// whole batch fails — unknown tenant or failed reload; otherwise *out
+  /// has exactly families.size() entries, each either a value or the
+  /// per-family range error, byte-identical to serial estimate() calls.
+  bool estimate_batch(const std::string& name,
+                      std::span<const std::vector<SetId>> families,
+                      std::vector<EstimateOutcome>* out, std::string* error);
+
   /// Greedy max-k-cover on the current published handle through the warm
   /// (tenant, version) solver cache.
   std::optional<KCoverResult> solve(const std::string& name, std::uint32_t k,
@@ -163,6 +182,11 @@ class SketchFleet {
     std::uint64_t spill_failures = 0;
     std::uint64_t quarantined = 0;
     std::uint64_t flushed_tenants = 0;
+    /// Request-coalescing counters: estimate_batch() calls, and the total
+    /// families they answered (>= 2x estimate_batches when the front door
+    /// only batches runs of length >= 2).
+    std::uint64_t estimate_batches = 0;
+    std::uint64_t batched_estimates = 0;
   };
   FleetStats stats() const;
 
@@ -269,6 +293,8 @@ class SketchFleet {
   std::uint64_t spill_failures_ = 0;
   std::uint64_t quarantined_ = 0;
   std::uint64_t flushed_tenants_ = 0;
+  std::uint64_t estimate_batches_ = 0;
+  std::uint64_t batched_estimates_ = 0;
   bool degraded_ = false;
   std::string degraded_reason_;
 

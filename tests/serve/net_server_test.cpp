@@ -236,13 +236,28 @@ TEST(NetServer, EndToEndOverTcp) {
   EXPECT_NE(client.read_line().find("ok tenant t"), std::string::npos);
   EXPECT_EQ(client.read_line(), "ok pong");
 
+  // The reactor counters ride on the server section of the `stats` wire
+  // response (docs/PROTOCOL.md): the gauge reads 1 (this connection), the
+  // batching counters exist even when nothing coalesced yet.
+  const std::string server_stats = client.request("stats");
+  for (const char* field :
+       {" open_connections=1", " epoll_wakeups=", " batched_requests=",
+        " coalesced_ingest_lines="}) {
+    EXPECT_NE(server_stats.find(field), std::string::npos)
+        << "stats missing `" << field << "`: " << server_stats;
+  }
+
+  EXPECT_EQ(server.counters().open_connections, 1u);  // gauge: connected
+
   EXPECT_EQ(client.request("quit"), "ok bye");
   EXPECT_TRUE(client.at_eof());
 
   const NetServer::Counters counters = server.counters();
   EXPECT_EQ(counters.connections_accepted, 1u);
-  EXPECT_EQ(counters.requests_served, 8u);  // quit counts as a request too
+  EXPECT_EQ(counters.requests_served, 9u);  // quit counts as a request too
+  EXPECT_GE(counters.epoll_wakeups, 1u);
   server.stop();
+  EXPECT_EQ(server.counters().open_connections, 0u);  // gauge: drained
 }
 
 TEST(NetServer, OverlongUnframedLineIsRejected) {
@@ -429,7 +444,7 @@ TEST(NetServer, ConnectionsPastTheBoundGetErrBusy) {
   SketchFleet fleet({});
   ThreadPool pool(2);
   NetServer::Options options;
-  options.max_pending_connections = 1;
+  options.max_connections = 1;
   NetServer server(fleet, pool, options);
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;

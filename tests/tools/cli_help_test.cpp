@@ -41,9 +41,9 @@ TEST(CliHelp, EveryFlagTheCommandsReadIsDocumented) {
         "--threads", "--batch", "--checkpoint", "--checkpoint-every",
         "--resume", "--snapshot", "--sets", "--snapshot-every", "--strategy",
         "--isa", "--port", "--tenants-budget", "--spill-dir", "--persist",
-        "--idle-timeout-ms", "--deadline-ms", "--max-pending", "--shard",
-        "--shards", "--routing", "--snapshots", "--shard-dir", "--expect",
-        "--wait-ms", "--fan-in"}) {
+        "--idle-timeout-ms", "--deadline-ms", "--max-connections",
+        "--batch-window-us", "--shard", "--shards", "--routing", "--snapshots",
+        "--shard-dir", "--expect", "--wait-ms", "--fan-in"}) {
     EXPECT_NE(kHelp.find(flag), std::string::npos)
         << "flag missing from help: " << flag;
   }
@@ -71,7 +71,7 @@ TEST(CliHelp, GoldenTextUnchanged) {
     hash ^= c;
     hash *= 0x100000001b3ULL;
   }
-  EXPECT_EQ(hash, 0xe36c58878ce6685aULL)
+  EXPECT_EQ(hash, 0xd1391fa280fd7630ULL)
       << "help text changed; review tools/covstream_help.hpp against the "
          "flags the commands read, then update this golden hash";
 }

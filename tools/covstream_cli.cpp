@@ -17,6 +17,7 @@
 // The full flag reference lives in tools/covstream_help.hpp (printed by
 // --cmd=help and pinned by the golden help test).
 #include <signal.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
@@ -528,11 +529,41 @@ int cmd_serve_fleet(CliArgs& args, std::size_t port,
   const bool persist = args.get_bool("persist", false);
   const std::size_t idle_timeout_ms = args.get_size("idle-timeout-ms", 60000);
   const std::size_t deadline_ms = args.get_size("deadline-ms", 0);
-  const std::size_t max_pending = args.get_size("max-pending", 256);
+  std::size_t max_connections = args.get_size("max-connections", 4096);
+  std::size_t batch_window_us = args.get_size("batch-window-us", 0);
   args.finish();
   if (port > 0xffff) {
     std::fprintf(stderr, "--port must fit 16 bits (got %zu)\n", port);
     return 2;
+  }
+  // Clamp --max-connections to what the fd table can actually hold (with
+  // headroom for spill files, snapshots, epoll/eventfd and the listener):
+  // shedding with `err busy` at accept beats dying on EMFILE mid-request.
+  rlimit nofile{};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur != RLIM_INFINITY) {
+    const std::size_t headroom = 64;
+    const std::size_t cap = nofile.rlim_cur > 2 * headroom
+                                ? static_cast<std::size_t>(nofile.rlim_cur) -
+                                      headroom
+                                : headroom;
+    if (max_connections == 0 || max_connections > cap) {
+      std::fprintf(stderr,
+                   "--max-connections=%zu clamped to %zu (RLIMIT_NOFILE is "
+                   "%llu; raise `ulimit -n` for more)\n",
+                   max_connections, cap,
+                   static_cast<unsigned long long>(nofile.rlim_cur));
+      max_connections = cap;
+    }
+  }
+  // An over-long batch window only adds latency: past a few ms the client
+  // has long since flushed its pipeline and the reactor is just sitting on
+  // complete requests.
+  constexpr std::size_t kMaxBatchWindowUs = 5000;
+  if (batch_window_us > kMaxBatchWindowUs) {
+    std::fprintf(stderr, "--batch-window-us=%zu clamped to %zu (5 ms)\n",
+                 batch_window_us, kMaxBatchWindowUs);
+    batch_window_us = kMaxBatchWindowUs;
   }
 
   // Take SIGTERM/SIGINT through sigwait on a dedicated thread (blocked
@@ -568,7 +599,8 @@ int cmd_serve_fleet(CliArgs& args, std::size_t port,
   net_options.port = static_cast<std::uint16_t>(port);
   net_options.idle_timeout_ms = static_cast<std::uint32_t>(idle_timeout_ms);
   net_options.request_deadline_ms = static_cast<std::uint32_t>(deadline_ms);
-  net_options.max_pending_connections = max_pending;
+  net_options.max_connections = max_connections;
+  net_options.batch_window_us = static_cast<std::uint32_t>(batch_window_us);
   NetServer server(fleet, pool, net_options);
   std::string error;
   if (!server.start(&error)) {

@@ -1,14 +1,26 @@
 #!/usr/bin/env python3
 """Multi-client TCP smoke for `covstream_cli --cmd=serve --port=N`.
 
-Boots the fleet server on a throwaway port, drives it with several
-concurrent socket clients through the whole protocol surface — create,
-ingest, estimate, solve, evict (with transparent reload), stats, tenants —
-then issues `shutdown` and requires a clean exit. Every response is checked
-against docs/PROTOCOL.md prefixes; any `err` (or a hung server) fails the
-script. CI runs this after the unit suites: the gtest layer exercises
-NetServer in-process, this exercises the shipped binary end to end, exactly
-as an operator would.
+Boots the fleet server on a throwaway port and drives it the way a real
+deployment gets hit — several concurrent populations at once:
+
+  * protocol clients walking the whole surface — create, ingest, estimate,
+    solve, evict (with transparent reload), stats, tenants;
+  * a couple hundred idle connections that connect and never send (the epoll
+    reactor must park them for free — they'd each have pinned a pool thread
+    under the old thread-per-connection dispatch);
+  * pipelined clients writing whole request batches in one send() and
+    requiring every response line back in order (the reactor's per-tenant
+    coalescing path, exercised through the shipped binary);
+  * abrupt closers that disconnect mid-request without reading.
+
+The server runs with the reactor flags (--max-connections,
+--batch-window-us) exercised, reports the new counters on `stats`, and must
+drain everything — idle connections included — into a clean exit 0 on
+`shutdown`. Every response is checked against docs/PROTOCOL.md prefixes; any
+`err` (or a hung server) fails the script. CI runs this after the unit
+suites: the gtest layer exercises NetServer in-process, this exercises the
+shipped binary end to end, exactly as an operator would.
 
 Usage: python3 tools/serve_smoke.py [path/to/covstream_cli]
 """
@@ -24,6 +36,9 @@ import time
 HOST = "127.0.0.1"
 CLIENTS = 3
 ROUNDS = 8
+IDLE_CONNS = 200
+PIPELINED_CLIENTS = 16
+ABRUPT_CLIENTS = 16
 
 
 class Client:
@@ -45,15 +60,18 @@ class Client:
                 delay = min(delay * 2, 1.0)
         self.buf = b""
 
-    def request(self, line):
-        self.sock.sendall(line.encode() + b"\n")
+    def read_line(self):
         while b"\n" not in self.buf:
             block = self.sock.recv(4096)
             if not block:
-                raise AssertionError(f"EOF awaiting response to {line!r}")
+                raise AssertionError("EOF awaiting response line")
             self.buf += block
         response, self.buf = self.buf.split(b"\n", 1)
         return response.decode()
+
+    def request(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+        return self.read_line()
 
     def expect(self, line, prefix):
         response = self.request(line)
@@ -90,23 +108,89 @@ def client_session(port, idx, failures):
         failures.append(f"client {idx}: {exc}")
 
 
+def pipelined_session(port, idx, failures):
+    """One connection, whole conversation written as pipelined batches.
+
+    Consecutive same-tenant lines coalesce inside the server (one admission
+    batch, one estimate handle); the wire contract stays one response line
+    per request, in order — exactly what this asserts.
+    """
+    try:
+        c = Client(port)
+        name = f"pipe{idx}"
+        c.expect(f"create {name} 48 4 0.3", f"ok created {name}")
+        batch = (f"ingest {name} 1 10 2 20\n"
+                 f"ingest {name} 3 30\n"
+                 f"ingest {name} 4 40 4 41\n"
+                 f"estimate {name} 1,2\n"
+                 f"estimate {name} 3\n"
+                 f"estimate {name} 1,2,3,4\n"
+                 f"ping\n")
+        c.sock.sendall(batch.encode())
+        for want in ["ok ingested 2", "ok ingested 1", "ok ingested 2",
+                     "ok estimate ", "ok estimate ", "ok estimate ",
+                     "ok pong"]:
+            got = c.read_line()
+            assert got.startswith(want), (
+                f"pipelined client {idx}: expected {want!r}..., got {got!r}")
+        c.expect("quit", "ok bye")
+        c.close()
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"pipelined client {idx}: {exc}")
+
+
+def abrupt_session(port, idx, failures):
+    """Connect, leave a partial or unread request behind, vanish."""
+    try:
+        c = Client(port)
+        if idx % 2 == 0:
+            c.sock.sendall(b"estimate nob")  # partial line, never completed
+        else:
+            c.sock.sendall(b"ping\n")  # full request, response never read
+            time.sleep(0.01)
+        c.close()  # no quit: the server must reap the connection itself
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"abrupt client {idx}: {exc}")
+
+
 def main():
     cli = sys.argv[1] if len(sys.argv) > 1 else "./build/covstream_cli"
     port = 40000 + (os.getpid() % 20000)
     with tempfile.TemporaryDirectory(prefix="covstream_smoke_") as spill:
         server = subprocess.Popen(
             [cli, "--cmd=serve", f"--port={port}", "--tenants-budget=20000",
-             f"--spill-dir={spill}", "--threads=4"],
+             f"--spill-dir={spill}", "--threads=4",
+             "--max-connections=2048", "--batch-window-us=500"],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        idle = []
         try:
-            banner = server.stdout.readline()
+            # The RLIMIT_NOFILE clamp notice (if any) precedes the banner on
+            # the merged stream; scan a few lines rather than assuming order.
+            banner = ""
+            for _ in range(5):
+                banner = server.stdout.readline()
+                if "fleet serving on" in banner:
+                    break
             assert "fleet serving on" in banner, f"bad banner: {banner!r}"
+
+            # Park a couple hundred idle connections for the whole smoke:
+            # every phase below runs while these sit on the reactor.
+            for _ in range(IDLE_CONNS):
+                idle.append(socket.create_connection((HOST, port), timeout=20))
 
             failures = []
             threads = [
                 threading.Thread(target=client_session,
                                  args=(port, i, failures))
                 for i in range(CLIENTS)
+            ] + [
+                threading.Thread(target=pipelined_session,
+                                 args=(port, i, failures))
+                for i in range(PIPELINED_CLIENTS)
+            ] + [
+                threading.Thread(target=abrupt_session,
+                                 args=(port, i, failures))
+                for i in range(ABRUPT_CLIENTS)
             ]
             for t in threads:
                 t.start()
@@ -115,7 +199,18 @@ def main():
 
             control = Client(port)
             stats = control.expect("stats", "ok stats ")
-            assert f"tenants={CLIENTS}" in stats, stats
+            assert f"tenants={CLIENTS + PIPELINED_CLIENTS}" in stats, stats
+            # The reactor counters ride on the same stats line
+            # (docs/PROTOCOL.md): the gauge counts the parked idle
+            # connections plus this control client, and the pipelined
+            # population must actually have hit the coalescing path.
+            for field in ["open_connections=", "epoll_wakeups=",
+                          "batched_requests=", "coalesced_ingest_lines="]:
+                assert f" {field}" in stats, f"stats missing {field}: {stats}"
+            gauge = int(stats.split("open_connections=")[1].split()[0])
+            assert gauge >= IDLE_CONNS + 1, f"gauge {gauge} lost idle conns"
+            batched = int(stats.split("batched_requests=")[1].split()[0])
+            assert batched > 0, f"no requests coalesced: {stats}"
             tenants = control.expect("tenants", "ok tenants ")
             for i in range(CLIENTS):
                 assert f"smoke{i}" in tenants, tenants
@@ -125,14 +220,26 @@ def main():
 
             code = server.wait(timeout=30)
             assert code == 0, f"server exited {code}"
+            # Shutdown drained the parked connections too: every idle socket
+            # observes EOF, not a hang.
+            for sock in idle:
+                sock.settimeout(5)
+                assert sock.recv(64) == b"", "idle conn not closed on shutdown"
             if failures:
                 for failure in failures:
                     print(f"FAIL: {failure}", file=sys.stderr)
                 return 1
             print(f"serve smoke PASS: {CLIENTS} clients x {ROUNDS} rounds, "
-                  f"evict/reload exercised, clean shutdown")
+                  f"{PIPELINED_CLIENTS} pipelined + {ABRUPT_CLIENTS} abrupt "
+                  f"clients, {IDLE_CONNS} idle conns parked, evict/reload "
+                  f"exercised, clean shutdown")
             return 0
         finally:
+            for sock in idle:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
             if server.poll() is None:
                 server.kill()
                 server.wait()
