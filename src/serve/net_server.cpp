@@ -435,8 +435,14 @@ FleetBatchResult execute_fleet_batch(SketchFleet& fleet,
       std::size_t j = i + 1;
       while (j < batch.size() && !expired(batch[j])) {
         const std::size_t before = edges.size();
-        if (!parse_ingest_line(batch[j].line, &run_tenant, &edges) ||
-            run_tenant != tenant) {
+        if (!parse_ingest_line(batch[j].line, &run_tenant, &edges)) {
+          break;
+        }
+        if (run_tenant != tenant) {
+          // Tenant switch: the line's edges were already appended above and
+          // belong to the NEXT run (it re-parses from i = j) — roll back so
+          // they are not admitted into this tenant's sketch.
+          edges.resize(before);
           break;
         }
         evaluate_dispatch_failpoint();
@@ -591,6 +597,7 @@ bool NetServer::start(std::string* error) {
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  listen_registered_ = true;
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
 
@@ -620,12 +627,11 @@ void NetServer::wake_reactor() {
 void NetServer::reactor_loop() {
   constexpr int kMaxEvents = 128;
   std::vector<epoll_event> events(kMaxEvents);
-  bool listen_registered = true;
   for (;;) {
     if (stopping_.load(std::memory_order_acquire)) {
-      if (listen_registered) {
+      if (listen_registered_) {
         ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
-        listen_registered = false;
+        listen_registered_ = false;
       }
       // Close every connection whose dispatch is not in flight (undelivered
       // pipeline lines are discarded — the old per-connection loop did the
@@ -677,7 +683,7 @@ void NetServer::reactor_loop() {
         continue;
       }
       if (fd == listen_fd_) {
-        if (listen_registered) on_accept_ready();
+        if (listen_registered_) on_accept_ready();
         continue;
       }
       const auto it = conns_.find(fd);
@@ -741,7 +747,17 @@ void NetServer::on_accept_ready() {
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // EAGAIN: drained the backlog
+      if (errno == EMFILE || errno == ENFILE) {
+        // fd exhaustion: the backlog is NOT drained, and a level-triggered
+        // listen fd with waiting connections makes every epoll_wait return
+        // immediately — the loop would spin hot until an fd frees. Park the
+        // listen fd instead; close_conn() re-arms it when one does (pending
+        // clients wait in the kernel backlog meanwhile).
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        listen_registered_ = false;
+        return;
+      }
+      return;  // EAGAIN (backlog drained) or a transient per-connection error
     }
     if (stopping_.load(std::memory_order_relaxed)) {
       ::close(fd);
@@ -1054,6 +1070,16 @@ void NetServer::close_conn(const std::shared_ptr<Conn>& conn) {
   }
   conns_.erase(conn->fd);
   conn->pending.clear();
+  if (!listen_registered_ && !stopping_.load(std::memory_order_relaxed)) {
+    // Accepting was parked on EMFILE/ENFILE; this close freed an fd, so
+    // re-arm the listen fd and let the kernel backlog drain.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+      listen_registered_ = true;
+    }
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
   --counters_.open_connections;
 }

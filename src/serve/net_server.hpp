@@ -221,6 +221,11 @@ class NetServer {
   std::atomic<std::uint64_t> epoll_wakeups_{0};
 
   // Reactor-thread-only state.
+  /// Whether listen_fd_ is registered with epoll. on_accept_ready()
+  /// deregisters it on EMFILE/ENFILE (a level-triggered readable listen fd
+  /// with an undrainable backlog would spin the loop hot); close_conn()
+  /// re-registers once an fd frees. Also cleared permanently on stop().
+  bool listen_registered_ = false;
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
   std::vector<std::shared_ptr<Conn>> window_wait_;  // undispatched, batching
   TimerWheel wheel_;

@@ -358,6 +358,44 @@ TEST(NetServerBatch, PipelinedBatchMatchesSerialExecution) {
   }
 }
 
+// Regression: a coalesced same-tenant ingest run of length >= 2 terminated
+// by a DIFFERENT tenant's *valid* ingest line (not a parse error) must roll
+// that line's already-parsed edges back out of the run's admission batch —
+// they belong to the next run, which re-parses the line from scratch. The
+// wire responses are identical either way; only the post-batch sketch state
+// exposes a leak, so probe both tenants against the serial twin.
+TEST(NetServerBatch, IngestRunTenantSwitchDoesNotLeakEdgesAcrossTenants) {
+  SketchFleet batched_fleet({});
+  SketchFleet serial_fleet({});
+  seed_twin(batched_fleet);
+  seed_twin(serial_fleet);
+
+  const std::vector<std::string> lines = {
+      "ingest a 1 10 2 20",
+      "ingest a 3 30",
+      "ingest b 1 100 2 200",  // ends a's run of 2: must not contaminate a
+      "ingest b 4 400",        // ...and still opens b's own coalesced run
+  };
+  const std::string serial = serial_responses(serial_fleet, lines);
+  const FleetBatchResult result =
+      execute_fleet_batch(batched_fleet, as_batch(lines), 0);
+  EXPECT_EQ(result.responses, serial);
+  EXPECT_EQ(result.served, lines.size());
+  EXPECT_EQ(result.coalesced_ingest_lines, 4u);  // a's run of 2 + b's run of 2
+
+  // With the rollback bug, a's admission also carried b's edges (sets 1/2
+  // gain elements 100/200), so a's estimates diverge while b's still match
+  // (b's line re-executes at the start of the next run either way).
+  for (const char* probe :
+       {"estimate a 1", "estimate a 2", "estimate a 1,2,3", "estimate b 1",
+        "estimate b 1,2,4", "solve a 2", "solve b 2"}) {
+    bool shutdown = false;
+    EXPECT_EQ(handle_fleet_request(batched_fleet, probe, &shutdown),
+              handle_fleet_request(serial_fleet, probe, &shutdown))
+        << "post-state diverged on: " << probe;
+  }
+}
+
 // Deadline shedding inside a batch: an expired member is rejected at its
 // position without executing, and without derailing its neighbors. (The
 // socket-level variant lives in net_server_test.cpp; this one pins the batch
